@@ -1,0 +1,47 @@
+// Ablation: checkpoint interval x strategy for the 123B campaign. Frequent
+// checkpoints bound the rollback loss but cost stall time — asynchronous
+// checkpointing (§6.1-1) collapses that trade-off.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Ablation",
+                "Checkpoint interval x strategy (123B, 2048 GPUs, 20 days, auto recovery)");
+
+  common::Table table({"Strategy", "Interval", "ckpt stall total", "rollback loss",
+                       "goodput", "final step"});
+  double best_async = 0, best_sync = 0;
+  for (bool async_ckpt : {false, true}) {
+    for (double interval_min : {5.0, 15.0, 30.0, 60.0, 240.0}) {
+      recovery::RunnerConfig cfg;
+      cfg.model = parallel::llm_123b();
+      cfg.gpus = 2048;
+      cfg.ckpt_interval_seconds = interval_min * common::kMinute;
+      cfg.async_ckpt = async_ckpt;
+      cfg.auto_recovery = true;
+      cfg.graceful_cancel = true;
+      cfg.horizon_seconds = 20 * common::kDay;
+      cfg.seed = 77;
+      const auto report = recovery::FaultTolerantRunner(cfg).run();
+      table.add_row({async_ckpt ? "async" : "sync",
+                     common::Table::num(interval_min, 0) + " min",
+                     common::format_duration(report.time_ckpt_stall),
+                     std::to_string(report.steps_lost_to_rollback) + " steps",
+                     common::Table::pct(report.goodput()),
+                     std::to_string(report.final_step)});
+      if (async_ckpt)
+        best_async = std::max(best_async, report.goodput());
+      else
+        best_sync = std::max(best_sync, report.goodput());
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::recap("async vs sync at their best intervals", "async strictly better",
+               common::Table::pct(best_async) + " vs " +
+                   common::Table::pct(best_sync) + " goodput");
+  bench::recap("why the paper picks 30 min async", "loss bounded, stall negligible",
+               "sync forces long intervals (stall) or heavy stalls (loss)");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension bench (paper §7 "Continuous System Enhancement": long sequence
+// pretraining): activation memory and step time of the 123B model as the
+// context grows, with and without sequence/context parallelism.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Extension", "Long-sequence pretraining: 123B activation scaling");
+
+  common::Table table({"Sequence", "strategy", "static/GPU", "activations/GPU",
+                       "fits 80 GB?", "step time"});
+  for (int seq : {2048, 8192, 32768, 131072}) {
+    parallel::TransformerConfig model = parallel::llm_123b();
+    model.seq_len = seq;
+    parallel::PretrainExecutionModel exec(model);
+
+    // Plain hierarchical ZeRO...
+    parallel::HierZeroConfig plain;
+    // ...and with context parallelism sized to the sequence.
+    parallel::HierZeroConfig cp = plain;
+    cp.context_parallel = std::max(1, seq / 8192);
+
+    for (const auto& [name, cfg] :
+         {std::pair<const char*, parallel::HierZeroConfig>{"hier. ZeRO", plain},
+          std::pair<const char*, parallel::HierZeroConfig>{
+              "hier. ZeRO + context parallel", cp}}) {
+      if (name == std::string("hier. ZeRO + context parallel") &&
+          cfg.context_parallel == 1)
+        continue;  // identical to plain at short contexts
+      const double stat = exec.static_bytes_hier_zero(cfg);
+      const double act = exec.activation_bytes_hier_zero(cfg);
+      const auto tl = exec.step_hier_zero(cfg);
+      char seqbuf[16];
+      std::snprintf(seqbuf, sizeof(seqbuf), "%dk", seq / 1024);
+      table.add_row({seqbuf,
+                     cfg.context_parallel > 1
+                         ? std::string(name) + " (cp=" +
+                               std::to_string(cfg.context_parallel) + ")"
+                         : name,
+                     common::format_bytes(stat), common::format_bytes(act),
+                     stat + act <= 80e9 ? "yes" : "NO",
+                     common::Table::num(tl.step_time(), 1) + " s"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Sequence parallelism inside the 3D strategy.
+  parallel::PretrainExecutionModel exec(parallel::llm_123b());
+  parallel::ThreeDConfig no_sp;
+  parallel::ThreeDConfig sp = no_sp;
+  sp.sequence_parallel = true;
+  bench::recap("sequence parallelism saving (3D, 2k ctx)", "partitions residual acts",
+               common::format_bytes(exec.activation_bytes_3d(no_sp)) + " -> " +
+                   common::format_bytes(exec.activation_bytes_3d(sp)));
+  bench::recap("long-context without cp", "activations blow past HBM",
+               "recompute keeps inputs only, yet 128k ctx needs context parallelism");
+  return 0;
+}

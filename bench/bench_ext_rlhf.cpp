@@ -1,0 +1,55 @@
+// Extension bench (paper §7 "efficient RLHF"): the RLHF iteration anatomy —
+// rollout generation dominates wall-clock at very low SM activity, the
+// system-support gap the paper flags for future work.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Extension", "RLHF iteration anatomy (7B actor, 1024 GPUs)");
+
+  parallel::PretrainExecutionModel model(parallel::llm_7b());
+  parallel::PretrainExecutionModel::RlhfConfig cfg;
+  cfg.world = 1024;
+  const auto rlhf = model.step_rlhf(cfg);
+
+  parallel::HierZeroConfig dense;
+  dense.world = 1024;
+  const auto pretrain = model.step_hier_zero(dense);
+
+  common::Rng rng(42);
+  std::printf("RLHF iteration (rollout -> score -> PPO -> sync):\n  |%s|\n",
+              common::sparkline(rlhf.sample(0.01, rlhf.step_time(), rng), 100).c_str());
+  std::printf("dense pretraining step for comparison:\n  |%s|\n\n",
+              common::sparkline(pretrain.sample(0.001, pretrain.step_time(), rng), 100)
+                  .c_str());
+
+  common::Table table({"Phase", "duration", "share", "SM level"});
+  double gen = 0;
+  for (const auto& p : rlhf.phases) {
+    if (p.kind == "rollout-decode") gen += p.duration;
+  }
+  table.add_row({"rollout generation", common::Table::num(gen, 1) + " s",
+                 common::Table::pct(gen / rlhf.step_time()), "12%"});
+  for (const auto& p : rlhf.phases) {
+    if (p.kind == "rollout-decode") continue;
+    table.add_row({p.kind, common::Table::num(p.duration, 2) + " s",
+                   common::Table::pct(p.duration / rlhf.step_time()),
+                   common::Table::pct(p.sm_level)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Profile it like DCGM would and export the counters.
+  telemetry::MetricStore store;
+  telemetry::JobProfiler profiler({.sample_interval = 0.01});
+  const auto n = profiler.profile(rlhf, "rlhf-7b", store);
+  telemetry::write_csv_file("/tmp/acme_rlhf_profile.csv", store);
+  std::printf("\nDCGM-style profile: %zu samples -> /tmp/acme_rlhf_profile.csv\n", n);
+
+  bench::recap("RLHF mean SM vs dense pretraining", "far lower (future work)",
+               common::Table::pct(rlhf.mean_sm()) + " vs " +
+                   common::Table::pct(pretrain.mean_sm()));
+  bench::recap("generation share of the iteration", "dominant",
+               common::Table::pct(gen / rlhf.step_time()));
+  return 0;
+}

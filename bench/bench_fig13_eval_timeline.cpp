@@ -1,0 +1,51 @@
+// Fig 13: GPU SM utilization over an entire evaluation trial on HumanEval
+// with a 7B model — model loading / preprocessing, inference, then an idle
+// metric-computation tail.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Fig 13", "Evaluation workload anatomy: HumanEval on a 7B model");
+
+  evalsched::TrialCoordinator coordinator(
+      evalsched::TrialCoordinator::baseline_config(1));
+  std::vector<evalsched::Dataset> humaneval;
+  for (const auto& d : evalsched::dataset_suite())
+    if (d.name == "humaneval") humaneval.push_back(d);
+  const auto report = coordinator.run(humaneval);
+
+  double total = 0;
+  for (const auto& s : report.humaneval_timeline) total += s.duration;
+
+  common::Table table({"Stage", "Start (s)", "Duration (s)", "Share", "GPU state"});
+  double pre_infer = 0, infer = 0, metric = 0;
+  std::vector<double> sm_timeline;
+  for (const auto& s : report.humaneval_timeline) {
+    const bool gpu_active = s.stage == "inference";
+    table.add_row({s.stage, common::Table::num(s.start, 1),
+                   common::Table::num(s.duration, 1),
+                   common::Table::pct(s.duration / total),
+                   gpu_active ? "busy (generation)" : "idle"});
+    if (s.stage == "inference") infer += s.duration;
+    else if (s.stage == "metric") metric += s.duration;
+    else pre_infer += s.duration;
+    const double level = gpu_active ? 0.32 : 0.01;
+    for (int i = 0; i < static_cast<int>(s.duration); ++i)
+      sm_timeline.push_back(level);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("SM utilization over the trial (1 s buckets):\n  |%s|\n",
+              common::sparkline(sm_timeline, 100).c_str());
+
+  bench::recap("model loading + preprocessing share", "29.5%",
+               common::Table::pct(pre_infer / total));
+  bench::recap("GPU inference share", "~51%", common::Table::pct(infer / total));
+  bench::recap("idle metric-computation tail", "19.0% (42 s)",
+               common::Table::pct(metric / total) + " (" +
+                   common::Table::num(metric, 0) + " s)");
+  std::printf(
+      "  note: §6.2 decouples the metric stage to a CPU job and pre-stages the\n"
+      "  model in shared memory, reclaiming both idle segments.\n");
+  return 0;
+}

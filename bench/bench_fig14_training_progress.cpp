@@ -1,0 +1,81 @@
+// Fig 14: training progress of two LLM campaigns under manual recovery — the
+// early 104B attempt (sync checkpoints, long intervals, hard cancels) vs the
+// 123B campaign a month later (short async intervals, graceful termination).
+#include "bench_util.h"
+
+using namespace acme;
+
+namespace {
+
+recovery::RunnerReport run_campaign(const parallel::TransformerConfig& model,
+                                    double interval, bool async_ckpt,
+                                    bool graceful, std::uint64_t seed) {
+  recovery::RunnerConfig cfg;
+  cfg.model = model;
+  cfg.gpus = 1024;
+  cfg.step_seconds = 11.0;
+  cfg.ckpt_interval_seconds = interval;
+  cfg.async_ckpt = async_ckpt;
+  cfg.auto_recovery = false;  // the Fig 14 era: all recovery was manual
+  cfg.graceful_cancel = graceful;
+  cfg.horizon_seconds = 21 * common::kDay;
+  cfg.seed = seed;
+  return recovery::FaultTolerantRunner(cfg).run();
+}
+
+void print_progress(const char* name, const recovery::RunnerReport& report) {
+  std::printf("\n-- %s --\n", name);
+  // Progress curve: iterations vs wall-clock days, as a sparkline normalized
+  // to the final step count.
+  const double max_step =
+      static_cast<double>(std::max<std::uint64_t>(report.final_step, 1));
+  std::vector<double> curve;
+  const double horizon = report.progress.back().first;
+  std::size_t cursor = 0;
+  for (int i = 0; i < 120; ++i) {
+    const double t = horizon * i / 119.0;
+    while (cursor + 1 < report.progress.size() &&
+           report.progress[cursor + 1].first <= t)
+      ++cursor;
+    curve.push_back(static_cast<double>(report.progress[cursor].second) / max_step);
+  }
+  std::printf("  iterations vs time: |%s|\n", common::sparkline(curve, 120).c_str());
+  std::printf("  final step %llu | failures %d | manual restarts %d | rollback loss "
+              "%llu steps | goodput %.1f%%\n",
+              static_cast<unsigned long long>(report.final_step), report.failures,
+              report.manual_interventions,
+              static_cast<unsigned long long>(report.steps_lost_to_rollback),
+              report.goodput() * 100);
+  int night_restarts = 0;
+  for (const auto& e : report.events)
+    if (e.kind == "failure" && e.stall_seconds > 2 * common::kHour) ++night_restarts;
+  std::printf("  restarts stalled > 2 h (on-call asleep): %d\n", night_restarts);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 14", "Training progress with manual recovery (104B vs 123B)");
+
+  const auto b104 =
+      run_campaign(parallel::llm_104b(), 4 * common::kHour, false, false, 104);
+  const auto b123 =
+      run_campaign(parallel::llm_123b(), 30 * common::kMinute, true, true, 123);
+  print_progress("104B (early framework: 4 h sync checkpoints, hard cancels)", b104);
+  print_progress("123B (one month later: 30 min async checkpoints, graceful stop)",
+                 b123);
+
+  const double loss104 =
+      static_cast<double>(b104.steps_lost_to_rollback) /
+      std::max<double>(1.0, static_cast<double>(b104.final_step));
+  const double loss123 =
+      static_cast<double>(b123.steps_lost_to_rollback) /
+      std::max<double>(1.0, static_cast<double>(b123.final_step));
+  bench::recap("rollback loss: 104B vs 123B", "123B markedly more stable",
+               common::Table::pct(loss104) + " vs " + common::Table::pct(loss123) +
+                   " of final progress");
+  bench::recap("goodput: 104B vs 123B", "123B higher",
+               common::Table::pct(b104.goodput()) + " vs " +
+                   common::Table::pct(b123.goodput()));
+  return 0;
+}

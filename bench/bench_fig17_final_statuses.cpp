@@ -1,0 +1,39 @@
+// Fig 17 (Appendix A.1): final job statuses by quantity and GPU resources.
+#include "bench_util.h"
+
+using namespace acme;
+
+namespace {
+
+void print_cluster(const char* name, const trace::Trace& jobs) {
+  std::printf("\n-- %s --\n", name);
+  const auto shares = trace::status_shares(jobs);
+  common::Table table({"Status", "Job quantity", "GPU resources"});
+  for (const auto& [status, share] : shares)
+    table.add_row({trace::to_string(status), common::Table::pct(share.count_fraction),
+                   common::Table::pct(share.gpu_time_fraction)});
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 17", "Final statuses of jobs (quantity vs GPU resources)");
+  print_cluster("Seren", bench::seren_replay().replay.jobs);
+  print_cluster("Kalos", bench::kalos_replay().replay.jobs);
+
+  const auto seren = trace::status_shares(bench::seren_replay().replay.jobs);
+  bench::recap("failed jobs (quantity)", "~40%",
+               common::Table::pct(
+                   seren.at(trace::JobStatus::kFailed).count_fraction));
+  bench::recap("completed jobs' GPU resources", "20~30%",
+               common::Table::pct(
+                   seren.at(trace::JobStatus::kCompleted).gpu_time_fraction));
+  bench::recap("canceled jobs: quantity / resources", "~7% / >60%",
+               common::Table::pct(
+                   seren.at(trace::JobStatus::kCanceled).count_fraction) +
+                   " / " +
+                   common::Table::pct(
+                       seren.at(trace::JobStatus::kCanceled).gpu_time_fraction));
+  return 0;
+}

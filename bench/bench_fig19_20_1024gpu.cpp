@@ -1,0 +1,60 @@
+// Fig 19 & 20 (Appendix A.4): the 123B profiling repeated at 1024 GPUs —
+// SM-utilization timelines and memory snapshots mirror the 2048-GPU results.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Fig 19/20", "123B pretraining profiled at 1024 GPUs (A.4)");
+
+  parallel::PretrainExecutionModel model(parallel::llm_123b());
+  parallel::ThreeDConfig v1_small;
+  v1_small.world = 1024;
+  parallel::HierZeroConfig v2_small;
+  v2_small.world = 1024;
+  parallel::ThreeDConfig v1_big;  // 2048 for comparison
+  parallel::HierZeroConfig v2_big;
+
+  const auto s1 = model.step_3d(v1_small);
+  const auto s2 = model.step_hier_zero(v2_small);
+  const auto b1 = model.step_3d(v1_big);
+  const auto b2 = model.step_hier_zero(v2_big);
+
+  common::Rng rng(19);
+  std::printf("Fig 19 — SM utilization at 1024 GPUs (1 ms samples):\n");
+  std::printf("  V1: |%s|\n",
+              common::sparkline(s1.sample(0.001, 2 * s1.step_time(), rng), 100).c_str());
+  std::printf("  V2: |%s|\n\n",
+              common::sparkline(s2.sample(0.001, 2 * s2.step_time(), rng), 100).c_str());
+
+  common::Table table({"World", "V1 step (s)", "V2 step (s)", "V1/V2", "V1 mean SM",
+                       "V2 mean SM"});
+  table.add_row({"1024", common::Table::num(s1.step_time(), 2),
+                 common::Table::num(s2.step_time(), 2),
+                 common::Table::num(s1.step_time() / s2.step_time(), 2),
+                 common::Table::pct(s1.mean_sm()), common::Table::pct(s2.mean_sm())});
+  table.add_row({"2048", common::Table::num(b1.step_time(), 2),
+                 common::Table::num(b2.step_time(), 2),
+                 common::Table::num(b1.step_time() / b2.step_time(), 2),
+                 common::Table::pct(b1.mean_sm()), common::Table::pct(b2.mean_sm())});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nFig 20 — memory anatomy at 1024 GPUs:\n");
+  common::Table mem({"Strategy", "static/GPU", "activation peak/GPU", "total"});
+  mem.add_row({"3D parallelism",
+               common::format_bytes(model.static_bytes_3d(v1_small)),
+               common::format_bytes(model.activation_bytes_3d(v1_small)),
+               common::format_bytes(model.static_bytes_3d(v1_small) +
+                                    model.activation_bytes_3d(v1_small))});
+  mem.add_row({"hierarchical ZeRO",
+               common::format_bytes(model.static_bytes_hier_zero(v2_small)),
+               common::format_bytes(model.activation_bytes_hier_zero(v2_small)),
+               common::format_bytes(model.static_bytes_hier_zero(v2_small) +
+                                    model.activation_bytes_hier_zero(v2_small))});
+  std::printf("%s", mem.render().c_str());
+
+  bench::recap("1024-GPU pattern vs 2048-GPU pattern", "very similar (A.4)",
+               "V1/V2 " + common::Table::num(s1.step_time() / s2.step_time(), 2) +
+                   " vs " + common::Table::num(b1.step_time() / b2.step_time(), 2));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 22 (Appendix A.6): SM utilization of pretraining a Mistral-7B-like MoE
+// model with 1024 GPUs on Seren's single-NIC nodes.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Fig 22", "MoE pretraining SM utilization (1024 GPUs, Seren)");
+
+  parallel::PretrainExecutionModel moe(parallel::moe_mistral_7b());
+  const double nic = common::gbps_to_Bps(cluster::seren_spec().node.nic_gbps);
+  const auto tl = moe.step_moe(1024, nic);
+
+  parallel::PretrainExecutionModel dense(parallel::llm_7b());
+  parallel::HierZeroConfig dense_cfg;
+  dense_cfg.world = 1024;
+  const auto dense_tl = dense.step_hier_zero(dense_cfg);
+
+  common::Rng rng(22);
+  std::printf("MoE (all-to-all over the shared NIC):\n  |%s|\n",
+              common::sparkline(tl.sample(0.001, 3 * tl.step_time(), rng), 100).c_str());
+  std::printf("dense 7B for comparison:\n  |%s|\n\n",
+              common::sparkline(dense_tl.sample(0.001, 3 * dense_tl.step_time(), rng),
+                                100)
+                  .c_str());
+
+  common::Table table({"Model", "step time", "mean SM", "idle fraction"});
+  table.add_row({"MoE Mistral-7B (8 experts, top-2)",
+                 common::Table::num(tl.step_time(), 2) + " s",
+                 common::Table::pct(tl.mean_sm()),
+                 common::Table::pct(tl.idle_fraction())});
+  table.add_row({"dense 7B (hier. ZeRO)",
+                 common::Table::num(dense_tl.step_time(), 2) + " s",
+                 common::Table::pct(dense_tl.mean_sm()),
+                 common::Table::pct(dense_tl.idle_fraction())});
+  std::printf("%s", table.render().c_str());
+
+  bench::recap("MoE vs dense mean SM utilization", "much lower for MoE",
+               common::Table::pct(tl.mean_sm()) + " vs " +
+                   common::Table::pct(dense_tl.mean_sm()));
+  bench::recap("cause", "frequent all-to-all on one IB NIC per node",
+               common::Table::pct(tl.idle_fraction()) + " of the step near-idle");
+  return 0;
+}

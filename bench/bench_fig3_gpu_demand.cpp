@@ -1,0 +1,64 @@
+// Fig 3: workload distribution by requested GPUs — (a) CDF of job count,
+// (b) CDF of GPU time.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Fig 3", "Distribution of jobs and GPU time over GPU demand");
+
+  const auto& seren = bench::seren_replay().replay.jobs;
+  const auto& kalos = bench::kalos_replay().replay.jobs;
+
+  const auto seren_jobs = trace::demand_per_job(seren);
+  const auto kalos_jobs = trace::demand_per_job(kalos);
+  const auto seren_time = trace::demand_weighted_by_gpu_time(seren);
+  const auto kalos_time = trace::demand_weighted_by_gpu_time(kalos);
+
+  common::Rng rng(4);
+  common::SampleStats pai_jobs;
+  common::SampleStats pai_time;
+  for (int i = 0; i < 60000; ++i) {
+    const double demand = trace::pai_profile().sample_demand(rng);
+    const double duration = trace::pai_profile().sample_duration(rng);
+    pai_jobs.add(demand);
+    pai_time.add_weighted(demand, demand * duration);
+  }
+
+  std::printf("(a) CDF of job count vs requested GPUs\n%s\n",
+              common::plot_lines({bench::cdf_series("Seren", seren_jobs, 1, 2048),
+                                  bench::cdf_series("Kalos", kalos_jobs, 1, 2048),
+                                  bench::cdf_series("PAI", pai_jobs, 1, 2048)},
+                                 72, 16, true, "requested GPUs", "CDF of jobs")
+                  .c_str());
+  std::printf("(b) CDF of GPU time vs requested GPUs\n%s\n",
+              common::plot_lines({bench::cdf_series("Seren", seren_time, 1, 2048),
+                                  bench::cdf_series("Kalos", kalos_time, 1, 2048),
+                                  bench::cdf_series("PAI", pai_time, 1, 2048)},
+                                 72, 16, true, "requested GPUs", "CDF of GPU time")
+                  .c_str());
+
+  common::Table table({"Cluster", "single-GPU jobs", ">8-GPU jobs",
+                       "single-GPU GPU-time", ">=256-GPU GPU-time"});
+  auto row = [&](const char* name, const common::SampleStats& jobs,
+                 const common::SampleStats& time) {
+    table.add_row({name, common::Table::pct(jobs.cdf(1.0)),
+                   common::Table::pct(1.0 - jobs.cdf(8.0)),
+                   common::Table::pct(time.cdf(1.0)),
+                   common::Table::pct(1.0 - time.cdf(255.0))});
+  };
+  row("Seren", seren_jobs, seren_time);
+  row("Kalos", kalos_jobs, kalos_time);
+  row("PAI", pai_jobs, pai_time);
+  std::printf("%s", table.render().c_str());
+
+  bench::recap(">8-GPU jobs (all clusters)", "<7%",
+               common::Table::pct(1.0 - kalos_jobs.cdf(8.0)) + " (Kalos)");
+  bench::recap("single-GPU share of GPU time (Acme)", "<2%",
+               common::Table::pct(seren_time.cdf(1.0)) + " (Seren)");
+  bench::recap(">=256-GPU share of Kalos GPU time", ">96%",
+               common::Table::pct(1.0 - kalos_time.cdf(255.0)));
+  bench::recap("single-GPU share of PAI GPU time", "~68%",
+               common::Table::pct(pai_time.cdf(1.0)));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig 4: distribution of job count and GPU time across workload types.
+#include "bench_util.h"
+
+using namespace acme;
+
+namespace {
+
+void print_cluster(const char* name, const trace::Trace& jobs) {
+  std::printf("\n-- %s --\n", name);
+  const auto shares = trace::type_shares(jobs);
+  common::Table table({"Workload", "Job count share", "GPU time share"});
+  std::vector<std::pair<std::string, double>> count_bars, time_bars;
+  for (const auto& [type, share] : shares) {
+    table.add_row({trace::to_string(type),
+                   common::Table::pct(share.count_fraction),
+                   common::Table::pct(share.gpu_time_fraction)});
+    count_bars.emplace_back(trace::to_string(type), share.count_fraction * 100);
+    time_bars.emplace_back(trace::to_string(type), share.gpu_time_fraction * 100);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("job count share (%%):\n%s",
+              common::plot_bars(count_bars, 40, "%").c_str());
+  std::printf("GPU time share (%%):\n%s", common::plot_bars(time_bars, 40, "%").c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 4", "Workload type distribution (job count vs GPU time)");
+  print_cluster("Seren", bench::seren_replay().replay.jobs);
+  print_cluster("Kalos", bench::kalos_replay().replay.jobs);
+
+  const auto seren = trace::type_shares(bench::seren_replay().replay.jobs);
+  const auto kalos = trace::type_shares(bench::kalos_replay().replay.jobs);
+  bench::recap("Kalos eval job share / GPU time", "92.9% / 0.8%",
+               common::Table::pct(
+                   kalos.at(trace::WorkloadType::kEvaluation).count_fraction) +
+                   " / " +
+                   common::Table::pct(
+                       kalos.at(trace::WorkloadType::kEvaluation).gpu_time_fraction));
+  bench::recap("Kalos pretrain job share / GPU time", "3.2% / 94.0%",
+               common::Table::pct(
+                   kalos.at(trace::WorkloadType::kPretrain).count_fraction) +
+                   " / " +
+                   common::Table::pct(
+                       kalos.at(trace::WorkloadType::kPretrain).gpu_time_fraction));
+  bench::recap("Seren pretrain job share / GPU time", "0.9% / 69.5%",
+               common::Table::pct(
+                   seren.at(trace::WorkloadType::kPretrain).count_fraction) +
+                   " / " +
+                   common::Table::pct(
+                       seren.at(trace::WorkloadType::kPretrain).gpu_time_fraction));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig 5: boxplot of GPU demand across workload types.
+#include "bench_util.h"
+
+using namespace acme;
+
+namespace {
+
+void print_cluster(const char* name, const trace::Trace& jobs) {
+  std::printf("\n-- %s --\n", name);
+  common::Table table(
+      {"Workload", "whisker-", "Q1", "median", "Q3", "whisker+"});
+  for (trace::WorkloadType type : trace::kAllWorkloadTypes) {
+    const auto demand = trace::demand_of(jobs, type);
+    if (demand.empty()) continue;
+    const auto box = common::BoxplotStats::from(demand);
+    table.add_row({trace::to_string(type), common::Table::integer(box.whisker_lo),
+                   common::Table::integer(box.q1), common::Table::integer(box.median),
+                   common::Table::integer(box.q3),
+                   common::Table::integer(box.whisker_hi)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 5", "GPU demand distribution across workload types");
+  print_cluster("Seren", bench::seren_replay().replay.jobs);
+  print_cluster("Kalos", bench::kalos_replay().replay.jobs);
+
+  const auto& kalos = bench::kalos_replay().replay.jobs;
+  bench::recap("evaluation demand", "typically <= 4 GPUs",
+               "median " + common::Table::integer(
+                               trace::demand_of(kalos, trace::WorkloadType::kEvaluation)
+                                   .median()) +
+                   " GPUs (Kalos)");
+  bench::recap("pretraining demand", "often > 100 GPUs",
+               "median " + common::Table::integer(
+                               trace::demand_of(kalos, trace::WorkloadType::kPretrain)
+                                   .median()) +
+                   " GPUs (Kalos)");
+  const auto debug = trace::demand_of(kalos, trace::WorkloadType::kDebug);
+  bench::recap("debug demand range", "wide",
+               common::Table::integer(debug.min()) + " .. " +
+                   common::Table::integer(debug.max()) + " GPUs");
+  return 0;
+}

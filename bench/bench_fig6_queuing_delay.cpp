@@ -1,0 +1,62 @@
+// Fig 6: CDF of job duration and queuing delay per workload type, from the
+// six-month replay through the quota-reservation scheduler.
+#include "bench_util.h"
+
+using namespace acme;
+
+namespace {
+
+void print_cluster(const char* name, const trace::Trace& jobs) {
+  std::printf("\n-- %s --\n", name);
+  common::Table table({"Workload", "dur median", "dur p95", "delay median",
+                       "delay mean", "delay p95"});
+  std::vector<common::Series> delay_series;
+  for (trace::WorkloadType type : trace::kAllWorkloadTypes) {
+    const auto dur = trace::durations_of(jobs, type);
+    const auto delay = trace::queue_delays_of(jobs, type);
+    if (dur.empty()) continue;
+    table.add_row({trace::to_string(type), common::format_duration(dur.median()),
+                   common::format_duration(dur.quantile(0.95)),
+                   common::format_duration(delay.median()),
+                   common::format_duration(delay.mean()),
+                   common::format_duration(delay.quantile(0.95))});
+    if (type == trace::WorkloadType::kPretrain ||
+        type == trace::WorkloadType::kEvaluation ||
+        type == trace::WorkloadType::kDebug) {
+      auto shifted = delay;  // log-x CDF needs positive values
+      common::SampleStats positive;
+      for (double v : shifted.values()) positive.add(v + 1.0);
+      delay_series.push_back(
+          bench::cdf_series(trace::to_string(type), positive, 1, 1e6));
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("queuing delay CDF (log x, +1 s offset):\n%s\n",
+              common::plot_lines(delay_series, 72, 14, true, "delay (s)", "CDF")
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 6", "Job duration and queuing delay per workload type");
+  print_cluster("Seren", bench::seren_replay().replay.jobs);
+  print_cluster("Kalos", bench::kalos_replay().replay.jobs);
+
+  for (const char* name : {"Seren", "Kalos"}) {
+    const auto& jobs = std::string(name) == "Seren"
+                           ? bench::seren_replay().replay.jobs
+                           : bench::kalos_replay().replay.jobs;
+    const auto eval = trace::queue_delays_of(jobs, trace::WorkloadType::kEvaluation);
+    const auto pre = trace::queue_delays_of(jobs, trace::WorkloadType::kPretrain);
+    bench::recap(std::string(name) + ": eval delay vs pretrain delay (median)",
+                 "eval longest, pretrain ~0",
+                 common::format_duration(eval.median()) + " vs " +
+                     common::format_duration(pre.median()));
+  }
+  const auto& seren = bench::seren_replay().replay.jobs;
+  const auto dur = trace::durations(seren);
+  bench::recap("jobs running > 1 day", "<5%",
+               common::Table::pct(1.0 - dur.cdf(common::kDay)));
+  return 0;
+}

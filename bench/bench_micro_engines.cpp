@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical engines:
+// the event queue, the storage fair-share solver, log template mining, the
+// vector store, and the trace synthesizer.
+#include <benchmark/benchmark.h>
+
+#include "core/acme.h"
+
+using namespace acme;
+
+namespace {
+
+void BM_EventEngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    common::Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i)
+      engine.schedule_at(rng.uniform(0, 1e6), [] {});
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventEngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_StorageFairShare(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    storage::StorageNetwork net(engine, storage::seren_storage_config());
+    for (int i = 0; i < flows; ++i) net.start_flow(i / 8, 1e9, [] {});
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows) * state.iterations());
+}
+BENCHMARK(BM_StorageFairShare)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LogTemplateMining(benchmark::State& state) {
+  failure::LogSynthesizer synth({.steps = 1000});
+  common::Rng rng(2);
+  const auto log = synth.healthy_run(rng);
+  for (auto _ : state) {
+    diagnosis::FilterRules rules;
+    diagnosis::LogAgent agent;
+    benchmark::DoNotOptimize(agent.update_rules(log.lines, rules));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(log.lines.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_LogTemplateMining);
+
+void BM_LogCompression(benchmark::State& state) {
+  failure::LogSynthesizer synth({.steps = 1000});
+  common::Rng rng(3);
+  const auto log = synth.healthy_run(rng);
+  diagnosis::FilterRules rules;
+  diagnosis::LogAgent agent;
+  agent.update_rules(log.lines, rules);
+  for (auto _ : state) benchmark::DoNotOptimize(rules.compress(log.lines));
+  state.SetItemsProcessed(static_cast<std::int64_t>(log.lines.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_LogCompression);
+
+void BM_VectorStoreQuery(benchmark::State& state) {
+  diagnosis::VectorStore store;
+  common::Rng rng(4);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    std::string doc;
+    for (int w = 0; w < 20; ++w)
+      doc += "tok" + std::to_string(rng.uniform_int(0, 500)) + " ";
+    store.add(diagnosis::embed_text(doc), "label" + std::to_string(i % 29));
+  }
+  const auto query = diagnosis::embed_text("tok1 tok2 tok3 error cuda");
+  for (auto _ : state) benchmark::DoNotOptimize(store.query(query, 5));
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_VectorStoreQuery)->Arg(100)->Arg(2000);
+
+void BM_TraceSynthesis(benchmark::State& state) {
+  auto profile = trace::scaled(trace::seren_profile(), 64.0);
+  profile.cpu_jobs = 0;
+  for (auto _ : state) {
+    trace::TraceSynthesizer synth(profile);
+    benchmark::DoNotOptimize(synth.generate());
+  }
+}
+BENCHMARK(BM_TraceSynthesis);
+
+void BM_SixMonthReplay(benchmark::State& state) {
+  auto profile = trace::scaled(trace::seren_profile(), 64.0);
+  profile.cpu_jobs = 0;
+  const auto jobs = trace::TraceSynthesizer(profile).generate();
+  for (auto _ : state) {
+    sched::SchedulerReplay replay(cluster::seren_spec(),
+                                  sched::seren_scheduler_config());
+    benchmark::DoNotOptimize(replay.replay(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SixMonthReplay);
+
+}  // namespace

@@ -1,0 +1,30 @@
+// Table 1: per-node specification and cluster scale for Seren and Kalos.
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Table 1", "Per-node specification and cluster scale");
+  common::Table table({"Cluster", "#CPUs", "#GPUs", "Mem(GB)", "Network", "#Nodes",
+                       "Total GPUs", "Scheduler"});
+  for (const auto& spec : {cluster::seren_spec(), cluster::kalos_spec()}) {
+    char network[32];
+    std::snprintf(network, sizeof(network), "%dx%.0fGb/s",
+                  spec.node.compute_nics + spec.node.storage_nics,
+                  spec.node.nic_gbps);
+    table.add_row({spec.name, std::to_string(spec.node.cpus),
+                   std::to_string(spec.node.gpus),
+                   common::Table::integer(spec.node.host_memory_gb), network,
+                   std::to_string(spec.node_count),
+                   std::to_string(spec.total_gpus()),
+                   spec.scheduler == cluster::SchedulerKind::kSlurm ? "Slurm"
+                                                                    : "Kubernetes"});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::recap("Seren GPUs", "2,288", std::to_string(cluster::seren_spec().total_gpus()));
+  bench::recap("Kalos GPUs", "2,416", std::to_string(cluster::kalos_spec().total_gpus()));
+  bench::recap("Acme total GPUs", "4,704",
+               std::to_string(cluster::seren_spec().total_gpus() +
+                              cluster::kalos_spec().total_gpus()));
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 2: Acme vs prior GPU datacenter traces (Philly, Helios, PAI).
+#include "bench_util.h"
+
+using namespace acme;
+
+int main() {
+  bench::header("Table 2", "Comparison between Acme and prior datacenters");
+  common::Table table(
+      {"Datacenter", "Year", "Duration", "#Jobs", "Avg. #GPUs", "GPU Model",
+       "Total #GPUs"});
+  for (const auto& p :
+       {trace::philly_profile(), trace::helios_profile(), trace::pai_profile()}) {
+    table.add_row({p.name, std::to_string(p.year), p.duration, p.jobs,
+                   common::Table::num(p.avg_gpus, 1), p.gpu_model,
+                   std::to_string(p.total_gpus)});
+  }
+  // Acme row measured from the synthesized traces.
+  const double seren_avg = trace::average_gpu_demand(bench::seren_replay().replay.jobs);
+  const double kalos_avg = trace::average_gpu_demand(bench::kalos_replay().replay.jobs);
+  const double seren_jobs = 664000 + 368000;
+  const double kalos_jobs = 20000 + 42000;
+  const double acme_avg =
+      (seren_avg * 664000 + kalos_avg * 20000) / (664000 + 20000);
+  table.add_row({"Acme (sim)", "2023", "6 months", "1.09M",
+                 common::Table::num(acme_avg, 1), "A100", "4704"});
+  std::printf("%s", table.render().c_str());
+  std::printf("  (Acme job count = %.2fM scheduler-log entries)\n",
+              (seren_jobs + kalos_jobs) / 1e6);
+  bench::recap("Acme avg. requested GPUs", "6.3", common::Table::num(acme_avg, 1));
+  bench::recap("Seren avg. GPUs", "5.7", common::Table::num(seren_avg, 1));
+  bench::recap("Kalos avg. GPUs", "26.8", common::Table::num(kalos_avg, 1));
+  return 0;
+}

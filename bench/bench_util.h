@@ -1,0 +1,62 @@
+// Shared helpers for the bench harness: every bench regenerates one of the
+// paper's tables or figures from the simulated datacenter and prints it in a
+// paper-comparable form, ending with a PAPER vs MEASURED recap.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/acme.h"
+
+namespace acme::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void recap(const std::string& what, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("  [recap] %-46s paper: %-18s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+// CDF curve of a sample set over log-spaced x points.
+inline common::Series cdf_series(const std::string& name,
+                                 const common::SampleStats& stats, double lo,
+                                 double hi, std::size_t points = 64) {
+  common::Series s;
+  s.name = name;
+  s.xs = common::log_space(lo, hi, points);
+  s.ys = stats.cdf_curve(s.xs);
+  return s;
+}
+
+inline common::Series cdf_series_linear(const std::string& name,
+                                        const common::SampleStats& stats,
+                                        double lo, double hi,
+                                        std::size_t points = 64) {
+  common::Series s;
+  s.name = name;
+  s.xs = common::lin_space(lo, hi, points);
+  s.ys = stats.cdf_curve(s.xs);
+  return s;
+}
+
+// The six-month replays shared by the characterization benches. Seren runs
+// at 1/8 job scale (distributions unchanged); Kalos at full scale.
+inline const core::SixMonthReplay& seren_replay() {
+  static const core::SixMonthReplay replay =
+      core::run_six_month_replay(core::seren_setup(), 8.0);
+  return replay;
+}
+
+inline const core::SixMonthReplay& kalos_replay() {
+  static const core::SixMonthReplay replay =
+      core::run_six_month_replay(core::kalos_setup(), 1.0);
+  return replay;
+}
+
+}  // namespace acme::bench

@@ -1,0 +1,89 @@
+// acme_analyze: a trace characterization CLI.
+//
+// Reads a job trace in AcmeSim CSV format (as exported by datacenter_replay
+// or written by any scheduler integration) and prints the paper-style
+// characterization: type mix, demand skew, duration/queuing CDF summaries and
+// final-status shares.
+//
+//   ./build/examples/acme_analyze <trace.csv>
+//   ./build/examples/acme_analyze --selftest     (synthesizes its own input)
+#include <cstdio>
+#include <cstring>
+
+#include "core/acme.h"
+
+using namespace acme;
+
+namespace {
+
+void characterize(const trace::Trace& jobs) {
+  std::size_t gpu_jobs = 0, cpu_jobs = 0;
+  for (const auto& j : jobs) (j.is_gpu_job() ? gpu_jobs : cpu_jobs)++;
+  std::printf("jobs: %zu (%zu GPU, %zu CPU)\n\n", jobs.size(), gpu_jobs, cpu_jobs);
+
+  std::printf("== workload mix (Fig 4 style) ==\n");
+  common::Table mix({"Workload", "count share", "GPU-time share", "demand median",
+                     "duration median", "queue delay median"});
+  const auto shares = trace::type_shares(jobs);
+  for (const auto& [type, share] : shares) {
+    mix.add_row({trace::to_string(type), common::Table::pct(share.count_fraction),
+                 common::Table::pct(share.gpu_time_fraction),
+                 common::Table::integer(trace::demand_of(jobs, type).median()),
+                 common::format_duration(trace::durations_of(jobs, type).median()),
+                 common::format_duration(trace::queue_delays_of(jobs, type).median())});
+  }
+  std::printf("%s\n", mix.render().c_str());
+
+  std::printf("== demand skew (Fig 3 style) ==\n");
+  const auto per_job = trace::demand_per_job(jobs);
+  const auto weighted = trace::demand_weighted_by_gpu_time(jobs);
+  std::printf("  avg requested GPUs:            %.1f\n", trace::average_gpu_demand(jobs));
+  std::printf("  jobs requesting > 8 GPUs:      %s\n",
+              common::Table::pct(1.0 - per_job.cdf(8.0)).c_str());
+  std::printf("  single-GPU share of GPU time:  %s\n",
+              common::Table::pct(weighted.cdf(1.0)).c_str());
+  std::printf("  >=256-GPU share of GPU time:   %s\n\n",
+              common::Table::pct(1.0 - weighted.cdf(255.0)).c_str());
+
+  std::printf("== durations & delays ==\n");
+  const auto dur = trace::durations(jobs);
+  std::printf("  duration median/mean/p95: %s / %s / %s; >1 day: %s\n",
+              common::format_duration(dur.median()).c_str(),
+              common::format_duration(dur.mean()).c_str(),
+              common::format_duration(dur.quantile(0.95)).c_str(),
+              common::Table::pct(1.0 - dur.cdf(common::kDay)).c_str());
+
+  std::printf("\n== final statuses (Fig 17 style) ==\n");
+  common::Table statuses({"Status", "count share", "GPU-time share"});
+  for (const auto& [status, share] : trace::status_shares(jobs))
+    statuses.add_row({trace::to_string(status),
+                      common::Table::pct(share.count_fraction),
+                      common::Table::pct(share.gpu_time_fraction)});
+  std::printf("%s", statuses.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.csv>\n       %s --selftest\n", argv[0], argv[0]);
+    return 2;
+  }
+  trace::Trace jobs;
+  if (std::strcmp(argv[1], "--selftest") == 0) {
+    auto profile = trace::scaled(trace::seren_profile(), 40.0);
+    profile.cpu_jobs /= 4;
+    jobs = trace::TraceSynthesizer(profile).generate();
+    std::printf("(self-test: synthesized %zu-job Seren-like trace)\n\n", jobs.size());
+  } else {
+    try {
+      jobs = trace::read_csv_file(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot read %s: %s\n", argv[1], e.what());
+      return 1;
+    }
+  }
+  characterize(jobs);
+  return 0;
+}

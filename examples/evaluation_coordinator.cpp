@@ -1,0 +1,63 @@
+// Decoupled evaluation scheduling (§6.2): evaluate a 7B checkpoint across
+// the 63-dataset suite, comparing per-dataset baseline trials against the
+// trial coordinator, then against a custom user-defined suite.
+//
+// Build & run:  ./build/examples/evaluation_coordinator
+#include <cstdio>
+
+#include "core/acme.h"
+
+using namespace acme;
+
+int main() {
+  std::printf("== evaluating one 7B checkpoint on %zu datasets ==\n\n",
+              evalsched::dataset_suite().size());
+
+  for (int nodes : {1, 2, 4}) {
+    const auto base =
+        evalsched::TrialCoordinator(evalsched::TrialCoordinator::baseline_config(nodes))
+            .run();
+    const auto ours = evalsched::TrialCoordinator(
+                          evalsched::TrialCoordinator::coordinator_config(nodes))
+                          .run();
+    std::printf("%d node(s): baseline %-9s -> coordinator %-9s (%.2fx, GPU idle "
+                "%.0f%% -> %.0f%%)\n",
+                nodes, common::format_duration(base.makespan).c_str(),
+                common::format_duration(ours.makespan).c_str(),
+                base.makespan / ours.makespan, base.gpu_idle_fraction() * 100,
+                ours.gpu_idle_fraction() * 100);
+  }
+
+  // A custom suite: your own benchmark with a brutal judge-based metric.
+  std::vector<evalsched::Dataset> custom = {
+      {"my-agentic-bench", 60, 420, 2400, true},   // 40 min of GPT-judge scoring
+      {"my-regression-set", 20, 90, 10, true},
+      {"my-safety-probe", 25, 140, 30, true},
+  };
+  evalsched::EvalConfig cfg = evalsched::TrialCoordinator::coordinator_config(1);
+  const auto base = evalsched::TrialCoordinator(
+                        evalsched::TrialCoordinator::baseline_config(1))
+                        .run(custom);
+  const auto ours = evalsched::TrialCoordinator(cfg).run(custom);
+  std::printf("\ncustom 3-dataset suite on one node:\n"
+              "  baseline %-9s (the judge metric pins a GPU for 40 min)\n"
+              "  coordinator %-9s (judge shards scored off-GPU by CPU jobs)\n"
+              "  speedup %.2fx across %d vs %d trials\n",
+              common::format_duration(base.makespan).c_str(),
+              common::format_duration(ours.makespan).c_str(),
+              base.makespan / ours.makespan, base.trials, ours.trials);
+
+  // Why loading must be decoupled: the Fig 16-left contention curve.
+  std::printf("\nmodel-loading contention (7B checkpoint, Seren storage):\n");
+  const double model_bytes = 2.0 * parallel::llm_7b().params();
+  for (int trials : {1, 8, 64}) {
+    sim::Engine engine;
+    storage::StorageNetwork net(engine, storage::seren_storage_config());
+    double last = 0;
+    for (int i = 0; i < trials; ++i)
+      net.start_flow(i / 8, model_bytes, [&] { last = engine.now(); });
+    engine.run();
+    std::printf("  %3d concurrent trials: %.1f s per load\n", trials, last);
+  }
+  return 0;
+}

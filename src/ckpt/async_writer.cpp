@@ -1,0 +1,117 @@
+#include "ckpt/async_writer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace acme::ckpt {
+
+FileSink::FileSink(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+bool FileSink::persist(std::uint64_t step, std::span<const std::byte> data) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt-%llu.bin",
+                static_cast<unsigned long long>(step));
+  const std::filesystem::path path = std::filesystem::path(dir_) / name;
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out.good()) return false;
+  }
+  // Atomic publish: a crash mid-write never leaves a truncated checkpoint
+  // under the final name.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+bool NullSink::persist(std::uint64_t step, std::span<const std::byte> data) {
+  (void)step;
+  if (bytes_per_sec_ > 0) {
+    const auto wait = std::chrono::duration<double>(
+        static_cast<double>(data.size()) / bytes_per_sec_);
+    std::this_thread::sleep_for(wait);
+  }
+  ++count_;
+  return true;
+}
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(Sink& sink, std::size_t capacity)
+    : sink_(sink), capacity_(capacity), thread_([this] { worker(); }) {
+  ACME_CHECK(capacity_ >= 1);
+}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool AsyncCheckpointWriter::snapshot(std::uint64_t step,
+                                     std::span<const std::byte> state) {
+  // The copy happens outside the lock: it is the trainer's "stall" and must
+  // not serialize against the persist thread.
+  Staged staged{step, {state.begin(), state.end()}};
+  bool evicted = false;
+  {
+    std::lock_guard lock(mu_);
+    while (queue_.size() >= capacity_) {
+      queue_.pop_front();
+      ++stats_.dropped;
+      evicted = true;
+    }
+    queue_.push_back(std::move(staged));
+    ++stats_.snapshots;
+  }
+  cv_.notify_one();
+  return !evicted;
+}
+
+void AsyncCheckpointWriter::flush() {
+  std::unique_lock lock(mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+}
+
+AsyncWriterStats AsyncCheckpointWriter::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void AsyncCheckpointWriter::worker() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Staged staged = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ = true;
+    lock.unlock();
+    const bool ok = sink_.persist(staged.step, staged.data);
+    lock.lock();
+    in_flight_ = false;
+    if (ok) {
+      ++stats_.persisted;
+      stats_.last_persisted_step = staged.step;
+    } else {
+      ++stats_.failed;
+    }
+    if (queue_.empty()) drained_.notify_all();
+    if (stop_ && queue_.empty()) return;
+  }
+}
+
+}  // namespace acme::ckpt

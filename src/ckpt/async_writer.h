@@ -1,0 +1,99 @@
+// A real asynchronous checkpoint writer (paper §6.1-1), usable outside the
+// simulator.
+//
+// snapshot() copies the caller's state into a host-memory arena and returns
+// immediately (that copy is the only "stall" the trainer sees); a background
+// thread drains the queue to a pluggable Sink (file, remote object store,
+// ...). The queue is bounded — matching the paper's observation that host
+// memory "is capable of accommodating several checkpoints" — and snapshot()
+// reports whether it had to drop the oldest staged checkpoint to make room.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace acme::ckpt {
+
+// Destination for persisted checkpoints.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  // Returns true on success. Called from the background thread.
+  virtual bool persist(std::uint64_t step, std::span<const std::byte> data) = 0;
+};
+
+// Writes checkpoints to `<dir>/ckpt-<step>.bin`.
+class FileSink : public Sink {
+ public:
+  explicit FileSink(std::string dir);
+  bool persist(std::uint64_t step, std::span<const std::byte> data) override;
+
+ private:
+  std::string dir_;
+};
+
+// Swallows data at a configurable throughput; for tests and benchmarks.
+class NullSink : public Sink {
+ public:
+  explicit NullSink(double bytes_per_sec = 0) : bytes_per_sec_(bytes_per_sec) {}
+  bool persist(std::uint64_t step, std::span<const std::byte> data) override;
+  std::uint64_t persisted_count() const { return count_; }
+
+ private:
+  double bytes_per_sec_;
+  std::uint64_t count_ = 0;
+};
+
+struct AsyncWriterStats {
+  std::uint64_t snapshots = 0;
+  std::uint64_t persisted = 0;
+  std::uint64_t dropped = 0;   // staged checkpoints evicted before persisting
+  std::uint64_t failed = 0;    // sink errors
+  std::uint64_t last_persisted_step = 0;
+};
+
+class AsyncCheckpointWriter {
+ public:
+  // `capacity` staged checkpoints may wait in host memory at once.
+  AsyncCheckpointWriter(Sink& sink, std::size_t capacity = 3);
+  ~AsyncCheckpointWriter();
+  AsyncCheckpointWriter(const AsyncCheckpointWriter&) = delete;
+  AsyncCheckpointWriter& operator=(const AsyncCheckpointWriter&) = delete;
+
+  // Stages a snapshot of `state` for step `step`. Returns false if the oldest
+  // staged (not yet persisted) checkpoint was evicted to make room.
+  bool snapshot(std::uint64_t step, std::span<const std::byte> state);
+
+  // Blocks until everything staged so far is persisted.
+  void flush();
+
+  AsyncWriterStats stats() const;
+
+ private:
+  struct Staged {
+    std::uint64_t step;
+    std::vector<std::byte> data;
+  };
+
+  void worker();
+
+  Sink& sink_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue state changed
+  std::condition_variable drained_;   // queue emptied (for flush)
+  std::deque<Staged> queue_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  AsyncWriterStats stats_;
+  std::thread thread_;
+};
+
+}  // namespace acme::ckpt

@@ -1,0 +1,32 @@
+#include "ckpt/ledger.h"
+
+#include "common/check.h"
+
+namespace acme::ckpt {
+
+void CheckpointLedger::record(std::uint64_t step, double snapshot_time,
+                              double durable_time) {
+  ACME_CHECK_MSG(records_.empty() || step > records_.back().step,
+                 "checkpoint steps must be recorded in ascending order");
+  ACME_CHECK(durable_time >= snapshot_time);
+  records_.push_back({step, snapshot_time, durable_time});
+}
+
+void CheckpointLedger::invalidate_after(std::uint64_t step) {
+  while (!records_.empty() && records_.back().step > step) records_.pop_back();
+}
+
+std::optional<CheckpointRecord> CheckpointLedger::latest_durable(double now) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+    if (it->durable_time <= now) return *it;
+  return std::nullopt;
+}
+
+std::optional<CheckpointRecord> CheckpointLedger::durable_before_step(
+    std::uint64_t before_step, double now) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+    if (it->durable_time <= now && it->step <= before_step) return *it;
+  return std::nullopt;
+}
+
+}  // namespace acme::ckpt

@@ -1,0 +1,45 @@
+// Checkpoint ledger for the simulated trainer: which steps were snapshotted,
+// when they became durable, and which checkpoint a recovery should restart
+// from (paper §5.3/§6.1-3: errors restart from the latest durable
+// checkpoint; loss spikes roll back to an EARLIER healthy checkpoint and
+// skip the offending data batches).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace acme::ckpt {
+
+struct CheckpointRecord {
+  std::uint64_t step = 0;
+  double snapshot_time = 0;   // when training state was captured
+  double durable_time = 0;    // when it finished persisting to remote storage
+};
+
+class CheckpointLedger {
+ public:
+  void record(std::uint64_t step, double snapshot_time, double durable_time);
+
+  // Latest checkpoint durable at `now` (an async checkpoint still persisting
+  // when the node dies is useless).
+  std::optional<CheckpointRecord> latest_durable(double now) const;
+
+  // For loss-spike recovery: latest durable checkpoint at `now` whose step is
+  // at most `before_step` (the spike onset); rolls back past the anomaly.
+  std::optional<CheckpointRecord> durable_before_step(std::uint64_t before_step,
+                                                      double now) const;
+
+  // Drops checkpoints past `step`: after a rollback, later checkpoints belong
+  // to the abandoned timeline (e.g. post-loss-spike states) and must not be
+  // offered for future recoveries.
+  void invalidate_after(std::uint64_t step);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<CheckpointRecord>& records() const { return records_; }
+
+ private:
+  std::vector<CheckpointRecord> records_;  // ascending by step
+};
+
+}  // namespace acme::ckpt

@@ -1,0 +1,54 @@
+#include "ckpt/timing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace acme::ckpt {
+
+CheckpointTimingModel::CheckpointTimingModel(CheckpointTimingConfig config)
+    : config_(config) {
+  ACME_CHECK(config_.pcie_bytes_per_sec > 0);
+  ACME_CHECK(config_.backend_bytes_per_sec > 0);
+  ACME_CHECK(config_.node_nic_bytes_per_sec > 0);
+}
+
+double CheckpointTimingModel::total_bytes(double params) const {
+  return parallel::checkpoint_bytes(params);
+}
+
+double CheckpointTimingModel::bytes_per_gpu(double params, int world) const {
+  ACME_CHECK(world > 0);
+  return total_bytes(params) / world;
+}
+
+double CheckpointTimingModel::storage_bandwidth(int world) const {
+  const int nodes = std::max(1, world / config_.gpus_per_node);
+  return std::min(config_.backend_bytes_per_sec,
+                  nodes * config_.node_nic_bytes_per_sec);
+}
+
+double CheckpointTimingModel::sync_blocking_seconds(double params, int world) const {
+  // All writers stream in parallel; the job stalls until the slowest finishes,
+  // i.e. the whole payload has crossed the storage fabric.
+  return total_bytes(params) / storage_bandwidth(world);
+}
+
+double CheckpointTimingModel::async_blocking_seconds(double params, int world) const {
+  // Stall = quiesce + device-to-host copy of this GPU's shard (all GPUs copy
+  // concurrently over their own PCIe links).
+  return config_.quiesce_seconds +
+         bytes_per_gpu(params, world) / config_.pcie_bytes_per_sec;
+}
+
+double CheckpointTimingModel::async_persist_seconds(double params, int world) const {
+  return total_bytes(params) / storage_bandwidth(world);
+}
+
+double CheckpointTimingModel::overhead_fraction(double blocking_seconds,
+                                                double interval_seconds) const {
+  ACME_CHECK(interval_seconds > 0);
+  return blocking_seconds / (interval_seconds + blocking_seconds);
+}
+
+}  // namespace acme::ckpt

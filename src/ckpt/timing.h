@@ -1,0 +1,48 @@
+// Checkpoint timing model (paper §6.1-1).
+//
+// Synchronous checkpointing blocks training while TB-scale model states
+// stream to remote storage through the per-node storage NICs; asynchronous
+// checkpointing blocks only for the GPU->host-memory snapshot (the paper:
+// "store the model state in memory and utilize a separate thread to
+// regularly save these states to remote persistent storage"), then persists
+// in the background.
+#pragma once
+
+#include "parallel/model_math.h"
+
+namespace acme::ckpt {
+
+struct CheckpointTimingConfig {
+  double pcie_bytes_per_sec = 22e9;        // effective D2H bandwidth per GPU
+  double quiesce_seconds = 0.4;            // stop-the-world snapshot overhead
+  double backend_bytes_per_sec = 80e9;     // remote FS aggregate
+  double node_nic_bytes_per_sec = 3.125e9; // 25 Gb/s storage NIC (Seren)
+  int gpus_per_node = 8;
+};
+
+class CheckpointTimingModel {
+ public:
+  explicit CheckpointTimingModel(CheckpointTimingConfig config = {});
+
+  // Bytes each GPU owns (ZeRO-sharded model states).
+  double bytes_per_gpu(double params, int world) const;
+  // Full checkpoint payload.
+  double total_bytes(double params) const;
+
+  // Training stall per checkpoint under each strategy.
+  double sync_blocking_seconds(double params, int world) const;
+  double async_blocking_seconds(double params, int world) const;
+  // Background persist duration for the async strategy (does not block).
+  double async_persist_seconds(double params, int world) const;
+
+  // Fraction of training time lost to checkpointing at a given interval.
+  double overhead_fraction(double blocking_seconds, double interval_seconds) const;
+
+  const CheckpointTimingConfig& config() const { return config_; }
+
+ private:
+  double storage_bandwidth(int world) const;
+  CheckpointTimingConfig config_;
+};
+
+}  // namespace acme::ckpt

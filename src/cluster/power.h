@@ -1,0 +1,81 @@
+// GPU and server power / thermal models (paper Fig 8, Fig 9, Fig 21, §A.3).
+//
+// Calibration targets:
+//  - idle GPUs draw ~60 W (~30% of the fleet is idle);
+//  - 22.1% (Seren) / 12.5% (Kalos) of GPUs exceed the 400 W TDP, peaks ~600 W;
+//  - GPUs are ~2/3 of GPU-server power, CPUs 11.2%, PSU conversion loss 9.6%;
+//  - GPU servers draw ~5x a CPU server;
+//  - GPU memory runs hotter than the core; heavy-load GPUs exceed 65 C.
+#pragma once
+
+#include "cluster/spec.h"
+#include "common/rng.h"
+
+namespace acme::cluster {
+
+class GpuPowerModel {
+ public:
+  explicit GpuPowerModel(GpuSpec spec = GpuSpec{});
+
+  // Instantaneous power draw (W) for a GPU at the given SM utilization
+  // (0..1) and memory footprint fraction (0..1). `rng` adds sampling noise
+  // akin to DCGM jitter; highly-utilized communication-optimized jobs push
+  // past TDP.
+  double power_w(double sm_util, double mem_frac, common::Rng& rng) const;
+
+  const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+class GpuThermalModel {
+ public:
+  // Core temperature (C) from power draw; ambient reflects the server room.
+  double core_temp_c(double power_w, double ambient_c, common::Rng& rng) const;
+  // HBM runs hotter than the core (paper Fig 21).
+  double mem_temp_c(double core_temp_c, common::Rng& rng) const;
+};
+
+// Power split of a GPU server across hardware modules (paper Fig 9).
+struct ServerPowerBreakdown {
+  double gpu_w = 0;
+  double cpu_w = 0;
+  double psu_loss_w = 0;
+  double memory_w = 0;
+  double fan_w = 0;
+  double nic_storage_other_w = 0;
+  double total() const {
+    return gpu_w + cpu_w + psu_loss_w + memory_w + fan_w + nic_storage_other_w;
+  }
+};
+
+class ServerPowerModel {
+ public:
+  explicit ServerPowerModel(NodeSpec node = NodeSpec{});
+
+  // Breakdown for a GPU server whose GPUs draw `total_gpu_w` and whose CPUs
+  // run at `cpu_util` (0..1).
+  ServerPowerBreakdown gpu_server(double total_gpu_w, double cpu_util) const;
+  // A CPU-only server (the 6 extra servers in Fig 8b).
+  double cpu_server_w(double cpu_util) const;
+
+ private:
+  NodeSpec node_;
+};
+
+// Datacenter energy -> carbon model (paper §A.3): PUE 1.25, 30.61% carbon-free
+// energy, and a net emissions rate of 0.478 tCO2e/MWh (the rate the paper
+// multiplies directly against measured energy: 673 MWh -> 321.7 tCO2e).
+struct CarbonModel {
+  double pue = 1.25;
+  double carbon_free_fraction = 0.3061;
+  double tco2e_per_mwh = 0.478;
+
+  // Facility-level energy including cooling/distribution overhead.
+  double facility_energy_mwh(double it_energy_mwh) const { return it_energy_mwh * pue; }
+  // Effective emissions (tCO2e) as computed in the paper's Appendix A.3.
+  double emissions_tco2e(double energy_mwh) const { return energy_mwh * tco2e_per_mwh; }
+};
+
+}  // namespace acme::cluster

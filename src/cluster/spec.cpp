@@ -1,0 +1,35 @@
+#include "cluster/spec.h"
+
+namespace acme::cluster {
+
+ClusterSpec seren_spec() {
+  ClusterSpec spec;
+  spec.name = "Seren";
+  spec.node_count = 286;
+  spec.node.cpus = 128;
+  spec.node.gpus = 8;
+  spec.node.host_memory_gb = 1024.0;
+  spec.node.compute_nics = 1;
+  spec.node.nic_gbps = 200.0;
+  spec.node.storage_nics = 0;     // storage shares the single HCA
+  spec.node.storage_nic_gbps = 25.0;
+  spec.scheduler = SchedulerKind::kSlurm;
+  return spec;
+}
+
+ClusterSpec kalos_spec() {
+  ClusterSpec spec;
+  spec.name = "Kalos";
+  spec.node_count = 302;
+  spec.node.cpus = 128;
+  spec.node.gpus = 8;
+  spec.node.host_memory_gb = 2048.0;
+  spec.node.compute_nics = 4;
+  spec.node.nic_gbps = 200.0;
+  spec.node.storage_nics = 1;     // extra HCA dedicated to storage
+  spec.node.storage_nic_gbps = 200.0;
+  spec.scheduler = SchedulerKind::kKubernetes;
+  return spec;
+}
+
+}  // namespace acme::cluster

@@ -1,0 +1,125 @@
+#include "cluster/state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace acme::cluster {
+
+ClusterState::ClusterState(const ClusterSpec& spec) : spec_(spec) {
+  buckets_.resize(static_cast<std::size_t>(spec.node.gpus) + 1);
+  nodes_.reserve(static_cast<std::size_t>(spec.node_count));
+  for (int i = 0; i < spec.node_count; ++i) {
+    NodeState n;
+    n.id = i;
+    n.gpus_total = n.gpus_free = spec.node.gpus;
+    n.cpus_total = n.cpus_free = spec.node.cpus;
+    n.host_mem_total_gb = n.host_mem_free_gb = spec.node.host_memory_gb;
+    nodes_.push_back(n);
+    bucket_insert(n);
+    total_gpus_ += n.gpus_total;
+    free_gpus_healthy_ += n.gpus_free;
+    free_gpus_all_ += n.gpus_free;
+  }
+}
+
+void ClusterState::bucket_insert(const NodeState& n) {
+  if (!n.cordoned) buckets_[static_cast<std::size_t>(n.gpus_free)].insert(n.id);
+}
+
+void ClusterState::bucket_erase(const NodeState& n) {
+  if (!n.cordoned) buckets_[static_cast<std::size_t>(n.gpus_free)].erase(n.id);
+}
+
+bool ClusterState::can_allocate(int gpus) const {
+  const int per_node = spec_.node.gpus;
+  if (gpus >= per_node) {
+    const int nodes_needed = (gpus + per_node - 1) / per_node;
+    return empty_healthy_nodes() >= nodes_needed;
+  }
+  for (int k = gpus; k <= per_node; ++k)
+    if (!buckets_[static_cast<std::size_t>(k)].empty()) return true;
+  return false;
+}
+
+std::optional<Allocation> ClusterState::try_allocate(int gpus, int cpus_per_gpu) {
+  ACME_CHECK(gpus > 0);
+  if (!can_allocate(gpus)) return std::nullopt;
+  Allocation alloc;
+  const int per_node = spec_.node.gpus;
+
+  if (gpus >= per_node) {
+    const int full_nodes = gpus / per_node;
+    const int remainder = gpus % per_node;
+    auto& empties = buckets_[static_cast<std::size_t>(per_node)];
+    auto it = empties.begin();
+    for (int i = 0; i < full_nodes; ++i, ++it)
+      alloc.slices.push_back({*it, per_node, per_node * cpus_per_gpu});
+    if (remainder)
+      alloc.slices.push_back({*it, remainder, remainder * cpus_per_gpu});
+  } else {
+    // Best fit: the fullest node (smallest free count >= gpus).
+    for (int k = gpus; k <= per_node; ++k) {
+      auto& bucket = buckets_[static_cast<std::size_t>(k)];
+      if (!bucket.empty()) {
+        alloc.slices.push_back({*bucket.begin(), gpus, gpus * cpus_per_gpu});
+        break;
+      }
+    }
+  }
+
+  for (const auto& s : alloc.slices) {
+    auto& n = nodes_[static_cast<std::size_t>(s.node)];
+    ACME_CHECK(n.gpus_free >= s.gpus);
+    bucket_erase(n);
+    n.gpus_free -= s.gpus;
+    n.cpus_free = std::max(0, n.cpus_free - s.cpus);
+    bucket_insert(n);
+    if (!n.cordoned) free_gpus_healthy_ -= s.gpus;
+    free_gpus_all_ -= s.gpus;
+  }
+  return alloc;
+}
+
+void ClusterState::release(const Allocation& alloc) {
+  for (const auto& s : alloc.slices) {
+    auto& n = nodes_.at(static_cast<std::size_t>(s.node));
+    ACME_CHECK_MSG(n.gpus_free + s.gpus <= n.gpus_total, "double release of GPUs");
+    bucket_erase(n);
+    n.gpus_free += s.gpus;
+    n.cpus_free = std::min(n.cpus_total, n.cpus_free + s.cpus);
+    bucket_insert(n);
+    if (!n.cordoned) free_gpus_healthy_ += s.gpus;
+    free_gpus_all_ += s.gpus;
+  }
+}
+
+void ClusterState::cordon(NodeId id) {
+  auto& n = nodes_.at(static_cast<std::size_t>(id));
+  if (n.cordoned) return;
+  bucket_erase(n);
+  n.cordoned = true;
+  free_gpus_healthy_ -= n.gpus_free;
+}
+
+void ClusterState::uncordon(NodeId id) {
+  auto& n = nodes_.at(static_cast<std::size_t>(id));
+  if (!n.cordoned) return;
+  n.cordoned = false;
+  bucket_insert(n);
+  free_gpus_healthy_ += n.gpus_free;
+}
+
+std::vector<NodeId> ClusterState::cordoned_nodes() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_)
+    if (n.cordoned) out.push_back(n.id);
+  return out;
+}
+
+std::vector<NodeId> ClusterState::healthy_idle_nodes() const {
+  const auto& bucket = buckets_[static_cast<std::size_t>(spec_.node.gpus)];
+  return {bucket.begin(), bucket.end()};
+}
+
+}  // namespace acme::cluster

@@ -1,0 +1,98 @@
+// Runtime resource ledger for a cluster: per-node GPU/CPU occupancy and
+// health (cordoned nodes are excluded from placement). The scheduler and the
+// recovery toolkit both operate on this state.
+//
+// Placement queries are hot (the six-month replay performs millions of
+// dispatch attempts), so nodes are indexed by free-GPU count: capacity checks
+// are O(1) and best-fit/empty-node selection is O(log n).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cluster/spec.h"
+
+namespace acme::cluster {
+
+using NodeId = int;
+
+struct NodeState {
+  NodeId id = 0;
+  int gpus_total = 8;
+  int gpus_free = 8;
+  int cpus_total = 128;
+  int cpus_free = 128;
+  double host_mem_total_gb = 1024.0;
+  double host_mem_free_gb = 1024.0;
+  bool cordoned = false;
+
+  int gpus_used() const { return gpus_total - gpus_free; }
+};
+
+// A placement: which nodes and how many GPUs on each.
+struct Allocation {
+  struct Slice {
+    NodeId node;
+    int gpus;
+    int cpus;
+  };
+  std::vector<Slice> slices;
+  int total_gpus() const {
+    int n = 0;
+    for (const auto& s : slices) n += s.gpus;
+    return n;
+  }
+  bool empty() const { return slices.empty(); }
+};
+
+class ClusterState {
+ public:
+  explicit ClusterState(const ClusterSpec& spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const NodeState& node(NodeId id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+
+  int total_gpus() const { return total_gpus_; }
+  int free_gpus() const { return free_gpus_healthy_; }  // healthy nodes only
+  int free_gpus_including_cordoned() const { return free_gpus_all_; }
+  int empty_healthy_nodes() const {
+    return static_cast<int>(buckets_[static_cast<std::size_t>(spec_.node.gpus)].size());
+  }
+
+  // O(1) feasibility check for try_allocate.
+  bool can_allocate(int gpus) const;
+
+  // Tries to place `gpus` GPUs (with cpus_per_gpu CPUs each). Multi-node jobs
+  // are placed in whole-node units (gang scheduling, as pretraining
+  // requires); sub-node jobs best-fit onto the fullest node that still has
+  // room, keeping whole nodes free for gangs. Returns nullopt on failure.
+  std::optional<Allocation> try_allocate(int gpus, int cpus_per_gpu = 12);
+
+  // Releases a previous allocation. Checks double-free.
+  void release(const Allocation& alloc);
+
+  void cordon(NodeId id);
+  void uncordon(NodeId id);
+  bool is_cordoned(NodeId id) const { return node(id).cordoned; }
+  std::vector<NodeId> cordoned_nodes() const;
+  std::vector<NodeId> healthy_idle_nodes() const;
+
+ private:
+  void bucket_insert(const NodeState& n);
+  void bucket_erase(const NodeState& n);
+
+  ClusterSpec spec_;
+  std::vector<NodeState> nodes_;
+  // buckets_[k] = healthy nodes with exactly k free GPUs.
+  std::vector<std::set<NodeId>> buckets_;
+  int total_gpus_ = 0;
+  int free_gpus_healthy_ = 0;
+  int free_gpus_all_ = 0;
+};
+
+}  // namespace acme::cluster

@@ -1,0 +1,111 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace acme::common {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double safe_log(double v) { return std::log10(std::max(v, 1e-12)); }
+
+}  // namespace
+
+std::string plot_lines(const std::vector<Series>& series, std::size_t width,
+                       std::size_t height, bool log_x, const std::string& x_label,
+                       const std::string& y_label) {
+  if (series.empty() || width < 8 || height < 4) return "(empty plot)\n";
+
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series) {
+    for (double x : s.xs) {
+      const double v = log_x ? safe_log(x) : x;
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    for (double y : s.ys) {
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (xmax <= xmin) xmax = xmin + 1;
+  if (ymax <= ymin) ymax = ymin + 1;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xv = log_x ? safe_log(s.xs[i]) : s.xs[i];
+      auto col = static_cast<std::size_t>((xv - xmin) / (xmax - xmin) *
+                                          static_cast<double>(width - 1));
+      auto row = static_cast<std::size_t>((s.ys[i] - ymin) / (ymax - ymin) *
+                                          static_cast<double>(height - 1));
+      col = std::min(col, width - 1);
+      row = std::min(row, height - 1);
+      canvas[height - 1 - row][col] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.3g |", ymax);
+  out << y_label << "\n";
+  out << buf << canvas[0] << "\n";
+  for (std::size_t r = 1; r + 1 < height; ++r) out << "         |" << canvas[r] << "\n";
+  std::snprintf(buf, sizeof(buf), "%8.3g |", ymin);
+  out << buf << canvas[height - 1] << "\n";
+  out << "         +" << std::string(width, '-') << "\n";
+  std::snprintf(buf, sizeof(buf), "%.3g", log_x ? std::pow(10.0, xmin) : xmin);
+  std::string lo = buf;
+  std::snprintf(buf, sizeof(buf), "%.3g", log_x ? std::pow(10.0, xmax) : xmax);
+  std::string hi = buf;
+  out << "          " << lo
+      << std::string(width > lo.size() + hi.size() ? width - lo.size() - hi.size() : 1,
+                     ' ')
+      << hi << (log_x ? "  (log x) " : "  ") << x_label << "\n";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << "          " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series[si].name
+        << "\n";
+  return out.str();
+}
+
+std::string plot_bars(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width, const std::string& unit) {
+  double maxv = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (maxv <= 0) maxv = 1;
+  std::ostringstream out;
+  for (const auto& [label, v] : bars) {
+    const auto n = static_cast<std::size_t>(v / maxv * static_cast<double>(width));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%10.2f %s", v, unit.c_str());
+    out << "  " << label << std::string(label_w - label.size(), ' ') << " |"
+        << std::string(n, '#') << std::string(width - n, ' ') << "|" << buf << "\n";
+  }
+  return out.str();
+}
+
+std::string sparkline(const std::vector<double>& values, std::size_t cols) {
+  static const char* kBlocks[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty() || cols == 0) return "";
+  std::ostringstream out;
+  const std::size_t per = std::max<std::size_t>(1, values.size() / cols);
+  for (std::size_t i = 0; i + per <= values.size(); i += per) {
+    double acc = 0;
+    for (std::size_t j = i; j < i + per; ++j) acc += values[j];
+    const double v = std::clamp(acc / static_cast<double>(per), 0.0, 1.0);
+    out << kBlocks[static_cast<std::size_t>(v * 7.999)];
+  }
+  return out.str();
+}
+
+}  // namespace acme::common

@@ -1,0 +1,30 @@
+// Minimal ASCII plotting for bench output: CDF curves, timelines and bar
+// charts that mirror the paper's figures in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acme::common {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+// Renders one or more (x, y) series on a shared canvas. Each series gets a
+// distinct glyph. x may be log-scaled (for duration/delay CDFs).
+std::string plot_lines(const std::vector<Series>& series, std::size_t width,
+                       std::size_t height, bool log_x, const std::string& x_label,
+                       const std::string& y_label);
+
+// Horizontal bar chart: label -> value, scaled to `width` characters.
+std::string plot_bars(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width, const std::string& unit);
+
+// Renders a utilization timeline (values in [0, 1]) as a one-line sparkline
+// per chunk of `cols` samples using block glyphs.
+std::string sparkline(const std::vector<double>& values, std::size_t cols);
+
+}  // namespace acme::common

@@ -1,0 +1,36 @@
+// Invariant checking. ACME_CHECK throws acme::common::CheckError so that unit
+// tests can assert on violated invariants; we deliberately avoid assert() so
+// checks stay active in release builds (Core Guidelines I.6/E.12 spirit:
+// report precondition violations through a well-defined channel).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acme::common {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream out;
+  out << "ACME_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw CheckError(out.str());
+}
+
+}  // namespace acme::common
+
+#define ACME_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) ::acme::common::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define ACME_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::acme::common::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "common/csv.h"
+
+#include <istream>
+#include <ostream>
+
+namespace acme::common {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& cells) {
+  cells.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  char c;
+  while (in_.get(c)) {
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          in_.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      cells.push_back(std::move(field));
+      return true;
+    } else if (c == '\r') {
+      // swallow; \n will terminate the row
+    } else {
+      field += c;
+    }
+  }
+  if (any) {
+    cells.push_back(std::move(field));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace acme::common

@@ -1,0 +1,32 @@
+// Tiny CSV reader/writer for trace import/export. Handles quoting of fields
+// containing commas/quotes/newlines; good enough for our own trace format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acme::common {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+  // Returns false at EOF.
+  bool read_row(std::vector<std::string>& cells);
+
+ private:
+  std::istream& in_;
+};
+
+std::string csv_escape(const std::string& field);
+
+}  // namespace acme::common

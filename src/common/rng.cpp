@@ -1,0 +1,98 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace acme::common {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// FNV-1a over a label, used to derive child stream seeds.
+std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_material_(seed) {
+  std::uint64_t x = seed;
+  for (auto& word : state_) word = splitmix64(x);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  return Rng(seed_material_ ^ hash_label(label) ^ 0xa5a5a5a5a5a5a5a5ULL);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free for our purposes: modulo bias is < 2^-40 for spans we use.
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double rate) {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return 0;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace acme::common

@@ -1,0 +1,208 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace acme::common {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleStats::add(double x) {
+  values_.push_back(x);
+  if (weighted_) weights_.push_back(1.0);
+  weight_sum_ += 1.0;
+  sorted_ = false;
+}
+
+void SampleStats::add_weighted(double x, double weight) {
+  if (!weighted_) {
+    weights_.assign(values_.size(), 1.0);
+    weighted_ = true;
+  }
+  values_.push_back(x);
+  weights_.push_back(weight);
+  weight_sum_ += weight;
+  sorted_ = false;
+}
+
+void SampleStats::ensure_sorted() const {
+  if (sorted_) return;
+  if (!weighted_) {
+    std::sort(values_.begin(), values_.end());
+  } else {
+    std::vector<std::size_t> idx(values_.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return values_[a] < values_[b]; });
+    std::vector<double> v(values_.size()), w(values_.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      v[i] = values_[idx[i]];
+      w[i] = weights_[idx[i]];
+    }
+    values_ = std::move(v);
+    weights_ = std::move(w);
+  }
+  sorted_ = true;
+}
+
+double SampleStats::mean() const {
+  if (values_.empty()) return 0.0;
+  if (!weighted_)
+    return std::accumulate(values_.begin(), values_.end(), 0.0) /
+           static_cast<double>(values_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) acc += values_[i] * weights_[i];
+  return weight_sum_ > 0 ? acc / weight_sum_ : 0.0;
+}
+
+double SampleStats::sum() const {
+  if (!weighted_) return std::accumulate(values_.begin(), values_.end(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) acc += values_[i] * weights_[i];
+  return acc;
+}
+
+double SampleStats::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleStats::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SampleStats::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  if (!weighted_) {
+    const double pos = q * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+  // Weighted quantile: first value whose cumulative weight reaches q.
+  const double target = q * weight_sum_;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    acc += weights_[i];
+    if (acc >= target) return values_[i];
+  }
+  return values_.back();
+}
+
+double SampleStats::cdf(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (!weighted_) {
+    const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+    return static_cast<double>(it - values_.begin()) /
+           static_cast<double>(values_.size());
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size() && values_[i] <= x; ++i) acc += weights_[i];
+  return weight_sum_ > 0 ? acc / weight_sum_ : 0.0;
+}
+
+std::vector<double> SampleStats::cdf_curve(const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(cdf(x));
+  return out;
+}
+
+BoxplotStats BoxplotStats::from(const SampleStats& s) {
+  BoxplotStats b;
+  if (s.empty()) return b;
+  b.q1 = s.quantile(0.25);
+  b.median = s.quantile(0.5);
+  b.q3 = s.quantile(0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  // Whiskers extend to the most extreme sample inside the fences.
+  b.whisker_lo = b.q3;
+  b.whisker_hi = b.q1;
+  bool any_lo = false, any_hi = false;
+  for (double v : s.values()) {
+    if (v >= lo_fence && (!any_lo || v < b.whisker_lo)) {
+      b.whisker_lo = v;
+      any_lo = true;
+    }
+    if (v <= hi_fence && (!any_hi || v > b.whisker_hi)) {
+      b.whisker_hi = v;
+      any_hi = true;
+    }
+  }
+  if (!any_lo) b.whisker_lo = b.q1;
+  if (!any_hi) b.whisker_hi = b.q3;
+  return b;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: bad range/bins");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0 ? counts_[i] / total_ : 0.0;
+}
+
+std::vector<double> log_space(double lo, double hi, std::size_t n) {
+  if (!(lo > 0) || !(hi > lo) || n < 2)
+    throw std::invalid_argument("log_space: need 0<lo<hi, n>=2");
+  std::vector<double> out(n);
+  const double llo = std::log(lo), lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+  return out;
+}
+
+std::vector<double> lin_space(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("lin_space: n>=2");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  return out;
+}
+
+}  // namespace acme::common

@@ -1,0 +1,28 @@
+// ASCII table renderer used by the bench harness to print paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acme::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);  // 0.25 -> "25.0%"
+  static std::string integer(double v);
+
+  std::size_t rows() const { return rows_.size(); }
+  // Renders with column alignment; numeric-looking cells right-align.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acme::common

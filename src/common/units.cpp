@@ -1,0 +1,37 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace acme::common {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (seconds < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / kMinute);
+  } else if (seconds < kDay) {
+    std::snprintf(buf, sizeof(buf), "%.1f h", seconds / kHour);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f d", seconds / kDay);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes < kKB) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  } else if (bytes < kMB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / kKB);
+  } else if (bytes < kGB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / kMB);
+  } else if (bytes < kTB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", bytes / kGB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f TB", bytes / kTB);
+  }
+  return buf;
+}
+
+}  // namespace acme::common

@@ -1,0 +1,34 @@
+// Unit constants and formatting helpers shared across the simulator.
+// Simulation time is expressed in seconds (double); data sizes in bytes
+// (double, so TB-scale model states don't overflow intermediate math).
+#pragma once
+
+#include <string>
+
+namespace acme::common {
+
+// --- time ---
+constexpr double kSecond = 1.0;
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+constexpr double kDay = 24 * kHour;
+
+// --- data sizes ---
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+constexpr double kTiB = 1024.0 * kGiB;
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+constexpr double kTB = 1e12;
+
+// --- bandwidth (bytes/second) ---
+constexpr double gbps_to_Bps(double gbps) { return gbps * 1e9 / 8.0; }
+
+// "2.0 min", "3.4 h", "1.2 d" style formatting for table cells.
+std::string format_duration(double seconds);
+// "60.0 GB", "1.7 TB" formatting.
+std::string format_bytes(double bytes);
+
+}  // namespace acme::common

@@ -1,0 +1,48 @@
+#include "core/experiments.h"
+
+#include "trace/analysis.h"
+
+namespace acme::core {
+
+ClusterSetup seren_setup() {
+  return {trace::seren_profile(), cluster::seren_spec(),
+          sched::seren_scheduler_config()};
+}
+
+ClusterSetup kalos_setup() {
+  return {trace::kalos_profile(), cluster::kalos_spec(),
+          sched::kalos_scheduler_config()};
+}
+
+SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
+                                    double sample_interval, std::uint64_t seed) {
+  auto profile = scale > 1.0 ? trace::scaled(setup.profile, scale) : setup.profile;
+  profile.cpu_jobs = 0;  // CPU jobs do not touch the GPU scheduler
+  trace::SynthesizerOptions options;
+  options.seed = seed;
+  trace::TraceSynthesizer synth(profile, options);
+  sched::SchedulerReplay scheduler(setup.spec, setup.sched_config);
+
+  SixMonthReplay out;
+  out.replay = scheduler.replay(synth.generate(), sample_interval);
+  double busy = 0, total = 0;
+  for (const auto& s : out.replay.occupancy) {
+    busy += s.busy_gpus;
+    total += s.total_gpus;
+  }
+  out.busy_fraction = total > 0 ? busy / total : 0;
+  return out;
+}
+
+telemetry::FleetSamplerConfig fleet_config_from(const ClusterSetup& setup,
+                                                const SixMonthReplay& replay) {
+  telemetry::FleetSamplerConfig config;
+  config.spec = setup.spec;
+  config.busy_fraction = replay.busy_fraction;
+  for (const auto& [type, share] : trace::type_shares(replay.replay.jobs))
+    if (share.gpu_time_fraction > 0)
+      config.gputime_mix[type] = share.gpu_time_fraction;
+  return config;
+}
+
+}  // namespace acme::core

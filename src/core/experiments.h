@@ -1,0 +1,41 @@
+// Shared experiment drivers used by the bench harness, tests and examples:
+// cluster selection, six-month replays and fleet-sampler wiring.
+#pragma once
+
+#include <string>
+
+#include "cluster/spec.h"
+#include "sched/scheduler.h"
+#include "telemetry/fleet_sampler.h"
+#include "trace/synthesizer.h"
+#include "trace/workload_profile.h"
+
+namespace acme::core {
+
+struct ClusterSetup {
+  trace::ClusterWorkloadProfile profile;
+  cluster::ClusterSpec spec;
+  sched::SchedulerConfig sched_config;
+};
+
+ClusterSetup seren_setup();
+ClusterSetup kalos_setup();
+
+struct SixMonthReplay {
+  sched::ReplayResult replay;
+  double busy_fraction = 0;  // time-averaged GPU occupancy
+};
+
+// Synthesizes the six-month trace (optionally downscaled in job count for
+// speed — distributions are unchanged) and replays it through the cluster
+// scheduler. `sample_interval` controls the occupancy timeline resolution.
+SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale = 1.0,
+                                    double sample_interval = 900.0,
+                                    std::uint64_t seed = 42);
+
+// Builds a fleet sampler calibrated from a replay: occupancy from the
+// scheduler timeline, workload mix from the trace's GPU-time shares.
+telemetry::FleetSamplerConfig fleet_config_from(const ClusterSetup& setup,
+                                                const SixMonthReplay& replay);
+
+}  // namespace acme::core

@@ -1,0 +1,54 @@
+// Hashing-trick bag-of-tokens embeddings and a cosine-similarity vector
+// store (paper §6.1-2: "the compressed log is vectorized through an
+// embedding model and stored in a vector store, serving as a retrieval
+// repository"). We substitute a deterministic feature hasher for the paper's
+// neural embedding model; retrieval semantics (top-k cosine) are identical.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace acme::diagnosis {
+
+constexpr std::size_t kEmbeddingDim = 256;
+using Embedding = std::array<float, kEmbeddingDim>;
+
+// Embeds a chunk of log lines: tokens are template-normalized, hashed into
+// the feature space with signed hashing, then L2-normalized.
+Embedding embed_lines(const std::vector<std::string>& lines);
+Embedding embed_text(const std::string& text);
+
+float cosine(const Embedding& a, const Embedding& b);
+
+class VectorStore {
+ public:
+  struct Hit {
+    std::size_t index;
+    float similarity;
+    const std::string* label;
+  };
+
+  void add(Embedding embedding, std::string label);
+  std::size_t size() const { return entries_.size(); }
+
+  // Top-k nearest by cosine similarity, descending.
+  std::vector<Hit> query(const Embedding& query, std::size_t k) const;
+
+  // Majority label among top-k, weighted by similarity; empty if the store is
+  // empty or the best similarity is below `min_similarity`.
+  std::string vote(const Embedding& query, std::size_t k,
+                   float min_similarity = 0.0f) const;
+
+  const std::string& label(std::size_t index) const { return entries_[index].label; }
+
+ private:
+  struct Entry {
+    Embedding embedding;
+    std::string label;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace acme::diagnosis

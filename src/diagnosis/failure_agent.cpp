@@ -1,0 +1,149 @@
+#include "diagnosis/failure_agent.h"
+
+#include <algorithm>
+#include <map>
+
+#include "diagnosis/log_agent.h"
+
+namespace acme::diagnosis {
+namespace {
+
+// Seeded rules are raw substrings; learned rules are line templates. A rule
+// fires if either form matches.
+bool rule_matches(const SignatureRule& rule, const std::string& line) {
+  if (line.find(rule.pattern) != std::string::npos) return true;
+  return rule.pattern.find("<*>") != std::string::npos &&
+         line_template(line) == rule.pattern;
+}
+
+}  // namespace
+
+FailureAgent::FailureAgent(Options options) : options_(options) {}
+
+void FailureAgent::seed_rules(
+    const std::vector<const failure::FailureSpec*>& specs) {
+  for (const auto* spec : specs) {
+    bool root = true;
+    for (const auto& sig : spec->log_signatures) {
+      // The canonical (first) signature identifies the root cause; later
+      // entries also appear as collateral in other failures' logs, so they
+      // carry less weight.
+      add_rule({sig, spec->reason, root ? 2.0 : 0.6});
+      root = false;
+    }
+  }
+}
+
+void FailureAgent::add_rule(SignatureRule rule) { rules_.push_back(std::move(rule)); }
+
+void FailureAgent::add_incident(const std::vector<std::string>& compressed_lines,
+                                const std::string& reason) {
+  store_.add(embed_lines(error_tail(compressed_lines)), reason);
+}
+
+std::vector<std::string> FailureAgent::error_tail(
+    const std::vector<std::string>& lines) const {
+  // Keep the trailing window, biased to error-looking lines.
+  std::vector<std::string> tail;
+  for (auto it = lines.rbegin(); it != lines.rend() && tail.size() < options_.tail_lines;
+       ++it) {
+    tail.push_back(*it);
+  }
+  std::reverse(tail.begin(), tail.end());
+  return tail;
+}
+
+std::string FailureAgent::suggestion_for(const failure::FailureSpec& spec) {
+  switch (spec.category) {
+    case failure::FailureCategory::kInfrastructure:
+      return spec.needs_node_detection
+                 ? "run two-round collective test, cordon faulty nodes, auto-restart "
+                   "from the latest durable checkpoint"
+                 : "retry with backoff; check auxiliary service/storage health";
+    case failure::FailureCategory::kFramework:
+      return "inspect job configuration (parallelism degrees, batch sizes, dataloader "
+             "workers) and resubmit";
+    case failure::FailureCategory::kScript:
+      return "fix the user script; no infrastructure action needed";
+  }
+  return {};
+}
+
+Diagnosis FailureAgent::diagnose(
+    const std::vector<std::string>& compressed_lines) const {
+  Diagnosis d;
+  d.source = "none";
+
+  // Stage 1: rule-based scoring over the error tail. Later lines weigh more:
+  // the root-cause traceback is flushed after the collateral rank noise.
+  const auto tail = error_tail(compressed_lines);
+  std::map<std::string, double> scores;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const double recency = 0.5 + 0.5 * static_cast<double>(i + 1) /
+                                     static_cast<double>(tail.size());
+    for (const auto& rule : rules_)
+      if (rule_matches(rule, tail[i])) scores[rule.reason] += rule.weight * recency;
+  }
+  if (!scores.empty()) {
+    auto best = std::max_element(
+        scores.begin(), scores.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (best->second >= options_.rule_score_threshold) {
+      const auto& spec = failure::spec_for(best->first);
+      d.reason = best->first;
+      d.category = spec.category;
+      d.infrastructure = spec.category == failure::FailureCategory::kInfrastructure;
+      d.needs_node_detection = spec.needs_node_detection;
+      d.source = "rules";
+      d.suggestion = suggestion_for(spec);
+      d.confidence = best->second;
+      return d;
+    }
+  }
+
+  // Stage 2: retrieval over past incidents.
+  const std::string label =
+      store_.vote(embed_lines(tail), options_.knn, options_.min_similarity);
+  if (!label.empty()) {
+    const auto& spec = failure::spec_for(label);
+    d.reason = label;
+    d.category = spec.category;
+    d.infrastructure = spec.category == failure::FailureCategory::kInfrastructure;
+    d.needs_node_detection = spec.needs_node_detection;
+    d.source = "retrieval";
+    d.suggestion = suggestion_for(spec);
+    d.confidence = 1.0;
+    return d;
+  }
+  return d;
+}
+
+std::string FailureAgent::learn(const std::vector<std::string>& compressed_lines,
+                                const std::string& reason) {
+  add_incident(compressed_lines, reason);
+  // Promote the most characteristic error line into a rule: the last line
+  // that looks like an error and is not already covered by a rule for a
+  // DIFFERENT reason (to avoid poisoning collateral patterns).
+  const auto tail = error_tail(compressed_lines);
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+    if (!LogAgent::looks_like_error(*it)) continue;
+    bool conflicted = false;
+    for (const auto& rule : rules_) {
+      if (rule_matches(rule, *it) && rule.reason != reason) {
+        conflicted = true;
+        break;
+      }
+    }
+    if (conflicted) continue;
+    const std::string pattern = line_template(*it);
+    bool already = false;
+    for (const auto& rule : rules_)
+      if (rule.pattern == pattern && rule.reason == reason) already = true;
+    if (already) return {};
+    add_rule({pattern, reason, 1.5});
+    return pattern;
+  }
+  return {};
+}
+
+}  // namespace acme::diagnosis

@@ -1,0 +1,84 @@
+// FailureAgent: the end of the diagnosis pipeline (paper Fig 15, §6.1-2).
+//
+// Pipeline: compressed error log -> rule-based diagnosis (signature patterns
+// accumulated over time) -> if rules disagree or miss, retrieval over the
+// vector store of previously diagnosed incidents (our stand-in for the
+// paper's GPT-4 Query Engine) -> verdict with recoverability and a
+// mitigation suggestion. Each resolved incident feeds back: the agent writes
+// a new signature rule, so rule coverage grows over time ("continuous
+// learning of the failure diagnosis system").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diagnosis/embedding.h"
+#include "diagnosis/log_template.h"
+#include "failure/taxonomy.h"
+
+namespace acme::diagnosis {
+
+struct SignatureRule {
+  std::string pattern;  // substring matched against raw log lines
+  std::string reason;
+  double weight = 1.0;  // root-cause signatures weigh more than collateral
+};
+
+struct Diagnosis {
+  std::string reason;                  // "" if undiagnosed
+  failure::FailureCategory category = failure::FailureCategory::kScript;
+  bool infrastructure = false;         // drives the recovery path
+  bool needs_node_detection = false;
+  std::string source;                  // "rules" | "retrieval" | "none"
+  std::string suggestion;
+  double confidence = 0;
+};
+
+struct FailureAgentOptions {
+  std::size_t knn = 5;
+  float min_similarity = 0.25f;
+  // Error-tail window embedded for retrieval.
+  std::size_t tail_lines = 24;
+  // Rules win outright when their weighted score reaches this value.
+  double rule_score_threshold = 2.0;
+};
+
+class FailureAgent {
+ public:
+  using Options = FailureAgentOptions;
+
+  explicit FailureAgent(Options options = Options());
+
+  // Seeds the rule set with the canonical signatures of `specs` (the rules
+  // "defined over time through the diagnosis of errors from past failed
+  // jobs"). Collateral signatures get lower weight.
+  void seed_rules(const std::vector<const failure::FailureSpec*>& specs);
+  void add_rule(SignatureRule rule);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  // Adds a labeled incident (compressed log) to the retrieval store.
+  void add_incident(const std::vector<std::string>& compressed_lines,
+                    const std::string& reason);
+  std::size_t incident_count() const { return store_.size(); }
+
+  // Diagnoses a compressed log. Never throws; returns source="none" when
+  // both stages miss.
+  Diagnosis diagnose(const std::vector<std::string>& compressed_lines) const;
+
+  // Feedback loop: after an incident is resolved with ground truth `reason`,
+  // stores it for retrieval and promotes its most characteristic error line
+  // into a new signature rule. Returns the learned pattern ("" if none).
+  std::string learn(const std::vector<std::string>& compressed_lines,
+                    const std::string& reason);
+
+ private:
+  std::vector<std::string> error_tail(const std::vector<std::string>& lines) const;
+  static std::string suggestion_for(const failure::FailureSpec& spec);
+
+  Options options_;
+  std::vector<SignatureRule> rules_;
+  VectorStore store_;
+};
+
+}  // namespace acme::diagnosis

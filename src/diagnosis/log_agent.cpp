@@ -1,0 +1,54 @@
+#include "diagnosis/log_agent.h"
+
+#include <algorithm>
+#include <map>
+
+namespace acme::diagnosis {
+
+LogAgent::LogAgent(LogAgentOptions options) : options_(options) {}
+
+bool LogAgent::looks_like_error(const std::string& line) {
+  static const char* kMarkers[] = {
+      "Error",    "error",   "Traceback", "Exception", "exception", "WARN",
+      "CRITICAL", "FATAL",   "fatal",     "failed",    "Failed",    "killed",
+      "Killed",   "timeout", "Timeout",   "abort",     "unreachable",
+  };
+  for (const char* marker : kMarkers)
+    if (line.find(marker) != std::string::npos) return true;
+  return false;
+}
+
+std::vector<std::string> LogAgent::update_rules(
+    const std::vector<std::string>& segment, FilterRules& rules) const {
+  // Count template support per sub-sample (lines are dealt round-robin: each
+  // voter sees an interleaved slice, mimicking independent passes over the
+  // stream).
+  const int voters = std::max(1, options_.voters);
+  std::vector<std::map<std::string, std::size_t>> counts(
+      static_cast<std::size_t>(voters));
+  for (std::size_t i = 0; i < segment.size(); ++i) {
+    const auto& line = segment[i];
+    if (options_.protect_error_lines && looks_like_error(line)) continue;
+    counts[i % static_cast<std::size_t>(voters)][line_template(line)] += 1;
+  }
+
+  // Self-consistency vote: a template is promoted only if enough voters saw
+  // it with proportional support.
+  const std::size_t per_voter_support =
+      std::max<std::size_t>(1, options_.min_support / static_cast<std::size_t>(voters));
+  std::map<std::string, int> votes;
+  for (const auto& voter : counts)
+    for (const auto& [tmpl, n] : voter)
+      if (n >= per_voter_support) votes[tmpl] += 1;
+
+  std::vector<std::string> promoted;
+  for (const auto& [tmpl, v] : votes) {
+    if (v >= options_.votes_required && !rules.contains(tmpl)) {
+      rules.add(tmpl);
+      promoted.push_back(tmpl);
+    }
+  }
+  return promoted;
+}
+
+}  // namespace acme::diagnosis

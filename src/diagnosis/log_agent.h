@@ -1,0 +1,45 @@
+// LogAgent (paper §6.1-2): watches real-time log segments, identifies lines
+// that follow fixed patterns, and writes new Filter Rules so the log shrinks
+// as the job runs. The paper uses an LLM with self-consistency voting for
+// this; we substitute deterministic template mining with the same voting
+// structure (see DESIGN.md's substitution table): a segment is split into
+// several sub-samples, each mined independently, and only templates
+// confirmed by a majority of sub-samples are promoted — guarding against
+// one-off lines masquerading as routine output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnosis/log_template.h"
+
+namespace acme::diagnosis {
+
+struct LogAgentOptions {
+  // A template must cover at least this many lines of a segment...
+  std::size_t min_support = 5;
+  // ...and be confirmed by this many of the `voters` sub-samples.
+  int voters = 3;
+  int votes_required = 2;
+  // Never promote templates that look like errors — they must survive
+  // compression for the FailureAgent.
+  bool protect_error_lines = true;
+};
+
+class LogAgent {
+ public:
+  explicit LogAgent(LogAgentOptions options = {});
+
+  // Mines a log segment and adds confirmed templates to `rules`. Returns the
+  // newly promoted templates.
+  std::vector<std::string> update_rules(const std::vector<std::string>& segment,
+                                        FilterRules& rules) const;
+
+  // Heuristic: does this line look like (part of) an error report?
+  static bool looks_like_error(const std::string& line);
+
+ private:
+  LogAgentOptions options_;
+};
+
+}  // namespace acme::diagnosis

@@ -1,0 +1,47 @@
+#include "diagnosis/log_template.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace acme::diagnosis {
+namespace {
+
+bool is_volatile_token(const std::string& token) {
+  // Tokens containing digits, paths or hex-ish ids are volatile: they vary
+  // between occurrences of the same template.
+  bool has_digit = false;
+  for (char c : token)
+    if (std::isdigit(static_cast<unsigned char>(c))) has_digit = true;
+  if (has_digit) return true;
+  if (token.find('/') != std::string::npos) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string line_template(const std::string& line) {
+  std::string out;
+  for (const auto& token : tokenize(line)) {
+    if (!out.empty()) out += ' ';
+    out += is_volatile_token(token) ? "<*>" : token;
+  }
+  return out;
+}
+
+std::vector<std::string> FilterRules::compress(
+    const std::vector<std::string>& lines) const {
+  std::vector<std::string> out;
+  for (const auto& line : lines)
+    if (!matches(line)) out.push_back(line);
+  return out;
+}
+
+}  // namespace acme::diagnosis

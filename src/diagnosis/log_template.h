@@ -1,0 +1,42 @@
+// Log template extraction and the Filter Rules used for real-time log
+// compression (paper §6.1-2, "Real-time Log Compression").
+//
+// A template is the line with volatile tokens (numbers, hex ids, paths,
+// floats) replaced by a wildcard. Routine output — training metric records,
+// init banners, debug chatter — collapses onto a small set of templates; the
+// LogAgent promotes high-support templates to Filter Rules, and compression
+// drops every line whose template matches a rule. Error lines are rare and
+// survive.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace acme::diagnosis {
+
+// Normalizes one line to its template, e.g.
+//   "step=412 loss=2.0131 lr=3.00e-04" -> "step=<*> loss=<*> lr=<*>".
+std::string line_template(const std::string& line);
+
+// Splits a line into whitespace tokens.
+std::vector<std::string> tokenize(const std::string& line);
+
+class FilterRules {
+ public:
+  void add(const std::string& tmpl) { templates_.insert(tmpl); }
+  bool matches(const std::string& line) const {
+    return templates_.count(line_template(line)) > 0;
+  }
+  std::size_t size() const { return templates_.size(); }
+  bool contains(const std::string& tmpl) const { return templates_.count(tmpl) > 0; }
+
+  // Drops every line matching a rule; returns the surviving lines.
+  std::vector<std::string> compress(const std::vector<std::string>& lines) const;
+
+ private:
+  std::unordered_set<std::string> templates_;
+};
+
+}  // namespace acme::diagnosis

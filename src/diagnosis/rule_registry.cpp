@@ -1,0 +1,29 @@
+#include "diagnosis/rule_registry.h"
+
+namespace acme::diagnosis {
+
+FilterRuleRegistry::FilterRuleRegistry(LogAgentOptions agent_options)
+    : agent_(agent_options) {}
+
+std::vector<std::string> FilterRuleRegistry::compress(
+    const std::string& task_signature, const std::vector<std::string>& lines) {
+  auto it = rules_.find(task_signature);
+  if (it == rules_.end()) {
+    ++misses_;
+    it = rules_.emplace(task_signature, FilterRules{}).first;
+  } else {
+    ++hits_;
+  }
+  // Keep refining: resubmissions may add new routine patterns (new metrics,
+  // new banners after a framework upgrade).
+  agent_.update_rules(lines, it->second);
+  return it->second.compress(lines);
+}
+
+const FilterRules* FilterRuleRegistry::rules_for(
+    const std::string& task_signature) const {
+  auto it = rules_.find(task_signature);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+}  // namespace acme::diagnosis

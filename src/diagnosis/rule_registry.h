@@ -1,0 +1,45 @@
+// Filter-rule reuse across repetitive tasks (paper §6.1-2: "the system can
+// utilize metadata from tasks to identify repetitive or similar tasks,
+// directly applying existing Filter Rules for log filtering, thereby
+// avoiding redundant work ... particularly beneficial in large model cluster
+// environments, where fewer tenants and task resubmissions are common").
+//
+// Rules are keyed by a task signature (e.g. the model tag or job template);
+// resubmissions of the same campaign reuse — and keep refining — one rule
+// set instead of re-mining from scratch.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "diagnosis/log_agent.h"
+#include "diagnosis/log_template.h"
+
+namespace acme::diagnosis {
+
+class FilterRuleRegistry {
+ public:
+  explicit FilterRuleRegistry(LogAgentOptions agent_options = LogAgentOptions());
+
+  // Compresses `lines` using the rule set for `task_signature`, mining new
+  // rules from this segment first. A repeated signature is a registry hit:
+  // existing rules apply immediately.
+  std::vector<std::string> compress(const std::string& task_signature,
+                                    const std::vector<std::string>& lines);
+
+  // Read-only access to a signature's rules (nullptr if unseen).
+  const FilterRules* rules_for(const std::string& task_signature) const;
+
+  std::size_t signatures() const { return rules_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  LogAgent agent_;
+  std::map<std::string, FilterRules> rules_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace acme::diagnosis

@@ -1,0 +1,244 @@
+#include "evalsched/coordinator.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/check.h"
+
+namespace acme::evalsched {
+
+TrialCoordinator::TrialCoordinator(EvalConfig config) : config_(config) {
+  ACME_CHECK(config_.nodes > 0 && config_.gpus_per_node > 0);
+}
+
+EvalConfig TrialCoordinator::baseline_config(int nodes) {
+  EvalConfig c;
+  c.nodes = nodes;
+  return c;
+}
+
+EvalConfig TrialCoordinator::coordinator_config(int nodes) {
+  EvalConfig c;
+  c.nodes = nodes;
+  c.decouple_loading = true;
+  c.decouple_metric = true;
+  c.elastic_packing = true;
+  c.cache_tokenized = true;
+  return c;
+}
+
+std::vector<TrialCoordinator::Trial> TrialCoordinator::plan(
+    const std::vector<Dataset>& suite) const {
+  std::vector<Trial> trials;
+  if (!config_.elastic_packing) {
+    // Baseline: one dataset per trial, submission order.
+    for (const auto& d : suite) {
+      Trial t;
+      t.datasets.push_back(d);
+      t.gpu_estimate = d.preprocess_seconds + d.inference_seconds;
+      t.metric_estimate = d.metric_cpu_seconds;
+      trials.push_back(std::move(t));
+    }
+    return trials;
+  }
+
+  // Elastic decomposition: datasets with long metric computation are split
+  // into shards so no single CPU tail dominates the makespan (paper: "We can
+  // also break down large datasets and decouple metric computation").
+  constexpr double kMetricShardTarget = 300.0;
+  constexpr double kInferShardTarget = 700.0;
+  std::vector<Dataset> shards;
+  shards.reserve(suite.size() * 3);
+  for (const auto& d : suite) {
+    if (d.splittable && (d.metric_cpu_seconds > kMetricShardTarget ||
+                         d.inference_seconds > kInferShardTarget)) {
+      const int k = std::max(
+          static_cast<int>(d.metric_cpu_seconds / kMetricShardTarget),
+          static_cast<int>(d.inference_seconds / kInferShardTarget)) + 1;
+      for (int i = 0; i < k; ++i) {
+        Dataset shard = d;
+        shard.name = d.name + "#" + std::to_string(i);
+        shard.preprocess_seconds /= k;
+        shard.inference_seconds /= k;
+        shard.metric_cpu_seconds /= k;
+        shards.push_back(shard);
+      }
+    } else {
+      shards.push_back(d);
+    }
+  }
+
+  // Prior-based elastic packing: longest-processing-time order, with
+  // metric-heavy datasets first so their CPU tails overlap remaining GPU
+  // work; small sets are bundled into one trial to amortize startup/loading.
+  std::vector<const Dataset*> order;
+  for (const auto& d : shards) order.push_back(&d);
+  std::sort(order.begin(), order.end(), [](const Dataset* a, const Dataset* b) {
+    // Metric-heavy first; then longer GPU work first; name breaks ties.
+    const double am = a->metric_cpu_seconds, bm = b->metric_cpu_seconds;
+    const bool a_heavy = am > 300, b_heavy = bm > 300;
+    if (a_heavy != b_heavy) return a_heavy;
+    const double ag = a->preprocess_seconds + a->inference_seconds;
+    const double bg = b->preprocess_seconds + b->inference_seconds;
+    if (ag != bg) return ag > bg;
+    return a->name < b->name;
+  });
+
+  // Bundle size adapts to the GPU pool: with ample GPUs, smaller bundles
+  // spread the work; with one node, larger bundles amortize startup.
+  double total_gpu_time = 0;
+  for (const Dataset* d : order)
+    total_gpu_time += d->preprocess_seconds + d->inference_seconds;
+  const double bundle_target = std::clamp(
+      total_gpu_time / (config_.nodes * config_.gpus_per_node), 240.0,
+      config_.bundle_target_seconds);
+
+  Trial current;
+  for (const Dataset* d : order) {
+    const double gpu_time = d->preprocess_seconds + d->inference_seconds;
+    if (!current.datasets.empty() &&
+        current.gpu_estimate + gpu_time > bundle_target) {
+      trials.push_back(std::move(current));
+      current = Trial{};
+    }
+    current.datasets.push_back(*d);
+    current.gpu_estimate += gpu_time;
+    current.metric_estimate += d->metric_cpu_seconds;
+  }
+  if (!current.datasets.empty()) trials.push_back(std::move(current));
+  return trials;
+}
+
+EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
+  EvalReport report;
+  sim::Engine engine;
+  storage::StorageNetwork net(engine, config_.storage);
+
+  const int total_gpus = config_.nodes * config_.gpus_per_node;
+  auto trials = plan(suite);
+  report.trials = static_cast<int>(trials.size());
+
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < trials.size(); ++i) queue.push_back(i);
+
+  std::vector<bool> gpu_busy(static_cast<std::size_t>(total_gpus), false);
+  std::vector<bool> node_model_ready(static_cast<std::size_t>(config_.nodes),
+                                     !config_.decouple_loading);
+  double last_completion = 0;
+
+  // Finite CPU pool for decoupled metric jobs: a multiset of busy-until
+  // times, one per slot; a metric task takes the earliest-free slot (FIFO).
+  std::multiset<double> cpu_slots;
+  for (int i = 0; i < config_.metric_cpu_slots; ++i) cpu_slots.insert(0.0);
+  auto run_metric_on_cpu = [&](double ready, double duration) {
+    if (cpu_slots.empty()) return ready + duration;  // unlimited pool
+    auto slot = cpu_slots.begin();
+    const double start = std::max(ready, *slot);
+    cpu_slots.erase(slot);
+    cpu_slots.insert(start + duration);
+    return start + duration;
+  };
+
+  // Stage bookkeeping for the humaneval trial (Fig 13).
+  auto note_stage = [&](const Trial& trial, const std::string& stage, double start,
+                        double dur) {
+    for (const auto& d : trial.datasets)
+      if (d.name == "humaneval")
+        report.humaneval_timeline.push_back({stage, start, dur});
+  };
+
+  // Trial execution as a chain of engine events per GPU.
+  std::function<void()> dispatch;  // forward declaration for recursion
+
+  auto run_trial = [&](std::size_t trial_idx, int gpu) {
+    const Trial& trial = trials[trial_idx];
+    const int node = gpu / config_.gpus_per_node;
+    const double t0 = engine.now();
+    note_stage(trial, "startup", t0, config_.trial_startup_seconds);
+
+    auto after_load = [&, trial_idx, gpu, t0](double load_done) {
+      const Trial& tr = trials[trial_idx];
+      note_stage(tr, "load", t0 + config_.trial_startup_seconds,
+                 load_done - t0 - config_.trial_startup_seconds);
+      double t = load_done;
+      double infer_total = 0;
+      double metric_on_gpu = 0;
+      for (const auto& d : tr.datasets) {
+        const double preproc =
+            config_.cache_tokenized
+                ? std::min(d.preprocess_seconds, config_.cached_preprocess_seconds)
+                : d.preprocess_seconds;
+        note_stage(tr, "preprocess", t, preproc);
+        t += preproc;
+        note_stage(tr, "inference", t, d.inference_seconds);
+        t += d.inference_seconds;
+        infer_total += d.inference_seconds;
+        if (config_.decouple_metric) {
+          // Output dumped to files; a CPU job scores it off the GPU.
+          const double metric_done = run_metric_on_cpu(t, d.metric_cpu_seconds);
+          last_completion = std::max(last_completion, metric_done);
+        } else {
+          note_stage(tr, "metric", t, d.metric_cpu_seconds);
+          t += d.metric_cpu_seconds;
+          metric_on_gpu += d.metric_cpu_seconds;
+        }
+      }
+      report.gpu_busy_seconds += infer_total;
+      report.gpu_held_seconds += t - t0;
+      last_completion = std::max(last_completion, t);
+      engine.schedule_at(t, [&, gpu] {
+        gpu_busy[static_cast<std::size_t>(gpu)] = false;
+        dispatch();
+      });
+    };
+
+    const double start_after_startup = t0 + config_.trial_startup_seconds;
+    if (config_.decouple_loading) {
+      // Model already staged in node shared memory; read over PCIe.
+      const double load = config_.model_bytes / config_.pcie_bytes_per_sec;
+      engine.schedule_at(start_after_startup + load,
+                         [after_load, start_after_startup, load] {
+                           after_load(start_after_startup + load);
+                         });
+    } else {
+      // Contended pull from remote storage.
+      engine.schedule_at(start_after_startup, [&, node, after_load] {
+        net.start_flow(node, config_.model_bytes,
+                       [&, after_load] { after_load(engine.now()); });
+      });
+    }
+  };
+
+  dispatch = [&] {
+    for (int g = 0; g < total_gpus && !queue.empty(); ++g) {
+      if (gpu_busy[static_cast<std::size_t>(g)]) continue;
+      const int node = g / config_.gpus_per_node;
+      if (!node_model_ready[static_cast<std::size_t>(node)]) continue;
+      const std::size_t trial_idx = queue.front();
+      queue.pop_front();
+      gpu_busy[static_cast<std::size_t>(g)] = true;
+      run_trial(trial_idx, g);
+    }
+  };
+
+  if (config_.decouple_loading) {
+    // Precursor jobs: one model pull per node into /dev/shm.
+    for (int n = 0; n < config_.nodes; ++n) {
+      net.start_flow(n, config_.model_bytes, [&, n] {
+        node_model_ready[static_cast<std::size_t>(n)] = true;
+        dispatch();
+      });
+    }
+  } else {
+    engine.schedule_at(0.0, [&] { dispatch(); });
+  }
+
+  engine.run();
+  report.makespan = std::max(last_completion, engine.now());
+  std::sort(report.humaneval_timeline.begin(), report.humaneval_timeline.end(),
+            [](const StageSpan& a, const StageSpan& b) { return a.start < b.start; });
+  return report;
+}
+
+}  // namespace acme::evalsched

@@ -1,0 +1,79 @@
+#include "evalsched/datasets.h"
+
+#include <cstdio>
+
+namespace acme::evalsched {
+namespace {
+
+std::vector<Dataset> build_suite() {
+  std::vector<Dataset> suite;
+  // Coding sets: long CPU-side correctness testing (paper Fig 13 / §6.2-2).
+  suite.push_back({"humaneval", 45, 115, 42, false});
+  suite.push_back({"mbpp", 50, 180, 900, true});
+  suite.push_back({"ds1000", 40, 160, 600, true});
+  // Judge-scored conversation sets: the GPT-4 API round trips "can take up
+  // to 30 minutes" while the GPU would sit idle.
+  suite.push_back({"chatbot-arena", 35, 240, 1200, true});
+  suite.push_back({"mt-bench", 30, 200, 1000, true});
+  // Long-context / generation-heavy sets.
+  suite.push_back({"longbench", 60, 900, 60, true});
+  suite.push_back({"summeval", 45, 700, 90, true});
+  suite.push_back({"translation-flores", 40, 620, 45, true});
+  // A spread of knowledge / reasoning / safety sets with quick metrics.
+  const struct {
+    const char* name;
+    double preproc, infer, metric;
+  } kSmall[] = {
+      {"mmlu", 55, 300, 20},       {"cmmlu", 50, 280, 20},
+      {"ceval", 45, 260, 18},      {"agieval", 40, 240, 15},
+      {"bbh", 50, 330, 25},        {"gsm8k", 35, 290, 30},
+      {"math", 40, 340, 35},       {"arc-easy", 20, 90, 8},
+      {"arc-challenge", 20, 110, 8}, {"hellaswag", 30, 170, 10},
+      {"piqa", 18, 80, 6},         {"siqa", 18, 85, 6},
+      {"winogrande", 16, 75, 6},   {"boolq", 20, 95, 7},
+      {"openbookqa", 15, 70, 6},   {"commonsenseqa", 18, 85, 7},
+      {"race-middle", 25, 130, 9}, {"race-high", 28, 150, 9},
+      {"triviaqa", 35, 210, 12},   {"naturalqs", 35, 200, 12},
+      {"squad", 30, 160, 10},      {"drop", 32, 180, 14},
+      {"quac", 28, 140, 10},       {"xsum", 35, 260, 18},
+      {"cnn-dailymail", 40, 300, 20}, {"wikitext-ppl", 25, 120, 5},
+      {"lambada", 20, 95, 5},      {"storycloze", 16, 70, 5},
+      {"copa", 12, 45, 4},         {"wic", 14, 55, 4},
+      {"wsc", 12, 50, 4},          {"rte", 14, 60, 4},
+      {"cb", 10, 40, 4},           {"multirc", 22, 110, 8},
+      {"record", 26, 140, 9},      {"anli", 20, 100, 8},
+      {"mnli", 24, 120, 8},        {"qnli", 20, 100, 7},
+      {"sst2", 12, 45, 4},         {"cola", 12, 45, 4},
+      {"toxigen", 25, 130, 15},    {"realtoxicity", 30, 170, 20},
+      {"truthfulqa", 22, 110, 12}, {"crows-pairs", 16, 70, 8},
+      {"bold", 20, 100, 10},       {"advglue", 22, 110, 10},
+      {"flores-xx", 30, 190, 14},  {"tydiqa", 28, 150, 11},
+      {"xnli", 24, 130, 9},        {"paws-x", 20, 100, 8},
+      {"ocnli", 18, 90, 7},        {"chid", 20, 105, 8},
+      {"cluewsc", 14, 60, 5},      {"afqmc", 14, 60, 5},
+      {"eprstmt", 12, 50, 4},
+  };
+  for (const auto& d : kSmall) suite.push_back({d.name, d.preproc, d.infer, d.metric, true});
+  return suite;  // 8 + 55 = 63 datasets
+}
+
+}  // namespace
+
+const std::vector<Dataset>& dataset_suite() {
+  static const std::vector<Dataset> suite = build_suite();
+  return suite;
+}
+
+double total_inference_seconds() {
+  double t = 0;
+  for (const auto& d : dataset_suite()) t += d.inference_seconds;
+  return t;
+}
+
+double total_metric_seconds() {
+  double t = 0;
+  for (const auto& d : dataset_suite()) t += d.metric_cpu_seconds;
+  return t;
+}
+
+}  // namespace acme::evalsched

@@ -1,0 +1,30 @@
+// Benchmark-dataset registry for evaluation scheduling (paper §6.2: "a
+// typical evaluation job on a 7B size LLM ... evaluating the workload across
+// 63 datasets"; prior runtimes per dataset are "quite robust" and drive the
+// coordinator's packing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acme::evalsched {
+
+struct Dataset {
+  std::string name;
+  double preprocess_seconds = 30;   // tokenization etc. (cacheable)
+  double inference_seconds = 120;   // GPU generation time for a 7B model
+  double metric_cpu_seconds = 15;   // post-inference metric computation
+  bool splittable = true;           // large sets can be broken into shards
+};
+
+// The 63-dataset evaluation suite: knowledge/reasoning sets with quick
+// metrics, two coding sets with long synthesized-program correctness tests
+// (HumanEval, MBPP), and judge-based conversation sets whose GPT-4 scoring
+// takes tens of minutes (Chatbot-Arena style).
+const std::vector<Dataset>& dataset_suite();
+
+// Aggregate statistics used by tests/benches.
+double total_inference_seconds();
+double total_metric_seconds();
+
+}  // namespace acme::evalsched

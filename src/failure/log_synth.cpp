@@ -1,0 +1,120 @@
+#include "failure/log_synth.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <iterator>
+
+#include "common/check.h"
+
+namespace acme::failure {
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+// Secondary error lines that co-occur with infrastructure root causes: when a
+// GPU or link dies, every rank's collectives abort with their own messages.
+const char* kCollateralLines[] = {
+    "RuntimeError: NCCL communicator was aborted on rank %d",
+    "NCCLTimeoutError: watchdog timeout on Broadcast, rank %d",
+    "RuntimeError: CUDA error: unspecified launch failure (rank %d)",
+    "torch.distributed.elastic.multiprocessing.errors.ChildFailedError: rank %d",
+    "WARNING: process group watchdog thread terminated with exception, rank %d",
+};
+
+}  // namespace
+
+LogSynthesizer::LogSynthesizer(LogSynthOptions options) : options_(options) {}
+
+void LogSynthesizer::emit_banner(SyntheticLog& log, common::Rng& rng) const {
+  log.lines.push_back("InternEvo-sim v2.1 starting up");
+  log.lines.push_back(format("world size: %d, tensor parallel: 8, pipeline: 4",
+                             options_.ranks * 8));
+  for (int r = 0; r < options_.ranks; ++r)
+    log.lines.push_back(
+        format("rank %d: initialized process group (backend=nccl, timeout=1800s)", r));
+  log.lines.push_back(format("loading tokenizer from /mnt/petrel/tokenizer.model"));
+  log.lines.push_back(
+      format("dataset shards: %d, dataloader workers: 0", 1024 + static_cast<int>(rng.uniform_int(0, 512))));
+  log.lines.push_back("flash attention enabled; selective recomputation enabled");
+  log.metric_lines += log.lines.size();
+}
+
+void LogSynthesizer::emit_training(SyntheticLog& log, int steps,
+                                   common::Rng& rng) const {
+  double loss = rng.uniform(2.2, 2.8);
+  for (int s = 0; s < steps; ++s) {
+    loss = std::max(1.6, loss - rng.uniform(0.0, 0.0015) + rng.normal(0, 0.003));
+    log.lines.push_back(format(
+        "step=%d loss=%.4f lr=%.2e grad_norm=%.3f tgs=%.1f tflops=%.1f", s + 1,
+        loss, 3e-4 * (1.0 - s * 1e-5), rng.uniform(0.4, 2.1),
+        rng.uniform(3800, 4300), rng.uniform(170, 195)));
+    ++log.metric_lines;
+    if (rng.bernoulli(options_.debug_noise)) {
+      log.lines.push_back(format(
+          "DEBUG pipeline stage %d queue depth %d", static_cast<int>(rng.uniform_int(0, 3)),
+          static_cast<int>(rng.uniform_int(1, 4))));
+      ++log.metric_lines;
+    }
+    if ((s + 1) % 100 == 0) {
+      log.lines.push_back(
+          format("checkpoint: async snapshot at step %d (1.74 TB staged)", s + 1));
+      ++log.metric_lines;
+    }
+  }
+}
+
+void LogSynthesizer::emit_error_tail(SyntheticLog& log, const FailureSpec& spec,
+                                     common::Rng& rng) const {
+  // Collateral errors first: ranks die noisily before the root cause line is
+  // flushed (and sometimes after), mimicking interleaved multi-rank stderr.
+  const bool infra = spec.category == FailureCategory::kInfrastructure;
+  const int collateral = infra ? options_.secondary_errors : 0;
+  for (int i = 0; i < collateral; ++i) {
+    const auto& tmpl = kCollateralLines[rng.uniform_int(
+        0, static_cast<std::int64_t>(std::size(kCollateralLines)) - 1)];
+    log.lines.push_back(format(tmpl, static_cast<int>(rng.uniform_int(0, 1023))));
+  }
+  log.lines.push_back("Traceback (most recent call last):");
+  log.lines.push_back(format("  File \"train.py\", line %d, in <module>",
+                             static_cast<int>(rng.uniform_int(80, 400))));
+  log.lines.push_back("  File \"internevo/engine.py\", line 512, in train_step");
+  for (const auto& sig : spec.log_signatures) log.lines.push_back(sig);
+  if (infra && rng.bernoulli(0.5)) {
+    log.lines.push_back(
+        format(kCollateralLines[0], static_cast<int>(rng.uniform_int(0, 1023))));
+  }
+}
+
+SyntheticLog LogSynthesizer::failed_run(const FailureSpec& spec,
+                                        common::Rng& rng) const {
+  SyntheticLog log;
+  log.root_cause = spec.reason;
+  log.category = spec.category;
+  emit_banner(log, rng);
+  // Script errors fire almost immediately; infra failures after a long run.
+  int steps = options_.steps;
+  if (spec.category == FailureCategory::kScript)
+    steps = static_cast<int>(rng.uniform_int(0, 5));
+  else if (spec.ttf_median_min < 5)
+    steps = static_cast<int>(rng.uniform_int(0, 30));
+  emit_training(log, steps, rng);
+  emit_error_tail(log, spec, rng);
+  return log;
+}
+
+SyntheticLog LogSynthesizer::healthy_run(common::Rng& rng) const {
+  SyntheticLog log;
+  emit_banner(log, rng);
+  emit_training(log, options_.steps, rng);
+  log.lines.push_back("training finished: gracefully saving final checkpoint");
+  return log;
+}
+
+}  // namespace acme::failure

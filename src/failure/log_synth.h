@@ -1,0 +1,52 @@
+// Runtime-log synthesizer (paper §2.3 "Runtime Log", §6.1).
+//
+// Produces realistic stdout/stderr for a pretraining job: framework
+// initialization banners, a long stream of per-step metric records, sporadic
+// debug chatter, and — for failed jobs — a messy error tail where the root
+// cause is buried among co-occurring secondary errors (the paper's example:
+// NCCLTimeoutError and RuntimeErrors appearing alongside the actual
+// CUDAError). This is the corpus the diagnosis pipeline (§6.1-2) is built
+// and evaluated against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "failure/taxonomy.h"
+
+namespace acme::failure {
+
+struct SyntheticLog {
+  std::vector<std::string> lines;
+  std::string root_cause;     // ground-truth reason ("" for successful runs)
+  FailureCategory category = FailureCategory::kScript;
+  std::size_t metric_lines = 0;  // how many routine lines were emitted
+};
+
+struct LogSynthOptions {
+  int steps = 400;             // training steps logged before the failure
+  int ranks = 8;               // ranks that echo startup banners
+  double debug_noise = 0.02;   // probability of a debug line per step
+  int secondary_errors = 2;    // co-occurring non-root error signatures
+};
+
+class LogSynthesizer {
+ public:
+  explicit LogSynthesizer(LogSynthOptions options = {});
+
+  // Log of a job that fails with `spec` as root cause.
+  SyntheticLog failed_run(const FailureSpec& spec, common::Rng& rng) const;
+  // Log of a healthy run (used to mine filter rules and as negatives).
+  SyntheticLog healthy_run(common::Rng& rng) const;
+
+ private:
+  void emit_banner(SyntheticLog& log, common::Rng& rng) const;
+  void emit_training(SyntheticLog& log, int steps, common::Rng& rng) const;
+  void emit_error_tail(SyntheticLog& log, const FailureSpec& spec,
+                       common::Rng& rng) const;
+
+  LogSynthOptions options_;
+};
+
+}  // namespace acme::failure

@@ -1,0 +1,164 @@
+#include "failure/taxonomy.h"
+
+#include <stdexcept>
+
+namespace acme::failure {
+
+const char* to_string(FailureCategory category) {
+  switch (category) {
+    case FailureCategory::kInfrastructure: return "Infrastructure";
+    case FailureCategory::kFramework: return "Framework";
+    case FailureCategory::kScript: return "Script";
+  }
+  return "?";
+}
+
+namespace {
+
+FailureSpec make(std::string reason, FailureCategory cat, int count, double d_avg,
+                 double d_med, double ttf_avg, double ttf_med, double ttr_avg,
+                 double ttr_med, bool seren, bool kalos, bool node_detect,
+                 std::vector<std::string> sigs) {
+  FailureSpec s;
+  s.reason = std::move(reason);
+  s.category = cat;
+  s.count = count;
+  s.demand_avg = d_avg;
+  s.demand_median = d_med;
+  s.ttf_avg_min = ttf_avg;
+  s.ttf_median_min = ttf_med;
+  s.ttr_avg_min = ttr_avg;
+  s.ttr_median_min = ttr_med;
+  s.in_seren = seren;
+  s.in_kalos = kalos;
+  s.needs_node_detection = node_detect;
+  s.log_signatures = std::move(sigs);
+  return s;
+}
+
+std::vector<FailureSpec> build_table() {
+  using C = FailureCategory;
+  std::vector<FailureSpec> t;
+  // --- Infrastructure ---
+  t.push_back(make("NVLink Error", C::kInfrastructure, 54, 800, 896, 868.1, 155.3,
+                   95.6, 0.2, true, true, true,
+                   {"NVLink fatal error detected on link 3: training cannot continue",
+                    "CUDA error: unspecified launch failure",
+                    "NCCL WARN NET/IB : got completion with error 12"}));
+  t.push_back(make("CUDA Error", C::kInfrastructure, 21, 847, 1024, 923.2, 586.0,
+                   78.3, 2.0, true, true, true,
+                   {"RuntimeError: CUDA error: an illegal memory access was encountered",
+                    "CUDA error: device-side assert triggered",
+                    "NCCL Timeout: watchdog caught collective operation timeout"}));
+  t.push_back(make("Node Failure", C::kInfrastructure, 16, 712, 768, 1288.8, 535.8,
+                   102.8, 21.5, true, false, true,
+                   {"node lost heartbeat: rank 137 unreachable",
+                    "slurmstepd: error: Node failure on host"}));
+  t.push_back(make("ECC Error", C::kInfrastructure, 12, 680, 512, 1303.4, 1192.3,
+                   2.8, 1.8, true, true, true,
+                   {"CUDA error: uncorrectable ECC error encountered",
+                    "Xid 63: row remapping pending for GPU 4"}));
+  t.push_back(make("Network Error", C::kInfrastructure, 12, 758, 768, 549.6, 310.1,
+                   592.1, 7.4, true, true, true,
+                   {"NetworkError: IB link flap detected on mlx5_2 port 1",
+                    "NCCL WARN NET/IB : async event: port down"}));
+  t.push_back(make("Connection Error", C::kInfrastructure, 147, 29, 1, 51.9, 0.5,
+                   0.8, 0.02, true, true, false,
+                   {"ConnectionError: HTTPSConnectionPool(host='metrics.internal', port=443)",
+                    "requests.exceptions.ConnectionError: Failed to establish a new connection"}));
+  t.push_back(make("S3 Storage Error", C::kInfrastructure, 10, 422, 256, 2317.8,
+                   202.2, 6.2, 0.2, true, false, false,
+                   {"S3StorageError: PutObject timed out after 3 retries",
+                    "botocore.exceptions.EndpointConnectionError: Could not connect"}));
+  t.push_back(make("NCCL Timeout Error", C::kInfrastructure, 6, 596, 512, 159.7,
+                   48.1, 66.7, 43.6, false, true, true,
+                   {"NCCLTimeoutError: watchdog timeout on AllReduce, rank 891",
+                    "Some NCCL operations have failed or timed out"}));
+  t.push_back(make("NCCL Remote Error", C::kInfrastructure, 3, 1152, 1024, 50.5,
+                   22.6, 0.7, 0.7, false, true, true,
+                   {"NCCLRemoteError: remote process exited or there was a network error",
+                    "NCCL WARN Call to ibv_modify_qp failed"}));
+  // --- Framework ---
+  t.push_back(make("Dataloader Killed", C::kFramework, 6, 445, 508, 1580.6, 961.4,
+                   115.1, 0.9, false, true, false,
+                   {"RuntimeError: DataLoader worker (pid 71633) is killed by signal: Killed",
+                    "dataloader worker oom: copy-on-write memory growth detected"}));
+  t.push_back(make("Attribute Error", C::kFramework, 67, 228, 8, 67.8, 1.2, 2.4,
+                   0.02, true, true, false,
+                   {"AttributeError: 'NoneType' object has no attribute 'shape'"}));
+  t.push_back(make("Out of Memory Error", C::kFramework, 14, 572, 640, 323.8, 14.5,
+                   122.7, 1.2, true, true, false,
+                   {"torch.cuda.OutOfMemoryError: CUDA out of memory. Tried to allocate 2.50 GiB"}));
+  t.push_back(make("Runtime Error", C::kFramework, 65, 441, 352, 66.4, 3.9, 10.9,
+                   1.5, true, true, false,
+                   {"RuntimeError: The size of tensor a (4096) must match the size of tensor b (2048)"}));
+  t.push_back(make("Assertion Error", C::kFramework, 105, 413, 256, 41.7, 3.0,
+                   185.9, 1.6, true, true, false,
+                   {"AssertionError: expected pipeline stage outputs to be contiguous"}));
+  t.push_back(make("Value Error", C::kFramework, 33, 387, 256, 9.9, 3.7, 27.4, 0.6,
+                   true, true, false,
+                   {"ValueError: optimizer got an empty parameter list"}));
+  t.push_back(make("Zero Division Error", C::kFramework, 5, 499, 256, 14.5, 15.6,
+                   2.5, 1.1, true, true, false,
+                   {"ZeroDivisionError: division by zero in loss scaling"}));
+  t.push_back(make("Model Loading Error", C::kFramework, 104, 8, 8, 2.6, 2.6, 0.02,
+                   0.02, false, true, false,
+                   {"ModelLoadingError: checkpoint shard 00017-of-00032 not found"}));
+  t.push_back(make("Dataset Loading Error", C::kFramework, 5, 1, 1, 1.6, 1.6, 0.02,
+                   0.02, false, true, false,
+                   {"DatasetLoadingError: tokenized corpus index is corrupted"}));
+  // --- Script ---
+  t.push_back(make("File Not Found Error", C::kScript, 568, 21, 1, 14.2, 0.4, 0.4,
+                   0.02, true, true, false,
+                   {"FileNotFoundError: [Errno 2] No such file or directory: '/mnt/petrel/config.yaml'"}));
+  t.push_back(make("OS Error", C::kScript, 266, 8, 1, 9.6, 0.8, 0.3, 0.02, true,
+                   true, false,
+                   {"OSError: [Errno 122] Disk quota exceeded"}));
+  t.push_back(make("Type Error", C::kScript, 620, 18, 4, 0.9, 0.3, 0.2, 0.02, true,
+                   true, false,
+                   {"TypeError: forward() got an unexpected keyword argument 'use_cache'"}));
+  t.push_back(make("Name Error", C::kScript, 18, 247, 24, 3.2, 0.5, 2.9, 2.4, true,
+                   true, false, {"NameError: name 'flash_attn_func' is not defined"}));
+  t.push_back(make("Permission Error", C::kScript, 7, 438, 512, 4.3, 0.8, 2.4, 2.2,
+                   true, false, false,
+                   {"PermissionError: [Errno 13] Permission denied: '/mnt/shared/ckpt'"}));
+  t.push_back(make("Import Error", C::kScript, 111, 93, 8, 1.1, 0.4, 0.7, 0.02,
+                   true, true, false,
+                   {"ImportError: cannot import name 'LlamaRMSNorm' from 'modeling'"}));
+  t.push_back(make("Key Error", C::kScript, 260, 7, 0.5, 3.0, 1.6, 0.1, 0.02, true,
+                   true, false, {"KeyError: 'rotary_emb.inv_freq'"}));
+  t.push_back(make("Syntax Error", C::kScript, 10, 391, 384, 0.7, 0.6, 1.7, 1.7,
+                   true, true, false,
+                   {"SyntaxError: invalid syntax (train.py, line 212)"}));
+  t.push_back(make("Argument Error", C::kScript, 3, 344, 512, 0.7, 0.7, 2.7, 0.7,
+                   true, false, false,
+                   {"ArgumentError: argument --micro-batch-size: invalid int value"}));
+  t.push_back(make("Called Process Error", C::kScript, 4, 256, 256, 0.2, 0.2, 11.7,
+                   10.9, true, false, false,
+                   {"CalledProcessError: Command 'srun hostname' returned non-zero exit status 1"}));
+  t.push_back(make("Index Error", C::kScript, 23, 6, 1, 1.6, 0.9, 0.8, 0.02, true,
+                   true, false, {"IndexError: list index out of range"}));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<FailureSpec>& failure_table() {
+  static const std::vector<FailureSpec> table = build_table();
+  return table;
+}
+
+const FailureSpec& spec_for(const std::string& reason) {
+  for (const auto& s : failure_table())
+    if (s.reason == reason) return s;
+  throw std::out_of_range("unknown failure reason: " + reason);
+}
+
+std::vector<const FailureSpec*> infrastructure_specs() {
+  std::vector<const FailureSpec*> out;
+  for (const auto& s : failure_table())
+    if (s.category == FailureCategory::kInfrastructure) out.push_back(&s);
+  return out;
+}
+
+}  // namespace acme::failure

@@ -1,0 +1,45 @@
+// Failure taxonomy: the 29 failure reasons of paper Table 3, with their
+// published occurrence counts, GPU-demand statistics, time-to-failure (TTF)
+// and time-to-restart (TTR) statistics. Every sampler in the injector is a
+// lognormal fitted to the row's (median, average) pair (DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acme::failure {
+
+enum class FailureCategory { kInfrastructure, kFramework, kScript };
+
+const char* to_string(FailureCategory category);
+
+struct FailureSpec {
+  std::string reason;         // e.g. "NVLink Error"
+  FailureCategory category;
+  int count = 0;              // occurrences over the 6-month trace
+  double demand_avg = 1;      // GPUs
+  double demand_median = 1;
+  double ttf_avg_min = 1;     // minutes
+  double ttf_median_min = 1;
+  double ttr_avg_min = 0;     // minutes
+  double ttr_median_min = 0;
+  bool in_seren = true;
+  bool in_kalos = true;
+  // Does recovery require locating and cordoning faulty nodes (hardware) as
+  // opposed to a plain resubmit (software)?
+  bool needs_node_detection = false;
+  // Signature lines that appear in the runtime log when this failure fires;
+  // the first entry is the canonical root-cause line.
+  std::vector<std::string> log_signatures;
+};
+
+// All 29 rows of Table 3.
+const std::vector<FailureSpec>& failure_table();
+
+const FailureSpec& spec_for(const std::string& reason);
+
+// Reasons whose most-frequent occurrence is mid-run on large pretraining jobs
+// (category == Infrastructure), per §5.2.
+std::vector<const FailureSpec*> infrastructure_specs();
+
+}  // namespace acme::failure

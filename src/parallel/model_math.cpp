@@ -1,0 +1,105 @@
+#include "parallel/model_math.h"
+
+#include "common/check.h"
+
+namespace acme::parallel {
+
+double TransformerConfig::params() const {
+  const double h = hidden;
+  const double attn = 4.0 * h * h;  // QKV + output projections
+  const double ffn = 8.0 * h * h;   // two 4h matrices (per expert for MoE)
+  const double per_layer = attn + (moe ? ffn * experts : ffn) + 4.0 * h;
+  const double embeddings = static_cast<double>(vocab) * h;
+  return layers * per_layer + 2.0 * embeddings;  // tied in/out embeddings kept separate
+}
+
+double TransformerConfig::active_params() const {
+  if (!moe) return params();
+  const double h = hidden;
+  const double per_layer = 4.0 * h * h + 8.0 * h * h * 2.0 + 4.0 * h;  // top-2
+  return layers * per_layer + 2.0 * static_cast<double>(vocab) * h;
+}
+
+double TransformerConfig::train_flops_per_token() const {
+  // Matmul term plus attention score/context matmuls: 12 * l * h * s FLOPs
+  // per token (fwd+bwd), negligible at 2k context but dominant at 100k+.
+  const double attention =
+      12.0 * static_cast<double>(layers) * hidden * seq_len;
+  return 6.0 * active_params() + attention;
+}
+
+TransformerConfig llm_7b() {
+  TransformerConfig c;
+  c.name = "llm-7b";
+  c.layers = 32;
+  c.hidden = 4096;
+  c.heads = 32;
+  c.vocab = 100000;
+  c.seq_len = 2048;
+  return c;  // ~7.2B params
+}
+
+TransformerConfig llm_104b() {
+  TransformerConfig c;
+  c.name = "llm-104b";
+  c.layers = 72;
+  c.hidden = 10240;
+  c.heads = 80;
+  c.vocab = 100000;
+  c.seq_len = 2048;
+  return c;  // ~93B + embeddings ~ 104B
+}
+
+TransformerConfig llm_123b() {
+  TransformerConfig c;
+  c.name = "llm-123b";
+  c.layers = 80;
+  c.hidden = 11264;
+  c.heads = 88;
+  c.vocab = 100000;
+  c.seq_len = 2048;
+  return c;  // ~122B + embeddings ~ 124B
+}
+
+TransformerConfig moe_mistral_7b() {
+  TransformerConfig c;
+  c.name = "moe-mistral-7b";
+  c.layers = 32;
+  c.hidden = 4096;
+  c.heads = 32;
+  c.vocab = 32000;
+  c.seq_len = 4096;
+  c.moe = true;
+  c.experts = 8;
+  return c;
+}
+
+MemoryAnatomy mixed_precision_anatomy(double params) {
+  ACME_CHECK(params > 0);
+  MemoryAnatomy m;
+  m.param_bytes = 2.0 * params;
+  m.grad_bytes = 2.0 * params;
+  m.optimizer_bytes = 12.0 * params;  // fp32 master + momentum + variance
+  return m;
+}
+
+double checkpoint_bytes(double params) {
+  // fp16 params + fp32 (master, momentum, variance).
+  return 2.0 * params + 12.0 * params;
+}
+
+double activation_bytes_per_layer(const TransformerConfig& cfg, int microbatch,
+                                  int tensor_parallel, bool recompute,
+                                  bool sequence_parallel, int context_parallel) {
+  ACME_CHECK(microbatch > 0 && tensor_parallel > 0 && context_parallel > 0);
+  const double s = static_cast<double>(cfg.seq_len) / context_parallel;
+  const double b = microbatch;
+  const double h = cfg.hidden;
+  const double a = cfg.heads;
+  const double t = tensor_parallel;
+  if (recompute) return 2.0 * s * b * h;  // retain layer input only
+  const double residual_term = sequence_parallel ? 10.0 / t : 10.0;
+  return s * b * h * (residual_term + 24.0 / t + 5.0 * a * s / (h * t));
+}
+
+}  // namespace acme::parallel

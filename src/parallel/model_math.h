@@ -1,0 +1,66 @@
+// Transformer sizing math: parameter counts, FLOPs, and the mixed-precision
+// memory anatomy the paper quotes (§4.1: "the memory footprint of the
+// parameters, gradients, and optimizer states are 2Ψ, 2Ψ, and 12Ψ").
+#pragma once
+
+#include <string>
+
+namespace acme::parallel {
+
+struct TransformerConfig {
+  std::string name;
+  int layers = 0;
+  int hidden = 0;
+  int heads = 0;
+  int vocab = 100000;
+  int seq_len = 2048;
+  // MoE extensions (Appendix A.6): top-2 routing over `experts` FFNs.
+  bool moe = false;
+  int experts = 1;
+
+  // Decoder-only parameter count: embeddings + per-layer attention (4 h^2)
+  // and FFN (8 h^2, or per-expert for MoE).
+  double params() const;
+  // Parameters active per token (MoE activates top-2 experts only).
+  double active_params() const;
+  // Training FLOPs per token: ~6x active params for the matmuls plus the
+  // attention term, which grows linearly in sequence length per token
+  // (quadratic per sequence) — the cost driver of long-sequence pretraining.
+  double train_flops_per_token() const;
+};
+
+// The InternLM-style model family used in the paper's profiling sections.
+TransformerConfig llm_7b();
+TransformerConfig llm_104b();
+TransformerConfig llm_123b();
+// Mistral-7B-like MoE (8 experts, top-2) for Appendix A.6 / Fig 22.
+TransformerConfig moe_mistral_7b();
+
+// Mixed-precision Adam memory anatomy, in bytes for a model of `params`
+// parameters: fp16 params (2Psi), fp16 grads (2Psi), fp32 master params +
+// momentum + variance (12Psi).
+struct MemoryAnatomy {
+  double param_bytes = 0;
+  double grad_bytes = 0;
+  double optimizer_bytes = 0;
+  double total() const { return param_bytes + grad_bytes + optimizer_bytes; }
+};
+MemoryAnatomy mixed_precision_anatomy(double params);
+
+// Checkpoint payload (fp16 params + fp32 optimizer trio): what must be saved
+// to resume training, per the paper's TB-scale model states (§6.1).
+double checkpoint_bytes(double params);
+
+// Activation bytes per transformer layer for one microbatch under tensor
+// parallelism degree t (Korthikanti et al.: sbh(10 + 24/t + 5as/(ht))).
+// With sequence parallelism the residual/layer-norm activations (the "10"
+// term) are also partitioned across t: sbh(34/t + 5as/(ht)). With full
+// recomputation only the layer input (2sbh) is retained. Context parallelism
+// (degree cp) splits the sequence itself across GPUs for long-sequence
+// training, dividing every term by cp.
+double activation_bytes_per_layer(const TransformerConfig& cfg, int microbatch,
+                                  int tensor_parallel, bool recompute,
+                                  bool sequence_parallel = false,
+                                  int context_parallel = 1);
+
+}  // namespace acme::parallel

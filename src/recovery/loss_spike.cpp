@@ -1,0 +1,39 @@
+#include "recovery/loss_spike.h"
+
+#include <algorithm>
+
+namespace acme::recovery {
+
+LossSpikeDetector::LossSpikeDetector(LossSpikeOptions options) : options_(options) {}
+
+void LossSpikeDetector::reset() {
+  window_.clear();
+  elevated_streak_ = 0;
+  spike_onset_ = 0;
+  fired_ = false;
+}
+
+std::optional<std::uint64_t> LossSpikeDetector::observe(std::uint64_t step,
+                                                        double loss) {
+  if (!window_.empty()) {
+    const double reference =
+        *std::min_element(window_.begin(), window_.end());
+    if (loss > reference * options_.spike_factor) {
+      if (elevated_streak_ == 0) spike_onset_ = step;
+      ++elevated_streak_;
+    } else {
+      elevated_streak_ = 0;
+      fired_ = false;
+    }
+  }
+  window_.push_back(loss);
+  while (static_cast<int>(window_.size()) > options_.window) window_.pop_front();
+
+  if (elevated_streak_ >= options_.sustain_steps && !fired_) {
+    fired_ = true;
+    return spike_onset_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace acme::recovery

@@ -1,0 +1,42 @@
+// Loss-spike detection (paper §5.3: "a sudden increase in the loss that was
+// previously decreasing normally, and does not recover over a certain
+// period" triggers a restart from an earlier healthy checkpoint with the
+// offending batches skipped).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace acme::recovery {
+
+struct LossSpikeOptions {
+  // The loss must exceed the recent rolling minimum by this factor...
+  double spike_factor = 1.15;
+  // ...for at least this many consecutive steps to count as a spike (brief
+  // jitters recover on their own).
+  int sustain_steps = 20;
+  // Rolling window over which the reference minimum is tracked.
+  int window = 200;
+};
+
+class LossSpikeDetector {
+ public:
+  explicit LossSpikeDetector(LossSpikeOptions options = LossSpikeOptions());
+
+  // Feeds one (step, loss) observation; returns the spike-onset step when a
+  // sustained spike is confirmed (once per spike).
+  std::optional<std::uint64_t> observe(std::uint64_t step, double loss);
+
+  void reset();
+
+ private:
+  LossSpikeOptions options_;
+  std::deque<double> window_;
+  double rolling_min_ = 0;
+  int elevated_streak_ = 0;
+  std::uint64_t spike_onset_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace acme::recovery

@@ -1,0 +1,56 @@
+#include "recovery/two_round_test.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace acme::recovery {
+
+TwoRoundResult two_round_localize(
+    const std::vector<cluster::NodeId>& nodes,
+    const std::function<bool(cluster::NodeId)>& is_faulty,
+    double per_round_seconds) {
+  TwoRoundResult result;
+  if (nodes.empty()) return result;
+
+  // Round 1: pair nodes into worlds; a trailing odd node joins the last
+  // world, making it a three-node world (paper: "If the total number of
+  // servers is odd, we leave one world size as three").
+  std::vector<std::vector<cluster::NodeId>> worlds;
+  for (std::size_t i = 0; i + 1 < nodes.size(); i += 2)
+    worlds.push_back({nodes[i], nodes[i + 1]});
+  if (nodes.size() % 2 == 1) {
+    if (worlds.empty()) {
+      worlds.push_back({nodes.back()});
+    } else {
+      worlds.back().push_back(nodes.back());
+    }
+  }
+  result.round1_worlds = static_cast<int>(worlds.size());
+
+  std::vector<cluster::NodeId> clean;
+  for (const auto& world : worlds) {
+    const bool failed =
+        std::any_of(world.begin(), world.end(), [&](cluster::NodeId n) {
+          return is_faulty(n);
+        });
+    for (cluster::NodeId n : world)
+      (failed ? result.suspects : clean).push_back(n);
+  }
+  result.duration_seconds = per_round_seconds;
+  if (result.suspects.empty()) return result;  // fabric-wide pass, one round
+
+  // Round 2: each suspect pairs with a known-clean node; the all-gather then
+  // fails iff the suspect itself is faulty. If NO clean world survived round
+  // 1 there is no healthy witness to pair with, so each suspect instead runs
+  // an intra-node self-test (single-node NCCL world exercising its own GPUs
+  // and NVLinks) — still one parallel round.
+  result.duration_seconds += per_round_seconds;
+  result.round2_worlds = static_cast<int>(result.suspects.size());
+  for (cluster::NodeId suspect : result.suspects)
+    if (is_faulty(suspect)) result.faulty.push_back(suspect);
+  std::sort(result.faulty.begin(), result.faulty.end());
+  return result;
+}
+
+}  // namespace acme::recovery

@@ -1,0 +1,262 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace acme::sched {
+
+SchedulerConfig seren_scheduler_config() {
+  SchedulerConfig c;
+  c.pretrain_reservation = 0.68;
+  c.eval_cap_fraction = 0.030;
+  return c;
+}
+
+SchedulerConfig kalos_scheduler_config() {
+  SchedulerConfig c;
+  c.pretrain_reservation = 0.90;
+  c.eval_cap_fraction = 0.010;
+  return c;
+}
+
+cluster::ClusterSpec SchedulerReplay::partition_spec(const cluster::ClusterSpec& spec,
+                                                     int nodes) {
+  cluster::ClusterSpec p = spec;
+  p.node_count = nodes;  // zero nodes (preemptive mode) is a valid partition
+  return p;
+}
+
+SchedulerReplay::SchedulerReplay(const cluster::ClusterSpec& spec,
+                                 SchedulerConfig config)
+    : spec_(spec),
+      config_(config),
+      reserved_(partition_spec(
+          spec, static_cast<int>(
+                    std::lround(config.pretrain_reservation * spec.node_count)))),
+      shared_(partition_spec(
+          spec,
+          spec.node_count - static_cast<int>(std::lround(config.pretrain_reservation *
+                                                         spec.node_count)))) {
+  ACME_CHECK(shared_.node_count() > 0);
+  ACME_CHECK(config_.allow_preemption || reserved_.node_count() > 0);
+  eval_cap_ = static_cast<int>(
+      std::lround(config_.eval_cap_fraction * spec.node_count * spec.node.gpus));
+  eval_cap_ = std::max(eval_cap_, spec_.node.gpus);
+}
+
+SchedulerReplay::QueueClass SchedulerReplay::classify(trace::WorkloadType type) {
+  switch (type) {
+    case trace::WorkloadType::kPretrain:
+      return QueueClass::kPretrain;
+    case trace::WorkloadType::kEvaluation:
+      return QueueClass::kEvaluation;
+    default:
+      return QueueClass::kNormal;
+  }
+}
+
+ReplayResult SchedulerReplay::replay(const trace::Trace& input,
+                                     double sample_interval) {
+  jobs_ = input;
+  placements_.assign(jobs_.size(), {});
+  completion_.assign(jobs_.size(), {});
+  started_at_.assign(jobs_.size(), 0.0);
+  extra_overhead_.assign(jobs_.size(), 0.0);
+  delay_recorded_.assign(jobs_.size(), false);
+  progress_done_.assign(jobs_.size(), 0.0);
+  waiting_since_.assign(jobs_.size(), 0.0);
+  running_best_effort_.clear();
+  running_pretrain_.clear();
+  ReplayResult result;
+  result_ = &result;
+
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const auto& job = jobs_[i];
+    if (!job.is_gpu_job()) continue;  // CPU jobs bypass the GPU scheduler
+    ACME_CHECK_MSG(job.gpus <= reserved_.total_gpus() + shared_.total_gpus(),
+                   "job demands more GPUs than the cluster has");
+    engine_.schedule_at(job.submit_time, [this, i] { on_submit(i); });
+  }
+
+  if (sample_interval > 0) {
+    engine_.schedule_at(0.0, [this, sample_interval, &result] {
+      sample_occupancy(sample_interval, &result);
+    });
+  }
+
+  engine_.run();
+  result_ = nullptr;
+  result.makespan = engine_.now();
+  result.unstarted = queues_[0].size() + queues_[1].size() + queues_[2].size();
+  result.jobs = std::move(jobs_);
+  jobs_.clear();
+  return result;
+}
+
+void SchedulerReplay::sample_occupancy(double interval, ReplayResult* result) {
+  ReplayResult::OccupancySample s;
+  s.time = engine_.now();
+  s.total_gpus = reserved_.total_gpus() + shared_.total_gpus();
+  s.busy_gpus = s.total_gpus - reserved_.free_gpus_including_cordoned() -
+                shared_.free_gpus_including_cordoned();
+  s.running_jobs = running_jobs_;
+  s.queued_jobs =
+      static_cast<int>(queues_[0].size() + queues_[1].size() + queues_[2].size());
+  result->occupancy.push_back(s);
+  // Re-arm while any job activity remains.
+  if (engine_.pending() > 0)
+    engine_.schedule_after(
+        interval, [this, interval, result] { sample_occupancy(interval, result); });
+}
+
+void SchedulerReplay::on_submit(std::size_t index) {
+  waiting_since_[index] = engine_.now();
+  queues_[static_cast<int>(classify(jobs_[index].type))].push_back(index);
+  try_dispatch();
+}
+
+bool SchedulerReplay::try_start(std::size_t index) {
+  auto& job = jobs_[index];
+  const QueueClass cls = classify(job.type);
+  if (cls == QueueClass::kEvaluation && eval_gpus_in_use_ + job.gpus > eval_cap_ &&
+      eval_gpus_in_use_ > 0)  // cap, with starvation escape
+    return false;
+
+  Placement placement;
+  if (cls == QueueClass::kPretrain) {
+    // Pretraining prefers its reservation, spilling to the shared partition
+    // only when the reservation is exhausted; in preemptive mode it may
+    // evict best-effort work instead.
+    if (auto alloc = reserved_.try_allocate(job.gpus, config_.cpus_per_gpu)) {
+      placement = {*alloc, true};
+    } else if (auto spill = shared_.try_allocate(job.gpus, config_.cpus_per_gpu)) {
+      placement = {*spill, false};
+    } else if (config_.allow_preemption && preempt_for(job.gpus)) {
+      auto freed = shared_.try_allocate(job.gpus, config_.cpus_per_gpu);
+      ACME_CHECK_MSG(freed.has_value(), "preemption freed too little");
+      placement = {*freed, false};
+    } else {
+      return false;
+    }
+  } else {
+    auto alloc = shared_.try_allocate(job.gpus, config_.cpus_per_gpu);
+    if (!alloc) return false;
+    placement = {*alloc, false};
+  }
+
+  placements_[index] = std::move(placement);
+  if (cls == QueueClass::kEvaluation) eval_gpus_in_use_ += job.gpus;
+  if (!delay_recorded_[index]) {  // keep the FIRST start for delay accounting
+    job.queue_delay = engine_.now() - job.submit_time;
+    delay_recorded_[index] = true;
+  }
+  started_at_[index] = engine_.now();
+  ++running_jobs_;
+  (cls == QueueClass::kPretrain ? running_pretrain_ : running_best_effort_)
+      .push_back(index);
+  const double remaining =
+      std::max(0.0, job.duration - progress_done_[index]) + extra_overhead_[index];
+  extra_overhead_[index] = 0.0;  // the tax is paid once per restart
+  completion_[index] =
+      engine_.schedule_after(remaining, [this, index] { on_complete(index); });
+  return true;
+}
+
+void SchedulerReplay::evict(std::size_t index, double rollback_cap) {
+  auto& job = jobs_[index];
+  const QueueClass cls = classify(job.type);
+  engine_.cancel(completion_[index]);
+  completion_[index] = {};
+  (placements_[index].on_reserved ? reserved_ : shared_)
+      .release(placements_[index].alloc);
+  placements_[index] = {};
+  auto& pool =
+      cls == QueueClass::kPretrain ? running_pretrain_ : running_best_effort_;
+  pool.erase(std::remove(pool.begin(), pool.end(), index), pool.end());
+  if (cls == QueueClass::kEvaluation) {
+    eval_gpus_in_use_ -= job.gpus;
+    ACME_CHECK(eval_gpus_in_use_ >= 0);
+  }
+  --running_jobs_;
+  const double elapsed = engine_.now() - started_at_[index];
+  const double lost = std::min(elapsed, rollback_cap);
+  progress_done_[index] += elapsed - lost;
+  if (result_ != nullptr) {
+    ++result_->preemptions;
+    result_->wasted_gpu_seconds += static_cast<double>(job.gpus) * lost;
+  }
+  extra_overhead_[index] += config_.preemption_overhead_seconds;
+  waiting_since_[index] = engine_.now();
+  queues_[static_cast<int>(cls)].push_back(index);
+}
+
+bool SchedulerReplay::preempt_for(int gpus) {
+  // Feasibility first: even an empty shared partition must fit the gang.
+  if (gpus > shared_.total_gpus()) return false;
+  while (!shared_.can_allocate(gpus) && !running_best_effort_.empty()) {
+    // Youngest victim first: least progress discarded. Best-effort jobs have
+    // no checkpoints — everything since their start is lost.
+    evict(running_best_effort_.back(),
+          std::numeric_limits<double>::infinity());
+  }
+  return shared_.can_allocate(gpus);
+}
+
+void SchedulerReplay::preempt_pretraining_if_starved() {
+  if (!config_.preempt_pretraining_for_fairness) return;
+  for (auto* queue : {&queues_[1], &queues_[2]}) {
+    if (queue->empty()) continue;
+    const std::size_t head = queue->front();
+    if (engine_.now() - waiting_since_[head] < config_.fairness_wait_seconds)
+      continue;
+    // Evict the youngest pretraining victims until the starved head fits,
+    // then start it immediately — before the evicted (higher-priority)
+    // pretraining job can re-claim the freed nodes.
+    while (!running_pretrain_.empty() && !shared_.can_allocate(jobs_[head].gpus)) {
+      evict(running_pretrain_.back(), config_.pretrain_rollback_cap_seconds);
+    }
+    if (try_start(head)) queue->pop_front();
+  }
+}
+
+void SchedulerReplay::try_dispatch() {
+  preempt_pretraining_if_starved();
+  // Highest class first. FCFS within a class; a stuck head may be backfilled
+  // past by up to backfill_depth smaller jobs (conservative: they must fit in
+  // currently free resources, which cannot delay the head further under our
+  // no-preemption model).
+  for (auto& queue : queues_) {
+    std::size_t scanned = 0;
+    for (auto it = queue.begin();
+         it != queue.end() && scanned <= config_.backfill_depth;) {
+      if (try_start(*it)) {
+        it = queue.erase(it);
+      } else {
+        ++it;
+        ++scanned;
+      }
+    }
+  }
+}
+
+void SchedulerReplay::on_complete(std::size_t index) {
+  auto& job = jobs_[index];
+  auto& placement = placements_[index];
+  (placement.on_reserved ? reserved_ : shared_).release(placement.alloc);
+  placement = {};
+  completion_[index] = {};
+  auto& pool = classify(job.type) == QueueClass::kPretrain ? running_pretrain_
+                                                           : running_best_effort_;
+  pool.erase(std::remove(pool.begin(), pool.end(), index), pool.end());
+  if (classify(job.type) == QueueClass::kEvaluation) {
+    eval_gpus_in_use_ -= job.gpus;
+    ACME_CHECK(eval_gpus_in_use_ >= 0);
+  }
+  --running_jobs_;
+  try_dispatch();
+}
+
+}  // namespace acme::sched

@@ -1,0 +1,141 @@
+// Cluster scheduler replay (paper §2.2 "resource isolation and quota
+// reservation ... best-effort job mechanism", §3.2 queuing-delay findings).
+//
+// Policy modelled after Acme's:
+//  - a node partition is reserved for pretraining (quota reservation): only
+//    pretraining jobs may place there, so campaign resubmissions restart
+//    without queuing behind best-effort work;
+//  - all other workloads are best-effort on the shared partition;
+//  - evaluation trials additionally sit in the lowest-priority queue under a
+//    thin aggregate GPU cap — they arrive in large simultaneous batches and
+//    drain through limited spare resources, which is exactly why the paper
+//    finds they wait longest despite being the smallest jobs (Fig 6).
+//
+// Replaying a synthesized trace through this scheduler fills in each job's
+// queue_delay and produces a cluster occupancy timeline for Fig 7.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cluster/state.h"
+#include "sim/engine.h"
+#include "trace/job.h"
+
+namespace acme::sched {
+
+struct SchedulerConfig {
+  // Fraction of cluster NODES reserved for pretraining. May be 0 when
+  // preemption is enabled (the classic DL-scheduler design the paper argues
+  // against for LLM workloads).
+  double pretrain_reservation = 0.80;
+  // Preemptive baseline (Tiresias/Gandiva-style): pretraining jobs evict
+  // running best-effort jobs instead of relying on a reservation. Victims
+  // lose all progress and re-run from scratch after `preemption_overhead`
+  // (checkpoint save/restore + resubmission) — the "considerable recovery
+  // overhead" of §3.1.
+  bool allow_preemption = false;
+  double preemption_overhead_seconds = 300.0;
+  // Fairness-driven preemption OF pretraining (what Tiresias/Themis-style
+  // schedulers do to long-running jobs): once a best-effort job has waited
+  // past `fairness_wait_seconds`, the youngest pretraining job is evicted.
+  // The victim rolls back to its last checkpoint — losing up to
+  // `pretrain_rollback_cap_seconds` of 1000-GPU-scale work per eviction —
+  // which is precisely the "considerable recovery overhead" of §3.1.
+  bool preempt_pretraining_for_fairness = false;
+  double fairness_wait_seconds = 1800.0;
+  double pretrain_rollback_cap_seconds = 1800.0;  // checkpoint interval
+  // Aggregate GPU cap for the evaluation class alone (fraction of cluster).
+  double eval_cap_fraction = 0.05;
+  // Backfill window: how many queued jobs past a stuck head the scheduler may
+  // examine per class (Slurm-style conservative backfill).
+  std::size_t backfill_depth = 64;
+  int cpus_per_gpu = 12;
+};
+
+// Reservations tuned per cluster: Seren hosts the alignment/MLLM mix so its
+// spare share is wider; Kalos is pretraining-dominated with a thin spare
+// slice, which is what gives evaluation trials their long waits (Fig 6d).
+SchedulerConfig seren_scheduler_config();
+SchedulerConfig kalos_scheduler_config();
+
+struct ReplayResult {
+  // Jobs with queue_delay filled in (same order as the input trace).
+  trace::Trace jobs;
+  // Occupancy samples taken every sample_interval seconds.
+  struct OccupancySample {
+    double time;
+    int busy_gpus;
+    int total_gpus;
+    int running_jobs;
+    int queued_jobs;
+  };
+  std::vector<OccupancySample> occupancy;
+  double makespan = 0;
+  // Jobs still queued when the replay drained (demand that can never fit its
+  // partition); should be zero for well-formed profiles.
+  std::size_t unstarted = 0;
+  // Preemptive-baseline accounting.
+  int preemptions = 0;
+  double wasted_gpu_seconds = 0;  // progress discarded by evictions
+};
+
+class SchedulerReplay {
+ public:
+  SchedulerReplay(const cluster::ClusterSpec& spec, SchedulerConfig config = {});
+
+  // Replays the trace; GPU jobs only (CPU jobs pass through with zero delay).
+  ReplayResult replay(const trace::Trace& input, double sample_interval = 0);
+
+ private:
+  enum class QueueClass { kPretrain = 0, kNormal = 1, kEvaluation = 2 };
+  static QueueClass classify(trace::WorkloadType type);
+
+  void sample_occupancy(double interval, ReplayResult* result);
+  void on_submit(std::size_t index);
+  void try_dispatch();
+  bool try_start(std::size_t index);
+  void on_complete(std::size_t index);
+  // Evicts the youngest best-effort jobs until `gpus` can be gang-placed on
+  // the shared partition; returns false if even a full eviction cannot help.
+  bool preempt_for(int gpus);
+  // Evicts one job (releasing its resources, accounting lost work, and
+  // re-queueing it with the restart tax). `rollback_cap` bounds the loss for
+  // checkpointed (pretraining) victims; infinity means start from scratch.
+  void evict(std::size_t index, double rollback_cap);
+  // Fairness pass: starved best-effort heads may evict pretraining victims.
+  void preempt_pretraining_if_starved();
+
+  cluster::ClusterSpec spec_;
+  SchedulerConfig config_;
+  sim::Engine engine_;
+  // Reserved partition (pretraining only) and shared partition (everyone).
+  cluster::ClusterState reserved_;
+  cluster::ClusterState shared_;
+  trace::Trace jobs_;
+  struct Placement {
+    cluster::Allocation alloc;
+    bool on_reserved = false;
+  };
+  std::vector<Placement> placements_;
+  // Per-job runtime bookkeeping for preemption support.
+  std::vector<sim::EventHandle> completion_;
+  std::vector<double> started_at_;
+  std::vector<double> extra_overhead_;  // added on restart after eviction
+  std::vector<bool> delay_recorded_;     // first-start delay already captured
+  std::vector<double> progress_done_;    // work completed before an eviction
+  std::vector<double> waiting_since_;    // first enqueue time (fairness clock)
+  std::vector<std::size_t> running_best_effort_;  // newest last
+  std::vector<std::size_t> running_pretrain_;     // newest last
+  ReplayResult* result_ = nullptr;
+  std::deque<std::size_t> queues_[3];
+  int eval_gpus_in_use_ = 0;
+  int eval_cap_ = 0;
+  int running_jobs_ = 0;
+
+  static cluster::ClusterSpec partition_spec(const cluster::ClusterSpec& spec,
+                                             int nodes);
+};
+
+}  // namespace acme::sched

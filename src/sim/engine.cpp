@@ -1,0 +1,68 @@
+#include "sim/engine.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace acme::sim {
+
+EventHandle Engine::schedule_at(Time when, std::function<void()> fn) {
+  ACME_CHECK_MSG(when >= now_, "cannot schedule events in the past");
+  ACME_CHECK(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventHandle(seq);
+}
+
+EventHandle Engine::schedule_after(Time delay, std::function<void()> fn) {
+  ACME_CHECK_MSG(delay >= 0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  auto it = callbacks_.find(handle.seq_);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(handle.seq_);
+  return true;
+}
+
+bool Engine::step(Time horizon) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    if (cancelled_.erase(top.seq) > 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > horizon) return false;
+    heap_.pop();
+    auto it = callbacks_.find(top.seq);
+    ACME_CHECK_MSG(it != callbacks_.end(), "event lost its callback");
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run_until(Time horizon) {
+  std::size_t n = 0;
+  while (step(horizon)) ++n;
+  // Advance the clock to the horizon even if no event lands exactly there, so
+  // successive run_until calls observe monotonically increasing time.
+  if (horizon > now_ && horizon < std::numeric_limits<Time>::infinity()) now_ = horizon;
+  return n;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (step(std::numeric_limits<Time>::infinity())) ++n;
+  return n;
+}
+
+}  // namespace acme::sim

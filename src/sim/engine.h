@@ -1,0 +1,85 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded priority-queue scheduler: events fire in (time, sequence)
+// order so that ties are broken deterministically by insertion order. Events
+// are cancellable (needed by the scheduler when a job is killed while its
+// completion event is pending) and may schedule further events while firing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace acme::sim {
+
+using Time = double;  // seconds since simulation start
+
+class Engine;
+
+// Opaque handle for cancelling a scheduled event. Default-constructed handles
+// are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= now). Returns a handle
+  // that can cancel the event before it fires.
+  EventHandle schedule_at(Time when, std::function<void()> fn);
+  // Schedules `fn` to run `delay` seconds from now.
+  EventHandle schedule_after(Time delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventHandle handle);
+
+  // Runs events until the queue is empty or the horizon is reached. Events
+  // scheduled exactly at the horizon still fire. Returns number of events run.
+  std::size_t run_until(Time horizon);
+  // Runs everything (horizon = infinity).
+  std::size_t run();
+  // Fires at most one event; returns false if queue empty or next event is
+  // beyond `horizon`.
+  bool step(Time horizon);
+
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Ordered as a min-heap on (time, seq).
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Callbacks keyed by sequence number; kept out of the heap so cancellation
+  // is O(1) without heap surgery.
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace acme::sim

@@ -1,0 +1,163 @@
+#include "storage/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace acme::storage {
+
+StorageNetworkConfig seren_storage_config() {
+  StorageNetworkConfig c;
+  c.backend_bytes_per_sec = 80e9;                         // all-NVMe aggregate
+  c.node_nic_bytes_per_sec = common::gbps_to_Bps(25.0);   // Fig 16-left cap
+  return c;
+}
+
+StorageNetworkConfig kalos_storage_config() {
+  StorageNetworkConfig c;
+  c.backend_bytes_per_sec = 120e9;
+  c.node_nic_bytes_per_sec = common::gbps_to_Bps(200.0);  // dedicated HCA
+  return c;
+}
+
+StorageNetwork::StorageNetwork(sim::Engine& engine, StorageNetworkConfig config)
+    : engine_(engine), config_(config) {
+  ACME_CHECK(config_.backend_bytes_per_sec > 0);
+  ACME_CHECK(config_.node_nic_bytes_per_sec > 0);
+  last_update_ = engine_.now();
+}
+
+FlowId StorageNetwork::start_flow(cluster::NodeId node, double bytes,
+                                  std::function<void()> on_done) {
+  ACME_CHECK(bytes > 0);
+  advance_to_now();
+  const FlowId id = next_id_++;
+  flows_.emplace(id, Flow{node, bytes, 0.0, std::move(on_done)});
+  reschedule();
+  return id;
+}
+
+void StorageNetwork::cancel(FlowId id) {
+  advance_to_now();
+  flows_.erase(id);
+  reschedule();
+}
+
+double StorageNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void StorageNetwork::advance_to_now() {
+  const sim::Time now = engine_.now();
+  const double dt = now - last_update_;
+  if (dt > 0) {
+    for (auto& [id, flow] : flows_)
+      flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - flow.rate * dt);
+  }
+  last_update_ = now;
+}
+
+void StorageNetwork::compute_rates() {
+  // Progressive filling: repeatedly raise all unfrozen flows' rates equally
+  // until a constraint saturates, freeze the flows behind it, repeat.
+  for (auto& [id, flow] : flows_) flow.rate = 0;
+  if (flows_.empty()) return;
+
+  std::map<cluster::NodeId, std::vector<Flow*>> by_node;
+  std::vector<Flow*> all;
+  for (auto& [id, flow] : flows_) {
+    by_node[flow.node].push_back(&flow);
+    all.push_back(&flow);
+  }
+
+  std::map<Flow*, bool> frozen;
+  for (Flow* f : all) frozen[f] = false;
+  double backend_left = config_.backend_bytes_per_sec;
+  std::map<cluster::NodeId, double> node_left;
+  for (auto& [node, flows] : by_node) node_left[node] = config_.node_nic_bytes_per_sec;
+
+  std::size_t unfrozen = all.size();
+  while (unfrozen > 0) {
+    // Headroom per unfrozen flow at each constraint.
+    double step = std::numeric_limits<double>::infinity();
+    const auto backend_unfrozen = static_cast<double>(unfrozen);
+    step = std::min(step, backend_left / backend_unfrozen);
+    for (auto& [node, flows] : by_node) {
+      std::size_t n = 0;
+      for (Flow* f : flows)
+        if (!frozen[f]) ++n;
+      if (n > 0) step = std::min(step, node_left[node] / static_cast<double>(n));
+    }
+    if (!(step > 0) || !std::isfinite(step)) break;
+
+    for (Flow* f : all)
+      if (!frozen[f]) f->rate += step;
+    backend_left -= step * backend_unfrozen;
+    for (auto& [node, flows] : by_node) {
+      std::size_t n = 0;
+      for (Flow* f : flows)
+        if (!frozen[f]) ++n;
+      node_left[node] -= step * static_cast<double>(n);
+    }
+
+    // Freeze flows behind any saturated constraint.
+    bool backend_saturated = backend_left <= 1e-6 * config_.backend_bytes_per_sec;
+    bool froze_any = false;
+    for (auto& [node, flows] : by_node) {
+      const bool node_saturated =
+          node_left[node] <= 1e-6 * config_.node_nic_bytes_per_sec;
+      if (!node_saturated && !backend_saturated) continue;
+      for (Flow* f : flows) {
+        if (!frozen[f]) {
+          frozen[f] = true;
+          --unfrozen;
+          froze_any = true;
+        }
+      }
+    }
+    if (!froze_any) break;  // numerical guard
+  }
+}
+
+void StorageNetwork::reschedule() {
+  if (pending_completion_.valid()) {
+    engine_.cancel(pending_completion_);
+    pending_completion_ = sim::EventHandle{};
+  }
+  compute_rates();
+  if (flows_.empty()) return;
+
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0) continue;
+    earliest = std::min(earliest, flow.remaining_bytes / flow.rate);
+  }
+  ACME_CHECK_MSG(std::isfinite(earliest), "storage flow stalled with zero rate");
+  pending_completion_ =
+      engine_.schedule_after(std::max(earliest, 0.0), [this] { on_completion_event(); });
+}
+
+void StorageNetwork::on_completion_event() {
+  pending_completion_ = sim::EventHandle{};
+  advance_to_now();
+  // Collect finished flows first: callbacks may start new flows re-entrantly.
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bytes <= 1e-3) {  // within a millibyte of done
+      done.push_back(std::move(it->second.on_done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& fn : done)
+    if (fn) fn();
+}
+
+}  // namespace acme::storage

@@ -1,0 +1,75 @@
+// Remote parallel-filesystem network model with max-min fair bandwidth
+// sharing (paper Fig 16-left, §6.1 checkpoint persistence, §6.2 model
+// loading).
+//
+// Topology: every node reaches the storage backend through its own storage
+// NIC (25 Gb/s on Seren, where storage shares the single HDR HCA's dedicated
+// lane; 200 Gb/s on Kalos); the backend itself has an aggregate cap. Active
+// flows receive max-min fair rates subject to both constraints — this is the
+// standard fluid-flow ("progressive filling") model, recomputed on every
+// arrival/departure and integrated exactly between events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "cluster/state.h"
+#include "sim/engine.h"
+
+namespace acme::storage {
+
+using FlowId = std::uint64_t;
+
+struct StorageNetworkConfig {
+  double backend_bytes_per_sec = 0;   // aggregate backend bandwidth
+  double node_nic_bytes_per_sec = 0;  // per-node storage NIC bandwidth
+};
+
+// Defaults derived from the paper: Seren's storage NIC is 25 Gb/s; the
+// all-NVMe backend sustains ~80 GB/s aggregate.
+StorageNetworkConfig seren_storage_config();
+StorageNetworkConfig kalos_storage_config();
+
+class StorageNetwork {
+ public:
+  StorageNetwork(sim::Engine& engine, StorageNetworkConfig config);
+  StorageNetwork(const StorageNetwork&) = delete;
+  StorageNetwork& operator=(const StorageNetwork&) = delete;
+
+  // Starts a transfer of `bytes` between the backend and `node` (direction is
+  // symmetric in this model). `on_done` fires at the completion time.
+  FlowId start_flow(cluster::NodeId node, double bytes,
+                    std::function<void()> on_done);
+  // Cancels an in-flight transfer; its completion callback never fires.
+  void cancel(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  // Instantaneous fair-share rate of a flow (bytes/s); 0 if unknown.
+  double flow_rate(FlowId id) const;
+  const StorageNetworkConfig& config() const { return config_; }
+
+ private:
+  struct Flow {
+    cluster::NodeId node;
+    double remaining_bytes;
+    double rate = 0;
+    std::function<void()> on_done;
+  };
+
+  // Advances all flows to `now`, recomputes max-min fair rates, and
+  // (re)schedules the next completion event.
+  void reschedule();
+  void advance_to_now();
+  void compute_rates();
+  void on_completion_event();
+
+  sim::Engine& engine_;
+  StorageNetworkConfig config_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  sim::Time last_update_ = 0;
+  sim::EventHandle pending_completion_;
+};
+
+}  // namespace acme::storage

@@ -1,0 +1,55 @@
+#include "storage/shm_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace acme::storage {
+
+ShmCache::ShmCache(double capacity_gb) : capacity_gb_(capacity_gb) {
+  ACME_CHECK(capacity_gb > 0);
+}
+
+bool ShmCache::put(cluster::NodeId node, const std::string& artifact, double size_gb) {
+  ACME_CHECK(size_gb >= 0);
+  if (size_gb > capacity_gb_) return false;
+  auto& list = entries_[node];
+  for (const auto& e : list)
+    if (e.artifact == artifact) return true;
+  double used = used_gb(node);
+  while (used + size_gb > capacity_gb_ && !list.empty()) {
+    used -= list.front().size_gb;
+    list.erase(list.begin());
+  }
+  list.push_back({artifact, size_gb});
+  return true;
+}
+
+bool ShmCache::contains(cluster::NodeId node, const std::string& artifact) const {
+  auto it = entries_.find(node);
+  if (it == entries_.end()) return false;
+  for (const auto& e : it->second)
+    if (e.artifact == artifact) return true;
+  return false;
+}
+
+void ShmCache::erase(cluster::NodeId node, const std::string& artifact) {
+  auto it = entries_.find(node);
+  if (it == entries_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const Entry& e) { return e.artifact == artifact; }),
+             list.end());
+}
+
+void ShmCache::clear_node(cluster::NodeId node) { entries_.erase(node); }
+
+double ShmCache::used_gb(cluster::NodeId node) const {
+  auto it = entries_.find(node);
+  if (it == entries_.end()) return 0;
+  double used = 0;
+  for (const auto& e : it->second) used += e.size_gb;
+  return used;
+}
+
+}  // namespace acme::storage

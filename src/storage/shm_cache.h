@@ -1,0 +1,38 @@
+// Per-node host shared-memory staging area (paper §6.2-1: precursor jobs load
+// the model once per node into /dev/shm; evaluation trials then read it over
+// PCIe instead of the storage NIC).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/state.h"
+
+namespace acme::storage {
+
+class ShmCache {
+ public:
+  // capacity_gb: host memory budget reserved for staged artifacts per node.
+  explicit ShmCache(double capacity_gb);
+
+  // Returns true if the artifact now resides on the node (inserted or already
+  // present). Fails only when the artifact alone exceeds capacity; existing
+  // entries are evicted LRU-insertion-order to make room.
+  bool put(cluster::NodeId node, const std::string& artifact, double size_gb);
+  bool contains(cluster::NodeId node, const std::string& artifact) const;
+  void erase(cluster::NodeId node, const std::string& artifact);
+  void clear_node(cluster::NodeId node);
+  double used_gb(cluster::NodeId node) const;
+  double capacity_gb() const { return capacity_gb_; }
+
+ private:
+  struct Entry {
+    std::string artifact;
+    double size_gb;
+  };
+  double capacity_gb_;
+  std::map<cluster::NodeId, std::vector<Entry>> entries_;  // insertion order
+};
+
+}  // namespace acme::storage

@@ -1,0 +1,52 @@
+#include "telemetry/job_profiler.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace acme::telemetry {
+
+JobProfiler::JobProfiler(JobProfilerOptions options) : options_(options) {
+  ACME_CHECK(options_.sample_interval > 0);
+}
+
+std::size_t JobProfiler::profile(const parallel::StepTimeline& timeline,
+                                 const std::string& prefix,
+                                 MetricStore& store) const {
+  const double horizon =
+      options_.horizon > 0 ? options_.horizon : 2.0 * timeline.step_time();
+  common::Rng rng(options_.seed);
+  const auto samples = timeline.sample(options_.sample_interval, horizon, rng);
+
+  auto& sm = store.series(prefix + ".sm_activity");
+  auto& power = store.series(prefix + ".power_w");
+  cluster::GpuPowerModel power_model;
+  common::Rng power_rng = rng.fork("power");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double t = static_cast<double>(i) * options_.sample_interval;
+    sm.append(t, samples[i]);
+    power.append(t, power_model.power_w(samples[i] * 2.0,
+                                        options_.memory_fraction, power_rng));
+  }
+  return samples.size();
+}
+
+void write_csv(std::ostream& out, const MetricStore& store) {
+  common::CsvWriter writer(out);
+  writer.write_row({"series", "time", "value"});
+  for (const auto& name : store.names()) {
+    const TimeSeries* series = store.find(name);
+    for (const auto& point : series->points())
+      writer.write_row({name, std::to_string(point.time),
+                        std::to_string(point.value)});
+  }
+}
+
+void write_csv_file(const std::string& path, const MetricStore& store) {
+  std::ofstream out(path);
+  ACME_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_csv(out, store);
+}
+
+}  // namespace acme::telemetry

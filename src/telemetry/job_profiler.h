@@ -1,0 +1,42 @@
+// Per-job fine-grained profiling (paper §2.3 "Profiling Data": DCGM counters
+// at 1 ms for representative jobs). Records a step timeline's SM-activity
+// samples — plus derived power draw — into a MetricStore, and exports stores
+// to CSV for offline plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/power.h"
+#include "common/rng.h"
+#include "parallel/schedule.h"
+#include "telemetry/timeseries.h"
+
+namespace acme::telemetry {
+
+struct JobProfilerOptions {
+  double sample_interval = 0.001;  // 1 ms DCGM cadence
+  double horizon = 0;              // 0 => two full steps
+  double memory_fraction = 0.8;    // GPU memory footprint during the job
+  std::uint64_t seed = 7;
+};
+
+class JobProfiler {
+ public:
+  explicit JobProfiler(JobProfilerOptions options = JobProfilerOptions());
+
+  // Samples `timeline` and appends series into `store` under
+  // `<prefix>.sm_activity` and `<prefix>.power_w`. Returns number of samples.
+  std::size_t profile(const parallel::StepTimeline& timeline,
+                      const std::string& prefix, MetricStore& store) const;
+
+ private:
+  JobProfilerOptions options_;
+};
+
+// Exports every series in the store as long-format CSV:
+//   series,time,value
+void write_csv(std::ostream& out, const MetricStore& store);
+void write_csv_file(const std::string& path, const MetricStore& store);
+
+}  // namespace acme::telemetry

@@ -1,0 +1,62 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace acme::telemetry {
+
+void TimeSeries::append(double time, double value) {
+  ACME_CHECK_MSG(points_.empty() || time >= points_.back().time,
+                 "time series must be appended in order");
+  points_.push_back({time, value});
+}
+
+double TimeSeries::at(double time) const {
+  if (points_.empty() || time < points_.front().time) return 0.0;
+  auto it = std::upper_bound(points_.begin(), points_.end(), time,
+                             [](double t, const Point& p) { return t < p.time; });
+  return std::prev(it)->value;
+}
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  if (points_.empty() || !(t1 > t0)) return 0.0;
+  double acc = 0.0;
+  double prev_t = t0;
+  double prev_v = at(t0);
+  for (const auto& p : points_) {
+    if (p.time <= t0) continue;
+    if (p.time >= t1) break;
+    acc += prev_v * (p.time - prev_t);
+    prev_t = p.time;
+    prev_v = p.value;
+  }
+  acc += prev_v * (t1 - prev_t);
+  return acc / (t1 - t0);
+}
+
+common::SampleStats TimeSeries::values() const {
+  common::SampleStats s;
+  for (const auto& p : points_) s.add(p.value);
+  return s;
+}
+
+TimeSeries& MetricStore::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) it = series_.emplace(name, TimeSeries(name)).first;
+  return it->second;
+}
+
+const TimeSeries* MetricStore::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ts] : series_) out.push_back(name);
+  return out;
+}
+
+}  // namespace acme::telemetry

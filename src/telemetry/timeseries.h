@@ -1,0 +1,50 @@
+// Prometheus-like time-series store (paper §2.3: hardware monitor data is
+// collected into Prometheus at a 15 s sampling interval; DCGM profiling runs
+// at 1 ms for selected jobs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace acme::telemetry {
+
+struct Point {
+  double time;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void append(double time, double value);
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  // Value at or before `time` (steps hold); 0 if none.
+  double at(double time) const;
+  // Mean over [t0, t1] assuming step interpolation.
+  double mean_over(double t0, double t1) const;
+  common::SampleStats values() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;  // strictly increasing time
+};
+
+class MetricStore {
+ public:
+  TimeSeries& series(const std::string& name);
+  const TimeSeries* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace acme::telemetry

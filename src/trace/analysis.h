@@ -1,0 +1,39 @@
+// Trace analysis queries shared by the characterization benches and the
+// calibration tests (Fig 2-6, Fig 17 all reduce to these).
+#pragma once
+
+#include <map>
+
+#include "common/stats.h"
+#include "trace/job.h"
+
+namespace acme::trace {
+
+struct Share {
+  double count_fraction = 0;
+  double gpu_time_fraction = 0;
+};
+
+// Per-workload-type job-count and GPU-time shares (GPU jobs only). Fig 4.
+std::map<WorkloadType, Share> type_shares(const Trace& trace);
+
+// Per-final-status shares (GPU jobs only). Fig 17.
+std::map<JobStatus, Share> status_shares(const Trace& trace);
+
+// Duration samples of GPU jobs, optionally restricted to one type. Fig 2a/6.
+common::SampleStats durations(const Trace& trace);
+common::SampleStats durations_of(const Trace& trace, WorkloadType type);
+common::SampleStats queue_delays_of(const Trace& trace, WorkloadType type);
+
+// GPU-demand samples: per job (Fig 3a) and weighted by GPU time (Fig 3b).
+common::SampleStats demand_per_job(const Trace& trace);
+common::SampleStats demand_weighted_by_gpu_time(const Trace& trace);
+common::SampleStats demand_of(const Trace& trace, WorkloadType type);
+
+// Average requested GPUs over GPU jobs (Table 2 "Avg. #GPUs").
+double average_gpu_demand(const Trace& trace);
+
+// Total GPU time (gpu-seconds) over all GPU jobs.
+double total_gpu_time(const Trace& trace);
+
+}  // namespace acme::trace

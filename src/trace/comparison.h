@@ -1,0 +1,44 @@
+// Comparison datacenter profiles (paper Table 2, Fig 2, Fig 3).
+//
+// Philly (Microsoft '17), Helios (SenseTime '20) and PAI (Alibaba '20) are
+// modelled from their published summary statistics so the benches can draw
+// the same cross-datacenter CDFs the paper does. These are parametric stand-
+// ins for the real traces (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/dist.h"
+#include "common/rng.h"
+
+namespace acme::trace {
+
+struct DatacenterProfile {
+  std::string name;
+  int year = 0;
+  std::string duration;   // e.g. "3 months"
+  std::string jobs;       // e.g. "113K"
+  double avg_gpus = 0;    // average requested GPUs per job
+  std::string gpu_model;
+  int total_gpus = 0;
+
+  // GPU job duration distribution (seconds).
+  common::LognormalFromStats job_duration{60.0, 120.0};
+  // Cluster-wide GPU utilization sampler (0..100); parameterised per the
+  // paper: Philly broad w/ median 48, PAI low w/ median 4, Acme polarized.
+  std::vector<double> util_support;   // candidate utilization levels
+  std::vector<double> util_weights;
+  // Per-job GPU demand distribution.
+  common::DiscreteDist gpu_demand{{1.0}, {1.0}};
+
+  double sample_duration(common::Rng& rng) const { return job_duration.sample(rng); }
+  double sample_util(common::Rng& rng) const;
+  double sample_demand(common::Rng& rng) const { return gpu_demand.sample(rng); }
+};
+
+DatacenterProfile philly_profile();
+DatacenterProfile helios_profile();
+DatacenterProfile pai_profile();
+
+}  // namespace acme::trace

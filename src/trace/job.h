@@ -1,0 +1,52 @@
+// Job record model mirroring the Acme scheduler-log schema (paper §2.3):
+// execution times (submission/start/end), final status, requested resources
+// and workload type (derived in the paper from production division and job
+// metadata, §3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acme::trace {
+
+enum class WorkloadType {
+  kPretrain,
+  kSFT,        // supervised fine-tuning (alignment)
+  kMLLM,       // multimodal LLM development (Seren only)
+  kEvaluation,
+  kDebug,
+  kOther,
+};
+
+enum class JobStatus { kCompleted, kFailed, kCanceled };
+
+const char* to_string(WorkloadType type);
+const char* to_string(JobStatus status);
+
+constexpr int kWorkloadTypeCount = 6;
+constexpr WorkloadType kAllWorkloadTypes[kWorkloadTypeCount] = {
+    WorkloadType::kPretrain, WorkloadType::kSFT,   WorkloadType::kMLLM,
+    WorkloadType::kEvaluation, WorkloadType::kDebug, WorkloadType::kOther,
+};
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  WorkloadType type = WorkloadType::kOther;
+  JobStatus status = JobStatus::kCompleted;
+  int gpus = 0;            // 0 => CPU-only job
+  int cpus = 0;
+  double submit_time = 0;  // seconds since trace start
+  double duration = 0;     // runtime, excluding queuing delay
+  double queue_delay = 0;  // filled by scheduler replay
+  std::string model_tag;   // e.g. "llm-123b" for pretraining jobs
+
+  bool is_gpu_job() const { return gpus > 0; }
+  double gpu_time() const { return static_cast<double>(gpus) * duration; }
+  double start_time() const { return submit_time + queue_delay; }
+  double end_time() const { return start_time() + duration; }
+};
+
+using Trace = std::vector<JobRecord>;
+
+}  // namespace acme::trace

@@ -1,0 +1,74 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace acme::trace {
+namespace {
+
+WorkloadType type_from_string(const std::string& s) {
+  for (WorkloadType t : kAllWorkloadTypes)
+    if (s == to_string(t)) return t;
+  throw std::invalid_argument("unknown workload type: " + s);
+}
+
+JobStatus status_from_string(const std::string& s) {
+  if (s == "Completed") return JobStatus::kCompleted;
+  if (s == "Failed") return JobStatus::kFailed;
+  if (s == "Canceled") return JobStatus::kCanceled;
+  throw std::invalid_argument("unknown job status: " + s);
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Trace& trace) {
+  common::CsvWriter writer(out);
+  writer.write_row({"id", "type", "status", "gpus", "cpus", "submit_time",
+                    "duration", "queue_delay", "model_tag"});
+  for (const auto& j : trace) {
+    writer.write_row({std::to_string(j.id), to_string(j.type), to_string(j.status),
+                      std::to_string(j.gpus), std::to_string(j.cpus),
+                      std::to_string(j.submit_time), std::to_string(j.duration),
+                      std::to_string(j.queue_delay), j.model_tag});
+  }
+}
+
+Trace read_csv(std::istream& in) {
+  common::CsvReader reader(in);
+  std::vector<std::string> row;
+  ACME_CHECK_MSG(reader.read_row(row) && row.size() == 9, "missing trace header");
+  Trace trace;
+  while (reader.read_row(row)) {
+    if (row.size() != 9) throw std::invalid_argument("bad trace row width");
+    JobRecord j;
+    j.id = std::stoull(row[0]);
+    j.type = type_from_string(row[1]);
+    j.status = status_from_string(row[2]);
+    j.gpus = std::stoi(row[3]);
+    j.cpus = std::stoi(row[4]);
+    j.submit_time = std::stod(row[5]);
+    j.duration = std::stod(row[6]);
+    j.queue_delay = std::stod(row[7]);
+    j.model_tag = row[8];
+    trace.push_back(std::move(j));
+  }
+  return trace;
+}
+
+void write_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  ACME_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_csv(out, trace);
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  ACME_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  return read_csv(in);
+}
+
+}  // namespace acme::trace

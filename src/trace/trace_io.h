@@ -1,0 +1,18 @@
+// Trace import/export in a CSV schema compatible with the spirit of the
+// released AcmeTrace (job id, type, status, resources, timings).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/job.h"
+
+namespace acme::trace {
+
+void write_csv(std::ostream& out, const Trace& trace);
+Trace read_csv(std::istream& in);
+
+void write_csv_file(const std::string& path, const Trace& trace);
+Trace read_csv_file(const std::string& path);
+
+}  // namespace acme::trace

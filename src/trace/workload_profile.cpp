@@ -1,0 +1,140 @@
+#include "trace/workload_profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace acme::trace {
+
+using common::DiscreteDist;
+using common::LognormalFromStats;
+using common::kHour;
+using common::kMinute;
+
+const char* to_string(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kPretrain: return "Pretrain";
+    case WorkloadType::kSFT: return "SFT";
+    case WorkloadType::kMLLM: return "MLLM";
+    case WorkloadType::kEvaluation: return "Evaluation";
+    case WorkloadType::kDebug: return "Debug";
+    case WorkloadType::kOther: return "Other";
+  }
+  return "?";
+}
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted: return "Completed";
+    case JobStatus::kFailed: return "Failed";
+    case JobStatus::kCanceled: return "Canceled";
+  }
+  return "?";
+}
+
+const TypeProfile& ClusterWorkloadProfile::type_profile(WorkloadType t) const {
+  for (const auto& tp : types)
+    if (tp.type == t) return tp;
+  throw std::out_of_range("no profile for workload type");
+}
+
+namespace {
+
+TypeProfile make_type(WorkloadType type, double frac, DiscreteDist demand,
+                      double dur_median, double dur_mean, double pc, double pf,
+                      double px, double sc, double sf, double sx) {
+  ACME_CHECK(pc + pf + px > 0.999 && pc + pf + px < 1.001);
+  TypeProfile tp{type,
+                 frac,
+                 std::move(demand),
+                 LognormalFromStats(dur_median, dur_mean),
+                 pc,
+                 pf,
+                 px,
+                 sc,
+                 sf,
+                 sx};
+  return tp;
+}
+
+}  // namespace
+
+ClusterWorkloadProfile seren_profile() {
+  ClusterWorkloadProfile p;
+  p.cluster_name = "Seren";
+  p.gpu_jobs = 664000;
+  p.cpu_jobs = 368000;
+  p.pretrain_campaign_slots = {512, 256, 256, 128, 128, 64, 64, 32, 32, 32, 32};
+  // Fractions follow Fig 4(a); demand boxes follow Fig 5(a); durations follow
+  // Fig 2(a)/6(a); statuses follow Fig 17 with per-type skew (§5.2: eval jobs
+  // rarely hit hardware errors but script errors abound; pretraining restarts
+  // show up as failed submissions, long cancels hold most GPU time).
+  p.types.push_back(make_type(
+      WorkloadType::kEvaluation, 0.783,
+      DiscreteDist({1, 2, 4, 8}, {0.45, 0.25, 0.20, 0.10}),
+      1.5 * kMinute, 15 * kMinute, 0.55, 0.42, 0.03, 1.0, 0.4, 1.0));
+  p.types.push_back(make_type(
+      WorkloadType::kPretrain, 0.009,
+      DiscreteDist({32, 64, 128, 256, 512, 1024},
+                   {0.20, 0.25, 0.30, 0.15, 0.08, 0.02}),
+      1.0 * kHour, 5.0 * kHour, 0.15, 0.55, 0.30, 2.0, 0.35, 4.5));
+  p.types.push_back(make_type(
+      WorkloadType::kSFT, 0.050,
+      DiscreteDist({8, 16, 32, 64}, {0.40, 0.30, 0.20, 0.10}),
+      30 * kMinute, 1.0 * kHour, 0.60, 0.30, 0.10, 1.0, 0.3, 1.0));
+  p.types.push_back(make_type(
+      WorkloadType::kMLLM, 0.045,
+      DiscreteDist({8, 16, 32, 64, 128}, {0.30, 0.25, 0.20, 0.15, 0.10}),
+      20 * kMinute, 1.5 * kHour, 0.50, 0.40, 0.10, 1.0, 0.3, 1.0));
+  p.types.push_back(make_type(
+      WorkloadType::kDebug, 0.100,
+      DiscreteDist({1, 2, 4, 8, 32, 128}, {0.45, 0.20, 0.15, 0.12, 0.06, 0.02}),
+      5 * kMinute, 30 * kMinute, 0.50, 0.30, 0.20, 1.0, 0.3, 1.0));
+  p.types.push_back(make_type(
+      WorkloadType::kOther, 0.013,
+      DiscreteDist({1, 2, 4, 8}, {0.50, 0.20, 0.20, 0.10}),
+      2 * kMinute, 30 * kMinute, 0.50, 0.40, 0.10, 1.0, 0.3, 1.0));
+  return p;
+}
+
+ClusterWorkloadProfile kalos_profile() {
+  ClusterWorkloadProfile p;
+  p.cluster_name = "Kalos";
+  p.gpu_jobs = 20000;
+  p.cpu_jobs = 42000;
+  p.pretrain_campaign_slots = {1024, 512, 512, 128};
+  p.types.push_back(make_type(
+      WorkloadType::kEvaluation, 0.929,
+      DiscreteDist({1, 2, 4, 8}, {0.35, 0.25, 0.25, 0.15}),
+      2 * kMinute, 60 * kMinute, 0.55, 0.42, 0.03, 1.0, 0.4, 1.0));
+  p.types.push_back(make_type(
+      WorkloadType::kPretrain, 0.032,
+      DiscreteDist({128, 256, 512, 1024, 2048},
+                   {0.08, 0.22, 0.30, 0.28, 0.12}),
+      1.0 * kHour, 5.0 * kHour, 0.15, 0.55, 0.30, 25.0, 0.5, 16.0));
+  p.types.push_back(make_type(
+      WorkloadType::kDebug, 0.030,
+      DiscreteDist({1, 8, 32, 64, 128},
+                   {0.25, 0.30, 0.15, 0.15, 0.15}),
+      20 * kMinute, 8.0 * kHour, 0.50, 0.30, 0.20, 1.0, 0.3, 1.0));
+  p.types.push_back(make_type(
+      WorkloadType::kOther, 0.009,
+      DiscreteDist({1, 8, 32}, {0.50, 0.30, 0.20}),
+      2 * kMinute, 30 * kMinute, 0.50, 0.40, 0.10, 1.0, 0.3, 1.0));
+  return p;
+}
+
+ClusterWorkloadProfile scaled(ClusterWorkloadProfile profile, double factor) {
+  ACME_CHECK(factor >= 1.0);
+  // Shrink the trace window rather than thinning arrivals: the pretraining
+  // campaigns' job volume scales with the horizon, so the type mix stays
+  // calibrated at every scale.
+  profile.gpu_jobs = static_cast<std::size_t>(static_cast<double>(profile.gpu_jobs) / factor);
+  profile.cpu_jobs = static_cast<std::size_t>(static_cast<double>(profile.cpu_jobs) / factor);
+  profile.trace_days = std::max(profile.trace_days / factor, 2.0);
+  return profile;
+}
+
+}  // namespace acme::trace

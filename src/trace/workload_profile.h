@@ -1,0 +1,56 @@
+// Statistical workload profiles for the two Acme clusters.
+//
+// Every constant here is calibrated against a number printed in the paper
+// (see DESIGN.md §4 "Calibration targets"): workload-type mixes (Fig 4), GPU
+// demand per type (Fig 5), duration distributions (Fig 2a/6), final-status
+// mixes (Fig 17). The synthesizer consumes these profiles to regenerate a
+// six-month trace with the same distributional shape as AcmeTrace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/dist.h"
+#include "trace/job.h"
+
+namespace acme::trace {
+
+// Per-workload-type generation parameters.
+struct TypeProfile {
+  WorkloadType type = WorkloadType::kOther;
+  double job_fraction = 0;  // fraction of the cluster's GPU jobs
+  common::DiscreteDist gpu_demand;
+  // Base runtime distribution (applies to completed jobs).
+  common::LognormalFromStats duration;
+  // Final status probabilities (completed, failed, canceled).
+  double p_completed = 1, p_failed = 0, p_canceled = 0;
+  // Duration scale per status: failures terminate early; canceled pretraining
+  // jobs are the long-runners (Fig 17b: canceled jobs hold >60% of GPU time).
+  double completed_scale = 1.0, failed_scale = 0.3, canceled_scale = 1.0;
+};
+
+struct ClusterWorkloadProfile {
+  std::string cluster_name;
+  double trace_days = 183;      // March..August 2023
+  std::size_t gpu_jobs = 0;     // 664K (Seren) / 20K (Kalos)
+  std::size_t cpu_jobs = 0;     // 368K (Seren) / 42K (Kalos)
+  // Concurrent pretraining campaign slots (GPUs each). Pretraining jobs are
+  // not independent arrivals: a handful of long-running campaigns occupy
+  // reserved quota and resubmit after every failure/cancel (paper Fig 14,
+  // §5.3), which is why their queuing delay stays near zero while they
+  // dominate GPU time. Empty => pretraining arrives via the Poisson path.
+  std::vector<int> pretrain_campaign_slots;
+  std::vector<TypeProfile> types;
+
+  const TypeProfile& type_profile(WorkloadType t) const;
+};
+
+// Full-scale profiles matching the paper's job counts.
+ClusterWorkloadProfile seren_profile();
+ClusterWorkloadProfile kalos_profile();
+
+// Same distributions with the job count scaled down by `factor` (>1), for
+// fast unit tests.
+ClusterWorkloadProfile scaled(ClusterWorkloadProfile profile, double factor);
+
+}  // namespace acme::trace

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "ckpt/async_writer.h"
+#include "ckpt/ledger.h"
+#include "ckpt/timing.h"
+#include "parallel/model_math.h"
+
+namespace acme::ckpt {
+namespace {
+
+// --- Timing model (§6.1-1) ---
+
+TEST(Timing, AsyncBlocksFarLessThanSync) {
+  CheckpointTimingModel model;
+  const double params_7b = parallel::llm_7b().params();
+  const double params_123b = parallel::llm_123b().params();
+  // 7B on 64 GPUs, 123B on 2048 GPUs (the paper's configurations).
+  const double sync_7b = model.sync_blocking_seconds(params_7b, 64);
+  const double async_7b = model.async_blocking_seconds(params_7b, 64);
+  const double sync_123b = model.sync_blocking_seconds(params_123b, 2048);
+  const double async_123b = model.async_blocking_seconds(params_123b, 2048);
+  EXPECT_GT(sync_7b / async_7b, 3.0);
+  EXPECT_GT(sync_123b / async_123b, 30.0);
+  // Bigger models benefit far more (paper: 3.6x ~ 58.7x).
+  EXPECT_GT(sync_123b / async_123b, sync_7b / async_7b);
+  EXPECT_LT(sync_123b / async_123b, 80.0);
+}
+
+TEST(Timing, SyncBoundByStorageFabric) {
+  CheckpointTimingModel model;
+  const double params = parallel::llm_123b().params();
+  // One node: NIC-bound. Many nodes: backend-bound.
+  const double one_node = model.sync_blocking_seconds(params, 8);
+  const double many_nodes = model.sync_blocking_seconds(params, 2048);
+  EXPECT_GT(one_node, many_nodes * 10);
+  // Backend cap: adding nodes past saturation stops helping.
+  EXPECT_NEAR(model.sync_blocking_seconds(params, 2048),
+              model.sync_blocking_seconds(params, 4096), 1e-9);
+}
+
+TEST(Timing, AsyncBlockingDominatedByQuiesceForBigWorlds) {
+  CheckpointTimingModel model;
+  const double params = parallel::llm_123b().params();
+  const double blocking = model.async_blocking_seconds(params, 2048);
+  EXPECT_LT(blocking, 1.0);
+  EXPECT_GT(blocking, model.config().quiesce_seconds);
+}
+
+TEST(Timing, OverheadFractionAtThirtyMinuteInterval) {
+  CheckpointTimingModel model;
+  const double params = parallel::llm_123b().params();
+  const double sync = model.sync_blocking_seconds(params, 2048);
+  const double async_b = model.async_blocking_seconds(params, 2048);
+  const double interval = 30 * 60.0;
+  EXPECT_GT(model.overhead_fraction(sync, interval), 0.01);
+  EXPECT_LT(model.overhead_fraction(async_b, interval), 0.001);
+}
+
+TEST(Timing, BytesAccounting) {
+  CheckpointTimingModel model;
+  EXPECT_DOUBLE_EQ(model.total_bytes(1e9), 14e9);  // 2 + 12 bytes per param
+  EXPECT_DOUBLE_EQ(model.bytes_per_gpu(1e9, 64), 14e9 / 64);
+}
+
+// --- Real async writer ---
+
+std::vector<std::byte> make_state(std::size_t n, std::byte fill) {
+  return std::vector<std::byte>(n, fill);
+}
+
+TEST(AsyncWriter, PersistsToFilesInOrder) {
+  const auto dir = std::filesystem::temp_directory_path() / "acme_ckpt_test1";
+  std::filesystem::remove_all(dir);
+  FileSink sink(dir.string());
+  {
+    AsyncCheckpointWriter writer(sink, 4);
+    for (std::uint64_t step = 100; step <= 300; step += 100) {
+      auto state = make_state(1024, std::byte{static_cast<unsigned char>(step / 100)});
+      EXPECT_TRUE(writer.snapshot(step, state));
+    }
+    writer.flush();
+    const auto stats = writer.stats();
+    EXPECT_EQ(stats.snapshots, 3u);
+    EXPECT_EQ(stats.persisted, 3u);
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.last_persisted_step, 300u);
+  }
+  for (std::uint64_t step = 100; step <= 300; step += 100) {
+    const auto path = dir / ("ckpt-" + std::to_string(step) + ".bin");
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    EXPECT_EQ(std::filesystem::file_size(path), 1024u);
+  }
+  // Contents intact: first byte identifies the step.
+  std::ifstream in(dir / "ckpt-200.bin", std::ios::binary);
+  char c = 0;
+  in.read(&c, 1);
+  EXPECT_EQ(c, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AsyncWriter, BoundedQueueEvictsOldest) {
+  NullSink sink(64.0);  // slow: 64 B/s
+  AsyncCheckpointWriter writer(sink, 2);
+  const auto state = make_state(64, std::byte{1});  // 1 s per persist
+  EXPECT_TRUE(writer.snapshot(1, state));
+  // Flood faster than the sink drains: the queue must evict, not grow.
+  bool any_evicted = false;
+  for (std::uint64_t s = 2; s <= 12; ++s)
+    if (!writer.snapshot(s, state)) any_evicted = true;
+  EXPECT_TRUE(any_evicted);
+  writer.flush();
+  const auto stats = writer.stats();
+  EXPECT_EQ(stats.snapshots, 12u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.persisted + stats.dropped, 12u);
+}
+
+TEST(AsyncWriter, SnapshotReturnsQuicklyRelativeToPersist) {
+  NullSink sink(1e6);  // 1 MB/s -> ~1 s to persist 1 MB
+  AsyncCheckpointWriter writer(sink, 3);
+  const auto state = make_state(1 << 20, std::byte{7});
+  const auto t0 = std::chrono::steady_clock::now();
+  writer.snapshot(1, state);
+  const auto stall = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration<double>(stall).count(), 0.2);
+  writer.flush();
+  EXPECT_EQ(sink.persisted_count(), 1u);
+}
+
+TEST(AsyncWriter, FlushOnEmptyIsImmediate) {
+  NullSink sink;
+  AsyncCheckpointWriter writer(sink, 2);
+  writer.flush();
+  EXPECT_EQ(writer.stats().snapshots, 0u);
+}
+
+TEST(FileSinkTest, AtomicPublishLeavesNoTmp) {
+  const auto dir = std::filesystem::temp_directory_path() / "acme_ckpt_test2";
+  std::filesystem::remove_all(dir);
+  FileSink sink(dir.string());
+  const auto state = make_state(128, std::byte{9});
+  EXPECT_TRUE(sink.persist(5, state));
+  EXPECT_TRUE(std::filesystem::exists(dir / "ckpt-5.bin"));
+  EXPECT_FALSE(std::filesystem::exists(dir / "ckpt-5.bin.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+// --- Ledger ---
+
+TEST(Ledger, LatestDurableRespectsPersistLag) {
+  CheckpointLedger ledger;
+  ledger.record(100, 10.0, 20.0);
+  ledger.record(200, 30.0, 45.0);
+  EXPECT_FALSE(ledger.latest_durable(5.0).has_value());
+  EXPECT_EQ(ledger.latest_durable(20.0)->step, 100u);
+  EXPECT_EQ(ledger.latest_durable(40.0)->step, 100u);  // 200 still persisting
+  EXPECT_EQ(ledger.latest_durable(45.0)->step, 200u);
+}
+
+TEST(Ledger, DurableBeforeStepForLossSpikes) {
+  CheckpointLedger ledger;
+  ledger.record(100, 10, 11);
+  ledger.record(200, 20, 21);
+  ledger.record(300, 30, 31);
+  // Spike onset at step 250: roll back past it.
+  EXPECT_EQ(ledger.durable_before_step(250, 100.0)->step, 200u);
+  EXPECT_EQ(ledger.durable_before_step(50, 100.0), std::nullopt);
+}
+
+TEST(Ledger, InvalidateAfterDropsAbandonedTimeline) {
+  CheckpointLedger ledger;
+  ledger.record(100, 10, 11);
+  ledger.record(200, 20, 21);
+  ledger.invalidate_after(100);
+  EXPECT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger.latest_durable(100.0)->step, 100u);
+  // Re-recording the rolled-back range is legal again.
+  ledger.record(150, 40, 41);
+  EXPECT_EQ(ledger.latest_durable(100.0)->step, 150u);
+}
+
+TEST(Ledger, RejectsOutOfOrderAndNegativeLag) {
+  CheckpointLedger ledger;
+  ledger.record(100, 10, 11);
+  EXPECT_THROW(ledger.record(50, 20, 21), common::CheckError);
+  EXPECT_THROW(ledger.record(200, 30, 29), common::CheckError);
+}
+
+}  // namespace
+}  // namespace acme::ckpt

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "cluster/power.h"
+#include "cluster/spec.h"
+#include "cluster/state.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace acme::cluster {
+namespace {
+
+// --- Specs (paper Table 1) ---
+
+TEST(Spec, SerenMatchesTable1) {
+  const auto s = seren_spec();
+  EXPECT_EQ(s.node_count, 286);
+  EXPECT_EQ(s.node.gpus, 8);
+  EXPECT_EQ(s.node.cpus, 128);
+  EXPECT_DOUBLE_EQ(s.node.host_memory_gb, 1024.0);
+  EXPECT_EQ(s.total_gpus(), 2288);
+  EXPECT_EQ(s.scheduler, SchedulerKind::kSlurm);
+}
+
+TEST(Spec, KalosMatchesTable1) {
+  const auto k = kalos_spec();
+  EXPECT_EQ(k.node_count, 302);
+  EXPECT_DOUBLE_EQ(k.node.host_memory_gb, 2048.0);
+  EXPECT_EQ(k.total_gpus(), 2416);
+  EXPECT_EQ(k.node.compute_nics, 4);
+  EXPECT_EQ(k.node.storage_nics, 1);
+  EXPECT_EQ(k.scheduler, SchedulerKind::kKubernetes);
+}
+
+TEST(Spec, AcmeTotalGpus) {
+  EXPECT_EQ(seren_spec().total_gpus() + kalos_spec().total_gpus(), 4704);
+}
+
+// --- Resource ledger ---
+
+TEST(ClusterState, SubNodeBestFitPacksFullestNode) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 3;
+  ClusterState state(spec);
+  auto a = state.try_allocate(6);
+  ASSERT_TRUE(a.has_value());
+  // Next 2-GPU job should land on the node with 2 free (best fit), not an
+  // empty one.
+  auto b = state.try_allocate(2);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->slices[0].node, a->slices[0].node);
+  EXPECT_EQ(state.empty_healthy_nodes(), 2);
+}
+
+TEST(ClusterState, GangAllocationUsesWholeNodes) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 5;
+  ClusterState state(spec);
+  auto a = state.try_allocate(24);  // 3 whole nodes
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->slices.size(), 3u);
+  for (const auto& s : a->slices) EXPECT_EQ(s.gpus, 8);
+  EXPECT_EQ(state.free_gpus(), 16);
+}
+
+TEST(ClusterState, GangWithRemainderTakesPartialSlice) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 3;
+  ClusterState state(spec);
+  auto a = state.try_allocate(12);  // 1 full node + half a node
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->total_gpus(), 12);
+  EXPECT_EQ(a->slices.size(), 2u);
+  EXPECT_EQ(a->slices[1].gpus, 4);
+}
+
+TEST(ClusterState, FailsWhenFragmented) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 2;
+  ClusterState state(spec);
+  // Occupy 1 GPU (lands on node A via best fit), then the whole other node.
+  ASSERT_TRUE(state.try_allocate(1).has_value());
+  ASSERT_TRUE(state.try_allocate(8).has_value());
+  EXPECT_EQ(state.free_gpus(), 7);
+  // No empty node remains for a gang; a 7-GPU sub-node job still fits.
+  EXPECT_FALSE(state.try_allocate(8).has_value());
+  EXPECT_TRUE(state.try_allocate(7).has_value());
+}
+
+TEST(ClusterState, ReleaseRestoresAndChecksDoubleFree) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 2;
+  ClusterState state(spec);
+  auto a = state.try_allocate(8);
+  ASSERT_TRUE(a.has_value());
+  state.release(*a);
+  EXPECT_EQ(state.free_gpus(), 16);
+  EXPECT_THROW(state.release(*a), common::CheckError);
+}
+
+TEST(ClusterState, CordonExcludesFromPlacementAndCounts) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 2;
+  ClusterState state(spec);
+  state.cordon(0);
+  EXPECT_EQ(state.free_gpus(), 8);
+  EXPECT_EQ(state.free_gpus_including_cordoned(), 16);
+  auto a = state.try_allocate(8);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->slices[0].node, 1);
+  EXPECT_FALSE(state.try_allocate(1).has_value());
+  state.uncordon(0);
+  EXPECT_TRUE(state.try_allocate(1).has_value());
+  EXPECT_EQ(state.cordoned_nodes().size(), 0u);
+}
+
+TEST(ClusterState, CordonWhileAllocatedReleasesCorrectly) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 1;
+  ClusterState state(spec);
+  auto a = state.try_allocate(4);
+  ASSERT_TRUE(a.has_value());
+  state.cordon(0);
+  state.release(*a);  // release on a cordoned node must not corrupt counters
+  EXPECT_EQ(state.free_gpus(), 0);
+  state.uncordon(0);
+  EXPECT_EQ(state.free_gpus(), 8);
+}
+
+// Property: a random allocate/release workload never oversubscribes and ends
+// balanced.
+class StatePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatePropertyTest, ConservationUnderRandomWorkload) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 16;
+  ClusterState state(spec);
+  common::Rng rng(GetParam());
+  std::vector<Allocation> live;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.bernoulli(0.6)) {
+      const int gpus = static_cast<int>(rng.uniform_int(1, 40));
+      if (auto a = state.try_allocate(gpus)) live.push_back(*a);
+    } else if (!live.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      state.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    int used = 0;
+    for (const auto& a : live) used += a.total_gpus();
+    ASSERT_EQ(state.free_gpus_including_cordoned(), state.total_gpus() - used);
+    for (int n = 0; n < state.node_count(); ++n) {
+      ASSERT_GE(state.node(n).gpus_free, 0);
+      ASSERT_LE(state.node(n).gpus_free, state.node(n).gpus_total);
+    }
+  }
+  for (const auto& a : live) state.release(a);
+  EXPECT_EQ(state.free_gpus(), state.total_gpus());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatePropertyTest, ::testing::Values(1, 7, 99));
+
+// --- Power & thermal models (paper Fig 8, 9, 21, A.3) ---
+
+TEST(GpuPower, IdleDrawsAboutSixtyWatts) {
+  GpuPowerModel model;
+  common::Rng rng(1);
+  common::SampleStats s;
+  for (int i = 0; i < 2000; ++i) s.add(model.power_w(0.0, 0.0, rng));
+  EXPECT_NEAR(s.mean(), 60.0, 5.0);
+}
+
+TEST(GpuPower, FullLoadExceedsTdpSometimes) {
+  GpuPowerModel model;
+  common::Rng rng(2);
+  int over_tdp = 0;
+  const int n = 5000;
+  double max_seen = 0;
+  for (int i = 0; i < n; ++i) {
+    const double p = model.power_w(0.97, 0.85, rng);
+    if (p > 400.0) ++over_tdp;
+    max_seen = std::max(max_seen, p);
+  }
+  // Heavily loaded GPUs exceed TDP regularly but stay under 600 W.
+  EXPECT_GT(over_tdp, n / 10);
+  EXPECT_LE(max_seen, 600.0);
+}
+
+TEST(GpuPower, MonotoneInUtilization) {
+  GpuPowerModel model;
+  common::Rng rng(3);
+  common::SampleStats low, high;
+  for (int i = 0; i < 2000; ++i) {
+    low.add(model.power_w(0.3, 0.5, rng));
+    high.add(model.power_w(0.8, 0.5, rng));
+  }
+  EXPECT_GT(high.mean(), low.mean() + 50);
+}
+
+TEST(Thermal, MemoryHotterThanCore) {
+  GpuThermalModel model;
+  common::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double core = model.core_temp_c(400.0, 30.0, rng);
+    EXPECT_GT(model.mem_temp_c(core, rng), core);
+  }
+}
+
+TEST(Thermal, HeavyLoadExceeds65C) {
+  GpuThermalModel model;
+  common::Rng rng(5);
+  common::SampleStats s;
+  for (int i = 0; i < 1000; ++i)
+    s.add(model.core_temp_c(550.0, 32.0, rng));
+  EXPECT_GT(s.quantile(0.5), 65.0);
+}
+
+TEST(ServerPower, BreakdownFractionsMatchFig9) {
+  ServerPowerModel model(seren_spec().node);
+  // 8 GPUs near TDP: GPUs should be ~2/3 of the server, CPUs ~11%, PSU ~10%.
+  const auto b = model.gpu_server(8 * 400.0, 0.10);
+  EXPECT_NEAR(b.gpu_w / b.total(), 2.0 / 3.0, 0.08);
+  EXPECT_NEAR(b.cpu_w / b.total(), 0.112, 0.08);
+  EXPECT_NEAR(b.psu_loss_w / b.total(), 0.096, 0.02);
+}
+
+TEST(ServerPower, GpuServerAboutFiveTimesCpuServer) {
+  ServerPowerModel model(seren_spec().node);
+  const double gpu_server = model.gpu_server(8 * 330.0, 0.10).total();
+  const double cpu_server = model.cpu_server_w(0.3);
+  EXPECT_NEAR(gpu_server / cpu_server, 5.0, 1.5);
+}
+
+TEST(Carbon, MatchesAppendixA3) {
+  CarbonModel carbon;
+  // Paper: Seren consumed ~673 MWh in May 2023 -> 321.7 tCO2e.
+  EXPECT_NEAR(carbon.emissions_tco2e(673.0), 321.7, 1.0);
+  EXPECT_DOUBLE_EQ(carbon.facility_energy_mwh(100.0), 125.0);
+}
+
+}  // namespace
+}  // namespace acme::cluster

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "diagnosis/embedding.h"
+#include "diagnosis/failure_agent.h"
+#include "diagnosis/log_agent.h"
+#include "diagnosis/log_template.h"
+#include "diagnosis/rule_registry.h"
+#include "failure/injector.h"
+#include "failure/log_synth.h"
+
+namespace acme::diagnosis {
+namespace {
+
+// --- Templates / filter rules ---
+
+TEST(LogTemplate, NormalizesVolatileTokens) {
+  EXPECT_EQ(line_template("step=412 loss=2.0131 lr=3.00e-04"), "<*> <*> <*>");
+  EXPECT_EQ(line_template("rank 7: initialized process group"),
+            "rank <*> initialized process group");
+  EXPECT_EQ(line_template("loading tokenizer from /mnt/petrel/tok.model"),
+            "loading tokenizer from <*>");
+  EXPECT_EQ(line_template("flash attention enabled"), "flash attention enabled");
+}
+
+TEST(LogTemplate, SameShapeLinesCollide) {
+  EXPECT_EQ(line_template("step=1 loss=2.5"), line_template("step=999 loss=1.8"));
+}
+
+TEST(FilterRules, CompressDropsOnlyMatchingLines) {
+  FilterRules rules;
+  rules.add(line_template("step=1 loss=2.0"));
+  const std::vector<std::string> lines = {
+      "step=55 loss=1.93", "Traceback (most recent call last):",
+      "step=56 loss=1.92"};
+  const auto out = rules.compress(lines);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "Traceback (most recent call last):");
+}
+
+// --- LogAgent (template mining with self-consistency) ---
+
+TEST(LogAgent, MinesRoutineTemplatesFromHealthyLog) {
+  failure::LogSynthesizer synth;
+  common::Rng rng(1);
+  const auto log = synth.healthy_run(rng);
+  FilterRules rules;
+  LogAgent agent;
+  const auto promoted = agent.update_rules(log.lines, rules);
+  EXPECT_GE(promoted.size(), 1u);
+  // The training metric line is by far the most frequent: must be promoted.
+  EXPECT_TRUE(rules.matches("step=12 loss=2.4 lr=3.0e-4 grad_norm=1.0 tgs=4000.0 tflops=180.0"));
+}
+
+TEST(LogAgent, CompressionFactorOnLongRuns) {
+  failure::LogSynthesizer synth({.steps = 2000});
+  common::Rng rng(2);
+  const auto log = synth.healthy_run(rng);
+  FilterRules rules;
+  LogAgent agent;
+  agent.update_rules(log.lines, rules);
+  const auto compressed = rules.compress(log.lines);
+  // Paper: hundreds of MB of metric records shrink to a handful of lines.
+  EXPECT_LT(compressed.size() * 20, log.lines.size());
+}
+
+TEST(LogAgent, NeverPromotesErrorLines) {
+  FilterRules rules;
+  LogAgent agent;
+  std::vector<std::string> segment;
+  for (int i = 0; i < 60; ++i)
+    segment.push_back("RuntimeError: NCCL communicator was aborted on rank " +
+                      std::to_string(i));
+  agent.update_rules(segment, rules);
+  EXPECT_FALSE(rules.matches("RuntimeError: NCCL communicator was aborted on rank 3"));
+}
+
+TEST(LogAgent, SelfConsistencyRejectsLowSupport) {
+  FilterRules rules;
+  LogAgent agent({.min_support = 30, .voters = 3, .votes_required = 2});
+  std::vector<std::string> segment;
+  for (int i = 0; i < 5; ++i) segment.push_back("rare line variant " + std::to_string(i));
+  for (int i = 0; i < 200; ++i) segment.push_back("common line " + std::to_string(i));
+  agent.update_rules(segment, rules);
+  EXPECT_FALSE(rules.matches("rare line variant 2"));
+  EXPECT_TRUE(rules.matches("common line 7"));
+}
+
+TEST(LogAgent, ErrorHeuristicCoversCommonShapes) {
+  EXPECT_TRUE(LogAgent::looks_like_error("RuntimeError: boom"));
+  EXPECT_TRUE(LogAgent::looks_like_error("Traceback (most recent call last):"));
+  EXPECT_TRUE(LogAgent::looks_like_error("NCCL WARN NET/IB : port down"));
+  EXPECT_FALSE(LogAgent::looks_like_error("step=3 loss=2.2"));
+}
+
+// --- Embeddings / vector store ---
+
+TEST(Embedding, IdenticalTextMaxSimilarity) {
+  const auto a = embed_lines({"CUDA error: illegal memory access", "rank 3 died"});
+  const auto b = embed_lines({"CUDA error: illegal memory access", "rank 9 died"});
+  // Template normalization makes rank ids irrelevant.
+  EXPECT_NEAR(cosine(a, b), 1.0, 1e-5);
+}
+
+TEST(Embedding, DifferentErrorsSeparate) {
+  const auto cuda = embed_lines({"RuntimeError: CUDA error: an illegal memory access"});
+  const auto file = embed_lines({"FileNotFoundError: [Errno 2] No such file"});
+  EXPECT_LT(cosine(cuda, file), 0.6);
+}
+
+TEST(Embedding, NormalizedToUnitLength) {
+  const auto e = embed_lines({"some log line with words"});
+  float norm = 0;
+  for (float v : e) norm += v * v;
+  EXPECT_NEAR(norm, 1.0f, 1e-4f);
+}
+
+TEST(VectorStore, TopKOrderingAndLabels) {
+  VectorStore store;
+  store.add(embed_text("alpha beta gamma"), "A");
+  store.add(embed_text("delta epsilon zeta"), "B");
+  store.add(embed_text("alpha beta delta"), "C");
+  const auto hits = store.query(embed_text("alpha beta gamma"), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(*hits[0].label, "A");
+  EXPECT_GE(hits[0].similarity, hits[1].similarity);
+}
+
+TEST(VectorStore, VoteWeighsBySimilarity) {
+  VectorStore store;
+  store.add(embed_text("cuda illegal memory access"), "CUDA Error");
+  store.add(embed_text("cuda illegal memory fault"), "CUDA Error");
+  store.add(embed_text("no such file or directory"), "File Not Found Error");
+  EXPECT_EQ(store.vote(embed_text("cuda illegal memory access encountered"), 3),
+            "CUDA Error");
+}
+
+TEST(VectorStore, VoteRespectsSimilarityFloor) {
+  VectorStore store;
+  store.add(embed_text("completely unrelated tokens"), "X");
+  EXPECT_EQ(store.vote(embed_text("qqq www eee"), 1, 0.9f), "");
+}
+
+TEST(VectorStore, EmptyStoreSafe) {
+  VectorStore store;
+  EXPECT_TRUE(store.query(embed_text("x"), 3).empty());
+  EXPECT_EQ(store.vote(embed_text("x"), 3), "");
+}
+
+// --- FailureAgent end to end ---
+
+std::vector<const failure::FailureSpec*> all_specs() {
+  std::vector<const failure::FailureSpec*> out;
+  for (const auto& s : failure::failure_table()) out.push_back(&s);
+  return out;
+}
+
+TEST(FailureAgent, SeededRulesDiagnoseSyntheticLogs) {
+  FailureAgent agent;
+  agent.seed_rules(all_specs());
+  failure::LogSynthesizer synth;
+  failure::FailureInjector injector;
+  common::Rng rng(3);
+  int correct = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const auto event = injector.sample(rng);
+    const auto log = synth.failed_run(*event.spec, rng);
+    const auto d = agent.diagnose(log.lines);
+    if (d.reason == log.root_cause) ++correct;
+    EXPECT_EQ(d.source, "rules");
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+}
+
+TEST(FailureAgent, VerdictCarriesRecoveryMetadata) {
+  FailureAgent agent;
+  agent.seed_rules(all_specs());
+  failure::LogSynthesizer synth;
+  common::Rng rng(4);
+  const auto log = synth.failed_run(failure::spec_for("NVLink Error"), rng);
+  const auto d = agent.diagnose(log.lines);
+  EXPECT_EQ(d.reason, "NVLink Error");
+  EXPECT_TRUE(d.infrastructure);
+  EXPECT_TRUE(d.needs_node_detection);
+  EXPECT_NE(d.suggestion.find("cordon"), std::string::npos);
+
+  const auto script = synth.failed_run(failure::spec_for("Type Error"), rng);
+  const auto ds = agent.diagnose(script.lines);
+  EXPECT_FALSE(ds.infrastructure);
+  EXPECT_FALSE(ds.needs_node_detection);
+}
+
+TEST(FailureAgent, RetrievalHandlesUnseenReasonAfterIncidents) {
+  // No rules at all: the agent must fall back to the vector store.
+  FailureAgent agent;
+  failure::LogSynthesizer synth;
+  common::Rng rng(5);
+  const auto& cuda = failure::spec_for("CUDA Error");
+  const auto& fnf = failure::spec_for("File Not Found Error");
+  for (int i = 0; i < 5; ++i) {
+    agent.add_incident(synth.failed_run(cuda, rng).lines, cuda.reason);
+    agent.add_incident(synth.failed_run(fnf, rng).lines, fnf.reason);
+  }
+  const auto probe = synth.failed_run(cuda, rng);
+  const auto d = agent.diagnose(probe.lines);
+  EXPECT_EQ(d.reason, "CUDA Error");
+  EXPECT_EQ(d.source, "retrieval");
+}
+
+TEST(FailureAgent, UndiagnosedWhenNothingKnown) {
+  FailureAgent agent;
+  const auto d = agent.diagnose({"some novel error nobody has seen"});
+  EXPECT_EQ(d.source, "none");
+  EXPECT_TRUE(d.reason.empty());
+}
+
+TEST(FailureAgent, LearnPromotesRuleAndImprovesNextDiagnosis) {
+  FailureAgent agent;  // empty rule set
+  failure::LogSynthesizer synth;
+  common::Rng rng(6);
+  const auto& spec = failure::spec_for("Dataloader Killed");
+  const auto first = synth.failed_run(spec, rng);
+  EXPECT_TRUE(agent.diagnose(first.lines).reason.empty());
+
+  const auto learned = agent.learn(first.lines, spec.reason);
+  EXPECT_FALSE(learned.empty());
+  EXPECT_GE(agent.rule_count(), 1u);
+  EXPECT_EQ(agent.incident_count(), 1u);
+
+  // A fresh occurrence is now diagnosed (by rules or retrieval).
+  const auto second = synth.failed_run(spec, rng);
+  const auto d = agent.diagnose(second.lines);
+  EXPECT_EQ(d.reason, spec.reason);
+}
+
+TEST(FailureAgent, ContinuousLearningLoopConverges) {
+  // Stream mixed failures with no seeded rules; learn after each. Accuracy
+  // over the last quarter must far exceed the first quarter.
+  FailureAgent agent;
+  failure::LogSynthesizer synth;
+  failure::FailureInjector injector;
+  common::Rng rng(7);
+  const int n = 200;
+  int early_correct = 0, late_correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto event = injector.sample(rng);
+    const auto log = synth.failed_run(*event.spec, rng);
+    const auto d = agent.diagnose(log.lines);
+    const bool ok = d.reason == log.root_cause;
+    if (i < n / 4 && ok) ++early_correct;
+    if (i >= 3 * n / 4 && ok) ++late_correct;
+    agent.learn(log.lines, log.root_cause);
+  }
+  EXPECT_GT(late_correct, early_correct + 10);
+  EXPECT_GT(late_correct, (n / 4) * 7 / 10);
+}
+
+
+// --- FilterRuleRegistry: rule reuse across repetitive tasks ---
+
+TEST(RuleRegistry, ReusesRulesAcrossResubmissions) {
+  FilterRuleRegistry registry;
+  failure::LogSynthesizer synth;
+  common::Rng rng(8);
+  const auto first = synth.healthy_run(rng);
+  const auto again = synth.healthy_run(rng);
+  registry.compress("llm-123b", first.lines);
+  EXPECT_EQ(registry.misses(), 1u);
+  const auto compressed = registry.compress("llm-123b", again.lines);
+  EXPECT_EQ(registry.hits(), 1u);
+  EXPECT_EQ(registry.signatures(), 1u);
+  EXPECT_LT(compressed.size() * 5, again.lines.size());
+}
+
+TEST(RuleRegistry, SignaturesAreIsolated) {
+  FilterRuleRegistry registry;
+  failure::LogSynthesizer synth;
+  common::Rng rng(9);
+  registry.compress("llm-123b", synth.healthy_run(rng).lines);
+  registry.compress("llm-7b", synth.healthy_run(rng).lines);
+  EXPECT_EQ(registry.signatures(), 2u);
+  EXPECT_EQ(registry.misses(), 2u);
+  EXPECT_NE(registry.rules_for("llm-123b"), nullptr);
+  EXPECT_EQ(registry.rules_for("unknown"), nullptr);
+}
+
+TEST(RuleRegistry, RulesKeepRefining) {
+  FilterRuleRegistry registry;
+  failure::LogSynthesizer synth;
+  common::Rng rng(10);
+  registry.compress("m", synth.healthy_run(rng).lines);
+  const std::size_t before = registry.rules_for("m")->size();
+  // A new routine pattern appears in a resubmission.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 50; ++i)
+    lines.push_back("new-metric epoch=" + std::to_string(i) + " ppl=12.5");
+  registry.compress("m", lines);
+  EXPECT_GT(registry.rules_for("m")->size(), before);
+}
+
+}  // namespace
+}  // namespace acme::diagnosis

@@ -1,0 +1,171 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace acme::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule_at(5.0, [&, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine e;
+  double seen = -1;
+  e.schedule_at(7.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(e.now(), 7.5);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  double seen = -1;
+  e.schedule_at(10.0, [&] {
+    e.schedule_after(5.0, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 15.0);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), common::CheckError);
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), common::CheckError);
+  EXPECT_THROW(e.schedule_at(20.0, nullptr), common::CheckError);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  auto handle = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(handle));
+  EXPECT_FALSE(e.cancel(handle));  // idempotent
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelDefaultHandleIsNoop) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventHandle{}));
+}
+
+TEST(Engine, RunUntilStopsAtHorizonInclusive) {
+  Engine e;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) e.schedule_at(t, [&, t] { fired.push_back(t); });
+  EXPECT_EQ(e.run_until(2.0), 2u);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.run(), 2u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  EXPECT_EQ(e.run_until(100.0), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, ReentrantSchedulingChains) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 99.0);
+}
+
+TEST(Engine, PendingCountExcludesCancelled) {
+  Engine e;
+  auto h1 = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(h1);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, EventsFiredCounter) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_fired(), 5u);
+}
+
+// Property: any random schedule fires in non-decreasing time order, and
+// cancelled events never fire.
+class EngineStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineStress, RandomScheduleOrderedAndCancelRespected) {
+  Engine e;
+  common::Rng rng(GetParam());
+  std::vector<double> fire_times;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.uniform(0, 1000);
+    handles.push_back(e.schedule_at(t, [&e, &fire_times] {
+      fire_times.push_back(e.now());
+    }));
+  }
+  // Cancel a random third.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i)
+    if (rng.bernoulli(0.33) && e.cancel(handles[i])) ++cancelled;
+  const std::size_t fired = e.run();
+  EXPECT_EQ(fired, 2000u - cancelled);
+  for (std::size_t i = 1; i < fire_times.size(); ++i)
+    EXPECT_LE(fire_times[i - 1], fire_times[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStress, ::testing::Values(1, 2, 3, 4));
+
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  auto handle = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(handle));
+}
+
+TEST(Engine, EventAtExactHorizonFires) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(10.0, [&] { fired = true; });
+  e.run_until(10.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelFromInsideAnEvent) {
+  Engine e;
+  bool victim_fired = false;
+  auto victim = e.schedule_at(2.0, [&] { victim_fired = true; });
+  e.schedule_at(1.0, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  e.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+}  // namespace
+}  // namespace acme::sim

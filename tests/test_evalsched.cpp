@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "evalsched/coordinator.h"
+#include "evalsched/datasets.h"
+
+namespace acme::evalsched {
+namespace {
+
+TEST(Datasets, SuiteHas63Entries) {
+  EXPECT_EQ(dataset_suite().size(), 63u);
+}
+
+TEST(Datasets, AllPositiveAndNamed) {
+  std::set<std::string> names;
+  for (const auto& d : dataset_suite()) {
+    EXPECT_GT(d.inference_seconds, 0.0) << d.name;
+    EXPECT_GE(d.metric_cpu_seconds, 0.0) << d.name;
+    EXPECT_GT(d.preprocess_seconds, 0.0) << d.name;
+    names.insert(d.name);
+  }
+  EXPECT_EQ(names.size(), dataset_suite().size());
+}
+
+TEST(Datasets, CodingAndJudgeSetsAreMetricHeavy) {
+  double max_small_metric = 0;
+  for (const auto& d : dataset_suite()) {
+    if (d.name == "mbpp") {
+      EXPECT_GT(d.metric_cpu_seconds, 600.0);
+    }
+    if (d.name == "chatbot-arena") {
+      EXPECT_GT(d.metric_cpu_seconds, 900.0);
+    }
+    if (d.name == "mmlu") max_small_metric = d.metric_cpu_seconds;
+  }
+  EXPECT_LT(max_small_metric, 60.0);
+}
+
+// --- Fig 13: single-trial stage anatomy ---
+
+TEST(Fig13, HumanEvalStageFractionsMatchPaper) {
+  TrialCoordinator coordinator(TrialCoordinator::baseline_config(1));
+  std::vector<Dataset> only_humaneval;
+  for (const auto& d : dataset_suite())
+    if (d.name == "humaneval") only_humaneval.push_back(d);
+  ASSERT_EQ(only_humaneval.size(), 1u);
+  const auto report = coordinator.run(only_humaneval);
+
+  double total = 0, pre_infer = 0, infer = 0, metric = 0;
+  for (const auto& s : report.humaneval_timeline) {
+    total += s.duration;
+    if (s.stage == "inference") infer += s.duration;
+    else if (s.stage == "metric") metric += s.duration;
+    else pre_infer += s.duration;
+  }
+  ASSERT_GT(total, 0.0);
+  // Paper: ~29.5% model loading + preprocessing, ~19.0% idle metric tail,
+  // roughly half the time actually inferring.
+  EXPECT_NEAR(pre_infer / total, 0.295, 0.06);
+  EXPECT_NEAR(metric / total, 0.19, 0.05);
+  EXPECT_NEAR(infer / total, 0.51, 0.07);
+}
+
+// --- §6.2 makespans ---
+
+TEST(Makespan, CoordinatorBeatsBaselineOneNode) {
+  auto base = TrialCoordinator(TrialCoordinator::baseline_config(1)).run();
+  auto ours = TrialCoordinator(TrialCoordinator::coordinator_config(1)).run();
+  const double speedup = base.makespan / ours.makespan;
+  // Paper: 1.3x with a single node.
+  EXPECT_GT(speedup, 1.15);
+  EXPECT_LT(speedup, 1.6);
+}
+
+TEST(Makespan, CoordinatorBeatsBaselineFourNodes) {
+  auto base = TrialCoordinator(TrialCoordinator::baseline_config(4)).run();
+  auto ours = TrialCoordinator(TrialCoordinator::coordinator_config(4)).run();
+  const double speedup = base.makespan / ours.makespan;
+  // Paper: up to 1.8x with four nodes.
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 2.3);
+}
+
+TEST(Makespan, SpeedupGrowsWithNodes) {
+  const double s1 = TrialCoordinator(TrialCoordinator::baseline_config(1)).run().makespan /
+                    TrialCoordinator(TrialCoordinator::coordinator_config(1)).run().makespan;
+  const double s4 = TrialCoordinator(TrialCoordinator::baseline_config(4)).run().makespan /
+                    TrialCoordinator(TrialCoordinator::coordinator_config(4)).run().makespan;
+  EXPECT_GT(s4, s1);
+}
+
+TEST(Makespan, CoordinatorCutsGpuIdleTime) {
+  auto base = TrialCoordinator(TrialCoordinator::baseline_config(1)).run();
+  auto ours = TrialCoordinator(TrialCoordinator::coordinator_config(1)).run();
+  // Decoupling the metric stage removes the GPU-idle tail (Fig 13: 19%).
+  EXPECT_GT(base.gpu_idle_fraction(), 0.3);
+  EXPECT_LT(ours.gpu_idle_fraction(), base.gpu_idle_fraction() / 2);
+}
+
+TEST(Makespan, BundlingReducesTrialCount) {
+  auto base = TrialCoordinator(TrialCoordinator::baseline_config(1)).run();
+  auto ours = TrialCoordinator(TrialCoordinator::coordinator_config(1)).run();
+  EXPECT_EQ(base.trials, 63);
+  EXPECT_LT(ours.trials, 30);
+}
+
+// Each decoupling contributes: ablation over the three techniques.
+TEST(Ablation, EachTechniqueHelpsAtItsScale) {
+  auto with_flags = [](int nodes, bool load, bool metric, bool packing) {
+    EvalConfig c = TrialCoordinator::baseline_config(nodes);
+    c.decouple_loading = load;
+    c.decouple_metric = metric;
+    c.elastic_packing = packing;
+    c.cache_tokenized = packing;  // caching ships with the coordinator
+    return TrialCoordinator(c).run().makespan;
+  };
+  // Loading and metric decoupling pay off even on a single GPU-bound node.
+  const double none = with_flags(1, false, false, false);
+  const double only_load = with_flags(1, true, false, false);
+  const double load_metric = with_flags(1, true, true, false);
+  EXPECT_LT(only_load, none);
+  EXPECT_LT(load_metric, only_load);
+  // Elastic packing/splitting removes the judge-set tail that otherwise
+  // floors the makespan once GPUs are plentiful (its design target).
+  const double wide_without = with_flags(4, true, true, false);
+  const double wide_full = with_flags(4, true, true, true);
+  EXPECT_LT(wide_full, wide_without * 0.75);
+}
+
+TEST(Coordinator, HandlesTinySuite) {
+  std::vector<Dataset> suite = {dataset_suite()[10], dataset_suite()[11]};
+  auto report = TrialCoordinator(TrialCoordinator::coordinator_config(1)).run(suite);
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_LE(report.trials, 2);
+}
+
+TEST(Coordinator, RejectsZeroNodes) {
+  EvalConfig c = TrialCoordinator::baseline_config(1);
+  c.nodes = 0;
+  EXPECT_THROW(TrialCoordinator{c}, common::CheckError);
+}
+
+TEST(Coordinator, MoreGpusNeverSlower) {
+  const double one = TrialCoordinator(TrialCoordinator::coordinator_config(1)).run().makespan;
+  const double four = TrialCoordinator(TrialCoordinator::coordinator_config(4)).run().makespan;
+  EXPECT_LE(four, one);
+}
+
+
+TEST(CpuPool, FiniteSlotsSerializeMetricJobs) {
+  // One CPU slot: decoupled metric jobs queue behind each other, so the
+  // makespan grows toward the metric total.
+  std::vector<Dataset> suite = {{"a", 5, 10, 100, false},
+                                {"b", 5, 10, 100, false},
+                                {"c", 5, 10, 100, false}};
+  EvalConfig wide = TrialCoordinator::coordinator_config(1);
+  wide.elastic_packing = false;  // one dataset per trial for clarity
+  EvalConfig narrow = wide;
+  narrow.metric_cpu_slots = 1;
+  const auto unlimited = TrialCoordinator(wide).run(suite);
+  const auto serialized = TrialCoordinator(narrow).run(suite);
+  EXPECT_GT(serialized.makespan, unlimited.makespan + 150.0);
+  // With one slot the three 100 s metrics run back to back.
+  EXPECT_GE(serialized.makespan, 300.0);
+}
+
+TEST(CpuPool, AmpleSlotsMatchUnlimited) {
+  EvalConfig unlimited = TrialCoordinator::coordinator_config(2);
+  EvalConfig ample = unlimited;
+  ample.metric_cpu_slots = 1024;
+  EXPECT_DOUBLE_EQ(TrialCoordinator(unlimited).run().makespan,
+                   TrialCoordinator(ample).run().makespan);
+}
+
+}  // namespace
+}  // namespace acme::evalsched

@@ -1,0 +1,320 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/spec.h"
+#include "common/units.h"
+#include "common/check.h"
+#include "trace/analysis.h"
+#include "trace/synthesizer.h"
+
+namespace acme::sched {
+namespace {
+
+using common::kHour;
+using common::kMinute;
+
+trace::JobRecord make_job(std::uint64_t id, trace::WorkloadType type, int gpus,
+                          double submit, double duration) {
+  trace::JobRecord j;
+  j.id = id;
+  j.type = type;
+  j.gpus = gpus;
+  j.submit_time = submit;
+  j.duration = duration;
+  j.status = trace::JobStatus::kCompleted;
+  return j;
+}
+
+cluster::ClusterSpec tiny_cluster(int nodes) {
+  auto spec = cluster::seren_spec();
+  spec.node_count = nodes;
+  return spec;
+}
+
+SchedulerConfig tiny_config() {
+  SchedulerConfig c;
+  c.pretrain_reservation = 0.5;
+  c.eval_cap_fraction = 0.25;
+  return c;
+}
+
+TEST(Scheduler, UncontendedJobStartsImmediately) {
+  SchedulerReplay replay(tiny_cluster(4), tiny_config());
+  trace::Trace jobs{make_job(1, trace::WorkloadType::kDebug, 4, 10.0, 100.0)};
+  auto result = replay.replay(jobs);
+  EXPECT_DOUBLE_EQ(result.jobs[0].queue_delay, 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 110.0);
+  EXPECT_EQ(result.unstarted, 0u);
+}
+
+TEST(Scheduler, PretrainUsesReservationImmediately) {
+  // Shared partition is saturated by best-effort work; the pretraining gang
+  // must still start instantly on the reserved partition.
+  SchedulerReplay replay(tiny_cluster(4), tiny_config());
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 1000.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kPretrain, 16, 1.0, 500.0));
+  auto result = replay.replay(jobs);
+  EXPECT_DOUBLE_EQ(result.jobs[1].queue_delay, 0.0);
+}
+
+TEST(Scheduler, BestEffortCannotTouchReservation) {
+  // 4 nodes, 50% reserved: best-effort demand beyond 2 nodes must queue even
+  // though reserved nodes sit idle.
+  SchedulerReplay replay(tiny_cluster(4), tiny_config());
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 100.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kDebug, 8, 0.0, 50.0));
+  auto result = replay.replay(jobs);
+  EXPECT_DOUBLE_EQ(result.jobs[0].queue_delay, 0.0);
+  EXPECT_NEAR(result.jobs[1].queue_delay, 100.0, 1e-6);
+}
+
+TEST(Scheduler, EvalCapThrottlesBatch) {
+  // Eval cap = 25% of 32 GPUs = 8: a burst of 4x4-GPU evals drains two at a
+  // time even though the shared partition could hold all of them.
+  SchedulerReplay replay(tiny_cluster(4), tiny_config());
+  trace::Trace jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(
+        make_job(static_cast<std::uint64_t>(i + 1), trace::WorkloadType::kEvaluation,
+                 4, 0.0, 60.0));
+  auto result = replay.replay(jobs);
+  int immediate = 0, delayed = 0;
+  for (const auto& j : result.jobs)
+    (j.queue_delay < 1e-9 ? immediate : delayed)++;
+  EXPECT_EQ(immediate, 2);
+  EXPECT_EQ(delayed, 2);
+}
+
+TEST(Scheduler, EvalLowerPriorityThanNormal) {
+  // Shared partition (1 node) busy until t=10; an eval and a debug job queue
+  // behind it. When it frees, the normal class is scanned first.
+  auto spec = tiny_cluster(2);
+  SchedulerConfig config = tiny_config();  // shared = 1 node
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 8, 0.0, 10.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kEvaluation, 8, 1.0, 100.0));
+  jobs.push_back(make_job(3, trace::WorkloadType::kDebug, 8, 2.0, 100.0));
+  auto result = replay.replay(jobs);
+  EXPECT_NEAR(result.jobs[2].queue_delay, 8.0, 1e-6);    // debug runs at 10
+  EXPECT_NEAR(result.jobs[1].queue_delay, 109.0, 1e-6);  // eval waits for it
+}
+
+TEST(Scheduler, BackfillSkipsStuckHead) {
+  // Head of the normal queue needs 2 nodes (16 GPUs); only 1 node free. A
+  // later 4-GPU job backfills.
+  auto spec = tiny_cluster(4);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.25;  // shared = 3 nodes
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 200.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kDebug, 16, 1.0, 100.0));
+  jobs.push_back(make_job(3, trace::WorkloadType::kDebug, 4, 2.0, 10.0));
+  auto result = replay.replay(jobs);
+  EXPECT_NEAR(result.jobs[2].queue_delay, 0.0, 1e-9);  // backfilled
+  EXPECT_GT(result.jobs[1].queue_delay, 100.0);
+}
+
+TEST(Scheduler, OversizedBestEffortEventuallyRunsAlone) {
+  // A best-effort job bigger than the shared partition's eval cap... the
+  // starvation escape lets an over-cap eval run once the class is empty.
+  auto spec = tiny_cluster(4);
+  SchedulerConfig config = tiny_config();  // eval cap 8
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kEvaluation, 4, 0.0, 50.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kEvaluation, 16, 0.0, 10.0));
+  auto result = replay.replay(jobs);
+  EXPECT_EQ(result.unstarted, 0u);
+  EXPECT_NEAR(result.jobs[1].queue_delay, 50.0, 1e-6);
+}
+
+TEST(Scheduler, CpuJobsBypass) {
+  SchedulerReplay replay(tiny_cluster(2), tiny_config());
+  trace::Trace jobs{make_job(1, trace::WorkloadType::kOther, 0, 0.0, 100.0)};
+  auto result = replay.replay(jobs);
+  EXPECT_EQ(result.unstarted, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);  // nothing scheduled on GPUs
+}
+
+TEST(Scheduler, OccupancySamplerTracksLoad) {
+  SchedulerReplay replay(tiny_cluster(2), tiny_config());
+  trace::Trace jobs{make_job(1, trace::WorkloadType::kDebug, 8, 0.0, 100.0)};
+  auto result = replay.replay(jobs, 10.0);
+  ASSERT_GT(result.occupancy.size(), 5u);
+  EXPECT_EQ(result.occupancy[1].busy_gpus, 8);
+  EXPECT_EQ(result.occupancy[0].total_gpus, 16);
+}
+
+TEST(Scheduler, RejectsJobLargerThanCluster) {
+  SchedulerReplay replay(tiny_cluster(2), tiny_config());
+  trace::Trace jobs{make_job(1, trace::WorkloadType::kPretrain, 64, 0.0, 10.0)};
+  EXPECT_THROW(replay.replay(jobs), common::CheckError);
+}
+
+// End-to-end: the scaled six-month Seren replay reproduces Fig 6's headline
+// finding — evaluation trials wait longest despite being smallest.
+TEST(SchedulerSixMonth, EvalQueuesLongestSeren) {
+  auto profile = trace::scaled(trace::seren_profile(), 20.0);
+  profile.cpu_jobs = 0;
+  auto jobs = trace::TraceSynthesizer(profile).generate();
+  SchedulerReplay replay(cluster::seren_spec(), seren_scheduler_config());
+  auto result = replay.replay(jobs);
+  EXPECT_EQ(result.unstarted, 0u);
+
+  const auto eval =
+      trace::queue_delays_of(result.jobs, trace::WorkloadType::kEvaluation);
+  const auto pretrain =
+      trace::queue_delays_of(result.jobs, trace::WorkloadType::kPretrain);
+  const auto sft = trace::queue_delays_of(result.jobs, trace::WorkloadType::kSFT);
+  // Pretraining starts ~immediately thanks to the reservation.
+  EXPECT_LT(pretrain.quantile(0.9), 1 * kMinute);
+  // Evaluation's median delay dominates every other class's.
+  EXPECT_GT(eval.median(), 10 * kMinute);
+  EXPECT_GT(eval.median(), sft.median());
+  EXPECT_GT(eval.median(), pretrain.median());
+}
+
+TEST(SchedulerSixMonth, NoJobLostAndConservation) {
+  auto profile = trace::scaled(trace::kalos_profile(), 4.0);
+  profile.cpu_jobs = 0;
+  auto jobs = trace::TraceSynthesizer(profile).generate();
+  SchedulerReplay replay(cluster::kalos_spec(), kalos_scheduler_config());
+  auto result = replay.replay(jobs, 900.0);
+  EXPECT_EQ(result.unstarted, 0u);
+  EXPECT_EQ(result.jobs.size(), jobs.size());
+  for (const auto& s : result.occupancy) {
+    ASSERT_GE(s.busy_gpus, 0);
+    ASSERT_LE(s.busy_gpus, s.total_gpus);
+  }
+  // Every GPU job got a start time no earlier than submission.
+  for (const auto& j : result.jobs) {
+    if (j.is_gpu_job()) {
+      ASSERT_GE(j.queue_delay, 0.0);
+    }
+  }
+}
+
+
+// --- Preemptive baseline (§3.1: why preemption is unsuitable) ---
+
+TEST(Preemption, PretrainEvictsBestEffort) {
+  auto spec = tiny_cluster(4);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.0;  // no reservation: classic DL scheduler
+  config.allow_preemption = true;
+  config.preemption_overhead_seconds = 100.0;
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  // Best-effort work fills the cluster; a pretraining gang arrives later.
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 1000.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kDebug, 16, 0.0, 1000.0));
+  jobs.push_back(make_job(3, trace::WorkloadType::kPretrain, 32, 50.0, 200.0));
+  auto result = replay.replay(jobs);
+  // The gang starts immediately by evicting both victims...
+  EXPECT_NEAR(result.jobs[2].queue_delay, 0.0, 1e-6);
+  EXPECT_EQ(result.preemptions, 2);
+  // ...who lose their 50 s of progress each (16 GPUs x 50 s x 2).
+  EXPECT_NEAR(result.wasted_gpu_seconds, 2 * 16 * 50.0, 1e-6);
+  // Victims re-run from scratch plus the restart overhead after the gang.
+  EXPECT_EQ(result.unstarted, 0u);
+  EXPECT_NEAR(result.makespan, 50.0 + 200.0 + 1000.0 + 100.0, 1e-6);
+}
+
+TEST(Preemption, NoEvictionWhenRoomExists) {
+  auto spec = tiny_cluster(4);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.0;
+  config.allow_preemption = true;
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 8, 0.0, 500.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kPretrain, 16, 1.0, 100.0));
+  auto result = replay.replay(jobs);
+  EXPECT_EQ(result.preemptions, 0);
+  EXPECT_DOUBLE_EQ(result.wasted_gpu_seconds, 0.0);
+  EXPECT_NEAR(result.jobs[0].queue_delay, 0.0, 1e-9);
+}
+
+TEST(Preemption, InfeasibleGangDoesNotThrash) {
+  // A pretraining job bigger than the whole shared partition must not evict
+  // anyone (it can never fit).
+  auto spec = tiny_cluster(4);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.5;  // shared = 2 nodes = 16 GPUs
+  config.allow_preemption = true;
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 100.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kPretrain, 32, 1.0, 10.0));
+  auto result = replay.replay(jobs);
+  EXPECT_EQ(result.preemptions, 0);
+  // The gang waits for its reservation instead (16 GPUs reserved < 32): it
+  // ends up spilling across... cannot fit anywhere -> left unstarted.
+  EXPECT_EQ(result.unstarted, 1u);
+}
+
+TEST(Preemption, DelayAccountingKeepsFirstStart) {
+  auto spec = tiny_cluster(2);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.0;
+  config.allow_preemption = true;
+  config.preemption_overhead_seconds = 60.0;
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kEvaluation, 16, 0.0, 500.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kPretrain, 16, 10.0, 50.0));
+  auto result = replay.replay(jobs);
+  // The eval started at t=0 (delay 0) even though it was evicted at t=10.
+  EXPECT_NEAR(result.jobs[0].queue_delay, 0.0, 1e-9);
+  EXPECT_EQ(result.preemptions, 1);
+  // Eval re-runs after the gang: 10 + 50 + 500 + 60 overhead.
+  EXPECT_NEAR(result.makespan, 620.0, 1e-6);
+}
+
+
+// Property: even under heavy preemptive churn, resources are conserved and
+// every job eventually completes.
+class PreemptionStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreemptionStress, ConservationUnderChurn) {
+  auto spec = tiny_cluster(8);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.0;
+  config.allow_preemption = true;
+  config.preempt_pretraining_for_fairness = true;
+  config.fairness_wait_seconds = 50.0;
+  config.preemption_overhead_seconds = 20.0;
+  SchedulerReplay replay(spec, config);
+
+  common::Rng rng(GetParam());
+  trace::Trace jobs;
+  for (std::uint64_t i = 1; i <= 120; ++i) {
+    const bool pretrain = rng.bernoulli(0.25);
+    const int gpus = pretrain ? static_cast<int>(rng.uniform_int(2, 6)) * 8
+                              : static_cast<int>(rng.uniform_int(1, 16));
+    jobs.push_back(make_job(i,
+                            pretrain ? trace::WorkloadType::kPretrain
+                                     : trace::WorkloadType::kDebug,
+                            gpus, rng.uniform(0, 2000), rng.uniform(30, 600)));
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
+    return a.submit_time < b.submit_time;
+  });
+  auto result = replay.replay(jobs, 25.0);
+  EXPECT_EQ(result.unstarted, 0u);
+  for (const auto& s : result.occupancy) {
+    ASSERT_GE(s.busy_gpus, 0);
+    ASSERT_LE(s.busy_gpus, s.total_gpus);
+  }
+  EXPECT_GE(result.wasted_gpu_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreemptionStress, ::testing::Values(3, 5, 9));
+
+}  // namespace
+}  // namespace acme::sched

@@ -1,0 +1,171 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace acme::common {
+namespace {
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStats, QuantilesAgainstKnownValues) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(SampleStats, StreamingAndSampleAgreeOnMean) {
+  StreamingStats stream;
+  SampleStats sample;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.lognormal(1.0, 1.0);
+    stream.add(v);
+    sample.add(v);
+  }
+  EXPECT_NEAR(stream.mean(), sample.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(stream.min(), sample.min());
+  EXPECT_DOUBLE_EQ(stream.max(), sample.max());
+}
+
+TEST(SampleStats, CdfIsMonotoneProperty) {
+  SampleStats s;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) s.add(rng.normal(10, 5));
+  double prev = -1;
+  for (double x : lin_space(-10, 30, 100)) {
+    const double c = s.cdf(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(s.cdf(s.max()), 1.0);
+}
+
+TEST(SampleStats, QuantileCdfInverseProperty) {
+  SampleStats s;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) s.add(rng.uniform(0, 100));
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double x = s.quantile(q);
+    EXPECT_NEAR(s.cdf(x), q, 0.02);
+  }
+}
+
+TEST(SampleStats, WeightedQuantileAndMean) {
+  SampleStats s;
+  s.add_weighted(1.0, 1.0);
+  s.add_weighted(10.0, 9.0);
+  EXPECT_NEAR(s.mean(), 9.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);  // mass concentrated at 10
+  EXPECT_NEAR(s.cdf(5.0), 0.1, 1e-9);
+}
+
+TEST(SampleStats, MixedWeightedAfterUnweighted) {
+  SampleStats s;
+  s.add(2.0);
+  s.add_weighted(4.0, 3.0);
+  EXPECT_NEAR(s.mean(), (2.0 + 12.0) / 4.0, 1e-9);
+}
+
+TEST(SampleStats, InterleavedQueriesAndInserts) {
+  // Querying sorts lazily; later inserts must still be seen.
+  SampleStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(BoxplotStats, FiveNumberSummary) {
+  SampleStats s;
+  for (int i = 1; i <= 11; ++i) s.add(i);
+  s.add(100.0);  // outlier beyond 1.5 IQR
+  const auto box = BoxplotStats::from(s);
+  EXPECT_GT(box.q3, box.median);
+  EXPECT_GT(box.median, box.q1);
+  EXPECT_LE(box.whisker_hi, box.q3 + 1.5 * (box.q3 - box.q1) + 1e-9);
+  EXPECT_LT(box.whisker_hi, 100.0);  // outlier excluded from whisker
+  EXPECT_DOUBLE_EQ(box.whisker_lo, 1.0);
+}
+
+TEST(BoxplotStats, EmptyIsZeroed) {
+  const auto box = BoxplotStats::from(SampleStats{});
+  EXPECT_DOUBLE_EQ(box.median, 0.0);
+}
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 10.0);
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    EXPECT_DOUBLE_EQ(h.count(i), 1.0);
+    EXPECT_DOUBLE_EQ(h.fraction(i), 0.1);
+  }
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0, 10, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0, 1, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+}
+
+TEST(SpaceHelpers, LogSpaceEndpointsAndGrowth) {
+  const auto xs = log_space(1.0, 1000.0, 4);
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_NEAR(xs[0], 1.0, 1e-9);
+  EXPECT_NEAR(xs[1], 10.0, 1e-6);
+  EXPECT_NEAR(xs[3], 1000.0, 1e-6);
+}
+
+TEST(SpaceHelpers, LinSpaceEvenSteps) {
+  const auto xs = lin_space(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(SpaceHelpers, RejectBadArguments) {
+  EXPECT_THROW(log_space(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(log_space(10.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(lin_space(0.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acme::common

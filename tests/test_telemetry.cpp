@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "telemetry/fleet_sampler.h"
+#include "telemetry/job_profiler.h"
+#include "telemetry/timeseries.h"
+#include <sstream>
+
+namespace acme::telemetry {
+namespace {
+
+// --- TimeSeries / MetricStore ---
+
+TEST(TimeSeries, AppendAndStepLookup) {
+  TimeSeries ts("gpu_util");
+  ts.append(0, 10);
+  ts.append(15, 20);
+  ts.append(30, 30);
+  EXPECT_DOUBLE_EQ(ts.at(-1), 0.0);
+  EXPECT_DOUBLE_EQ(ts.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(14.9), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(15), 20.0);
+  EXPECT_DOUBLE_EQ(ts.at(1000), 30.0);
+}
+
+TEST(TimeSeries, RejectsOutOfOrder) {
+  TimeSeries ts("x");
+  ts.append(10, 1);
+  EXPECT_THROW(ts.append(5, 2), common::CheckError);
+}
+
+TEST(TimeSeries, MeanOverStepIntegration) {
+  TimeSeries ts("x");
+  ts.append(0, 0);
+  ts.append(10, 10);
+  // [0,10): 0, [10,20): 10 -> mean over [0,20) = 5.
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 20), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(10, 20), 10.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(5, 15), 5.0);
+}
+
+TEST(TimeSeries, ValuesExport) {
+  TimeSeries ts("x");
+  for (int i = 0; i < 10; ++i) ts.append(i, i);
+  EXPECT_EQ(ts.values().count(), 10u);
+  EXPECT_DOUBLE_EQ(ts.values().median(), 4.5);
+}
+
+TEST(MetricStore, CreatesAndFinds) {
+  MetricStore store;
+  store.series("a").append(0, 1);
+  store.series("b").append(0, 2);
+  EXPECT_NE(store.find("a"), nullptr);
+  EXPECT_EQ(store.find("c"), nullptr);
+  EXPECT_EQ(store.names().size(), 2u);
+  store.series("a").append(1, 3);  // same series, no duplicate
+  EXPECT_EQ(store.names().size(), 2u);
+}
+
+// --- Fleet sampler calibration (Fig 2b, 7, 8, 21) ---
+
+FleetSamplerConfig kalos_like_config() {
+  FleetSamplerConfig config;
+  config.spec = cluster::kalos_spec();
+  config.busy_fraction = 0.80;
+  config.gputime_mix = {{trace::WorkloadType::kPretrain, 0.94},
+                        {trace::WorkloadType::kEvaluation, 0.01},
+                        {trace::WorkloadType::kDebug, 0.05}};
+  return config;
+}
+
+FleetMetrics sample_kalos(std::size_t n = 20000) {
+  static FleetMetrics metrics = [] {
+    FleetSampler sampler(kalos_like_config());
+    common::Rng rng(1);
+    return sampler.sample(20000, rng);
+  }();
+  (void)n;
+  return metrics;
+}
+
+TEST(FleetSampler, PolarizedGpuUtilization) {
+  auto m = sample_kalos();
+  // Fig 2b: mass concentrates at 0 and ~100; busy cluster -> high median.
+  const double at_zero = m.gpu_util.cdf(5.0);
+  const double at_high = 1.0 - m.gpu_util.cdf(90.0);
+  EXPECT_GT(at_zero + at_high, 0.8);
+  EXPECT_GT(m.gpu_util.median(), 90.0);
+}
+
+TEST(FleetSampler, MedianSmActivityNearFortyPercent) {
+  auto m = sample_kalos();
+  EXPECT_NEAR(m.sm_activity.median(), 0.40, 0.10);
+  // TC activity tracks below SM activity.
+  EXPECT_LT(m.tc_activity.median(), m.sm_activity.median());
+}
+
+TEST(FleetSampler, GpuMemoryHighOnBusyFleet) {
+  auto m = sample_kalos();
+  // Kalos: ~50% of GPUs above 60 GB (75% of 80 GB).
+  EXPECT_NEAR(1.0 - m.gpu_mem_gb.cdf(60.0), 0.5, 0.15);
+}
+
+TEST(FleetSampler, AssociatedResourcesUnderutilized) {
+  auto m = sample_kalos();
+  EXPECT_LT(m.host_mem_frac.quantile(0.9), 0.5);   // host memory below 50%
+  EXPECT_LT(m.cpu_util.median(), 0.2);             // CPUs mostly idle
+  // IB idle >60% of the time; active bandwidth rarely above 25% of peak.
+  EXPECT_GT(m.ib_send_frac.cdf(0.005), 0.55);
+  EXPECT_LT(1.0 - m.ib_send_frac.cdf(0.25), 0.08);
+}
+
+TEST(FleetSampler, SendRecvSymmetric) {
+  auto m = sample_kalos();
+  EXPECT_NEAR(m.ib_send_frac.mean(), m.ib_recv_frac.mean(), 0.01);
+}
+
+TEST(FleetSampler, PowerDistributionMatchesFig8) {
+  auto m = sample_kalos();
+  // Idle GPUs (~20% at busy=0.8) cluster near 60 W.
+  EXPECT_NEAR(m.gpu_power_w.cdf(80.0), 0.2, 0.1);
+  // A visible share exceeds the 400 W TDP; none beyond 600 W.
+  const double over_tdp = 1.0 - m.gpu_power_w.cdf(400.0);
+  EXPECT_GT(over_tdp, 0.05);
+  EXPECT_LT(over_tdp, 0.45);
+  EXPECT_LE(m.gpu_power_w.max(), 600.0);
+}
+
+TEST(FleetSampler, MemoryTempAboveCoreTemp) {
+  auto m = sample_kalos();
+  EXPECT_GT(m.gpu_mem_temp_c.median(), m.gpu_core_temp_c.median() + 3.0);
+  // Heavy-load population exceeds 65 C (Fig 21).
+  EXPECT_GT(1.0 - m.gpu_core_temp_c.cdf(65.0), 0.2);
+}
+
+TEST(FleetSampler, ServerPowerScalesWithLoad) {
+  auto busy_cfg = kalos_like_config();
+  auto idle_cfg = kalos_like_config();
+  idle_cfg.busy_fraction = 0.05;
+  common::Rng rng(2);
+  auto busy = FleetSampler(busy_cfg).sample(3000, rng);
+  auto idle = FleetSampler(idle_cfg).sample(3000, rng);
+  EXPECT_GT(busy.server_power_w.mean(), idle.server_power_w.mean() * 1.8);
+}
+
+TEST(FleetSampler, IdleClusterReadsZeroUtil) {
+  auto cfg = kalos_like_config();
+  cfg.busy_fraction = 0.0;
+  common::Rng rng(3);
+  auto m = FleetSampler(cfg).sample(2000, rng);
+  EXPECT_LT(m.gpu_util.quantile(0.95), 5.0);
+  EXPECT_DOUBLE_EQ(m.sm_activity.max(), 0.0);
+}
+
+TEST(FleetSampler, RejectsEmptyMix) {
+  FleetSamplerConfig cfg;
+  cfg.spec = cluster::seren_spec();
+  EXPECT_THROW(FleetSampler{cfg}, common::CheckError);
+}
+
+
+// --- JobProfiler + CSV export ---
+
+TEST(JobProfiler, RecordsSmAndPowerSeries) {
+  parallel::PretrainExecutionModel model(parallel::llm_7b());
+  parallel::HierZeroConfig cfg;
+  cfg.world = 256;
+  MetricStore store;
+  JobProfiler profiler({.sample_interval = 0.01});
+  const auto n = profiler.profile(model.step_hier_zero(cfg), "job", store);
+  ASSERT_GT(n, 10u);
+  const auto* sm = store.find("job.sm_activity");
+  const auto* power = store.find("job.power_w");
+  ASSERT_NE(sm, nullptr);
+  ASSERT_NE(power, nullptr);
+  EXPECT_EQ(sm->size(), n);
+  EXPECT_EQ(power->size(), n);
+  // Power tracks activity: busy samples draw far beyond idle.
+  EXPECT_GT(power->values().max(), 200.0);
+  for (const auto& p : sm->points()) {
+    ASSERT_GE(p.value, 0.0);
+    ASSERT_LE(p.value, 1.0);
+  }
+}
+
+TEST(JobProfiler, CsvExportRoundTripsRowCount) {
+  parallel::PretrainExecutionModel model(parallel::llm_7b());
+  parallel::HierZeroConfig cfg;
+  cfg.world = 256;
+  MetricStore store;
+  JobProfiler profiler({.sample_interval = 0.05});
+  const auto n = profiler.profile(model.step_hier_zero(cfg), "j", store);
+  std::stringstream buf;
+  write_csv(buf, store);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(buf, line)) ++rows;
+  EXPECT_EQ(rows, 1 + 2 * n);  // header + two series
+}
+
+TEST(JobProfiler, HorizonOverrideRespected) {
+  parallel::PretrainExecutionModel model(parallel::llm_7b());
+  parallel::HierZeroConfig cfg;
+  cfg.world = 256;
+  MetricStore store;
+  JobProfiler profiler({.sample_interval = 0.01, .horizon = 1.0});
+  EXPECT_EQ(profiler.profile(model.step_hier_zero(cfg), "h", store), 100u);
+}
+
+}  // namespace
+}  // namespace acme::telemetry

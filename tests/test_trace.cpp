@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+#include "trace/analysis.h"
+#include "trace/comparison.h"
+#include "trace/synthesizer.h"
+#include "trace/trace_io.h"
+#include "trace/workload_profile.h"
+
+namespace acme::trace {
+namespace {
+
+using common::kMinute;
+
+Trace seren_trace(double scale = 20.0) {
+  static Trace cached = [] {
+    auto profile = scaled(seren_profile(), 20.0);
+    profile.cpu_jobs = 0;
+    return TraceSynthesizer(profile).generate();
+  }();
+  (void)scale;
+  return cached;
+}
+
+Trace kalos_trace() {
+  static Trace cached = [] {
+    auto profile = kalos_profile();
+    profile.cpu_jobs = 0;
+    return TraceSynthesizer(profile).generate();
+  }();
+  return cached;
+}
+
+// --- Calibration against the paper's published statistics (DESIGN.md §4) ---
+
+TEST(Calibration, SerenTypeMixMatchesFig4) {
+  const auto shares = type_shares(seren_trace());
+  EXPECT_NEAR(shares.at(WorkloadType::kEvaluation).count_fraction, 0.78, 0.05);
+  EXPECT_NEAR(shares.at(WorkloadType::kPretrain).count_fraction, 0.009, 0.006);
+  // Pretraining holds ~69.5% of Seren GPU time.
+  EXPECT_GT(shares.at(WorkloadType::kPretrain).gpu_time_fraction, 0.60);
+  EXPECT_LT(shares.at(WorkloadType::kPretrain).gpu_time_fraction, 0.82);
+  // Evaluation: huge count, tiny GPU time.
+  EXPECT_LT(shares.at(WorkloadType::kEvaluation).gpu_time_fraction, 0.05);
+}
+
+TEST(Calibration, KalosTypeMixMatchesFig4) {
+  const auto shares = type_shares(kalos_trace());
+  EXPECT_NEAR(shares.at(WorkloadType::kEvaluation).count_fraction, 0.90, 0.05);
+  // Pretraining ~3.2% of jobs but ~94% of GPU time.
+  EXPECT_GT(shares.at(WorkloadType::kPretrain).gpu_time_fraction, 0.88);
+  EXPECT_LT(shares.at(WorkloadType::kPretrain).count_fraction, 0.09);
+  // Evaluation ~0.8% of GPU time.
+  EXPECT_LT(shares.at(WorkloadType::kEvaluation).gpu_time_fraction, 0.02);
+}
+
+TEST(Calibration, MedianJobDurationAboutTwoMinutes) {
+  for (const auto& trace : {seren_trace(), kalos_trace()}) {
+    const double median = durations(trace).median();
+    EXPECT_GT(median, 0.7 * kMinute);
+    EXPECT_LT(median, 4.0 * kMinute);
+  }
+}
+
+TEST(Calibration, AverageGpuDemandMatchesTable2) {
+  // Paper: 5.7 (Seren) and 26.8 (Kalos) average requested GPUs.
+  EXPECT_NEAR(average_gpu_demand(seren_trace()), 5.7, 3.0);
+  EXPECT_NEAR(average_gpu_demand(kalos_trace()), 26.8, 8.0);
+}
+
+TEST(Calibration, DemandSkewMatchesFig3) {
+  const auto& trace = kalos_trace();
+  auto per_job = demand_per_job(trace);
+  auto weighted = demand_weighted_by_gpu_time(trace);
+  // Most jobs are small; <7% request more than 8 GPUs.
+  EXPECT_GT(per_job.cdf(8.0), 0.93);
+  // Single-GPU jobs hold <2% of GPU time; >=256-GPU jobs hold >=90%.
+  EXPECT_LT(weighted.cdf(1.0), 0.02);
+  EXPECT_GT(1.0 - weighted.cdf(255.0), 0.90);
+}
+
+TEST(Calibration, StatusSharesMatchFig17) {
+  const auto shares = status_shares(seren_trace());
+  EXPECT_NEAR(shares.at(JobStatus::kFailed).count_fraction, 0.40, 0.06);
+  // Completed jobs consume only ~20-45% of GPU resources; canceled jobs are
+  // few but hold the majority.
+  EXPECT_LT(shares.at(JobStatus::kCompleted).gpu_time_fraction, 0.50);
+  EXPECT_GT(shares.at(JobStatus::kCanceled).gpu_time_fraction, 0.35);
+  EXPECT_LT(shares.at(JobStatus::kCanceled).count_fraction, 0.12);
+}
+
+TEST(Calibration, FewJobsExceedOneDay) {
+  const auto d = durations(seren_trace());
+  EXPECT_LT(1.0 - d.cdf(common::kDay), 0.05);
+}
+
+TEST(Calibration, PretrainDemandCorrelatesWithType) {
+  // Fig 5: evaluation <= 8 GPUs; pretraining in the hundreds.
+  const auto& trace = kalos_trace();
+  EXPECT_LE(demand_of(trace, WorkloadType::kEvaluation).quantile(0.95), 8.0);
+  EXPECT_GE(demand_of(trace, WorkloadType::kPretrain).median(), 128.0);
+}
+
+TEST(Synthesizer, DeterministicForSeed) {
+  auto profile = scaled(seren_profile(), 200.0);
+  SynthesizerOptions options;
+  options.seed = 77;
+  const auto a = TraceSynthesizer(profile, options).generate();
+  const auto b = TraceSynthesizer(profile, options).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+TEST(Synthesizer, DifferentSeedsDiffer) {
+  auto profile = scaled(seren_profile(), 200.0);
+  SynthesizerOptions a_opt, b_opt;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  const auto a = TraceSynthesizer(profile, a_opt).generate();
+  const auto b = TraceSynthesizer(profile, b_opt).generate();
+  double sum_a = 0, sum_b = 0;
+  for (const auto& j : a) sum_a += j.submit_time + j.duration;
+  for (const auto& j : b) sum_b += j.submit_time + j.duration;
+  EXPECT_NE(sum_a, sum_b);
+}
+
+TEST(Synthesizer, SubmissionsSortedWithinHorizon) {
+  const auto trace = seren_trace();
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    ASSERT_LE(trace[i - 1].submit_time, trace[i].submit_time);
+  for (const auto& j : trace) {
+    ASSERT_GE(j.submit_time, 0.0);
+    ASSERT_LE(j.submit_time, scaled(seren_profile(), 20.0).trace_days * common::kDay);
+    ASSERT_GT(j.duration, 0.0);
+  }
+}
+
+TEST(Synthesizer, CpuJobsIncludedWhenRequested) {
+  auto profile = scaled(kalos_profile(), 10.0);
+  SynthesizerOptions options;
+  options.include_cpu_jobs = true;
+  const auto trace = TraceSynthesizer(profile, options).generate();
+  std::size_t cpu = 0;
+  for (const auto& j : trace)
+    if (!j.is_gpu_job()) ++cpu;
+  EXPECT_GT(cpu, profile.cpu_jobs / 2);
+}
+
+TEST(Synthesizer, CampaignJobsCarryModelTags) {
+  for (const auto& j : kalos_trace()) {
+    if (j.type == WorkloadType::kPretrain) {
+      EXPECT_FALSE(j.model_tag.empty());
+      EXPECT_GE(j.gpus, 32);
+    }
+  }
+}
+
+// --- Trace I/O ---
+
+TEST(TraceIo, CsvRoundTrip) {
+  auto profile = scaled(seren_profile(), 2000.0);
+  const auto trace = TraceSynthesizer(profile).generate();
+  std::stringstream buf;
+  write_csv(buf, trace);
+  const auto back = read_csv(buf);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].id, trace[i].id);
+    EXPECT_EQ(back[i].type, trace[i].type);
+    EXPECT_EQ(back[i].status, trace[i].status);
+    EXPECT_EQ(back[i].gpus, trace[i].gpus);
+    EXPECT_NEAR(back[i].duration, trace[i].duration, 1e-3);
+    EXPECT_EQ(back[i].model_tag, trace[i].model_tag);
+  }
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream buf("not,a,trace\n1,2,3\n");
+  EXPECT_THROW(read_csv(buf), std::exception);
+}
+
+// --- Comparison datacenters (Table 2, Fig 2) ---
+
+TEST(Comparison, Table2Metadata) {
+  EXPECT_EQ(philly_profile().total_gpus, 2490);
+  EXPECT_EQ(helios_profile().total_gpus, 6416);
+  EXPECT_EQ(pai_profile().total_gpus, 6742);
+  EXPECT_DOUBLE_EQ(pai_profile().avg_gpus, 0.7);
+}
+
+TEST(Comparison, DurationOrderingMatchesFig2a) {
+  // Acme's median (~2 min) is 1.7-7.2x shorter than the others'.
+  common::Rng rng(3);
+  for (const auto& profile : {philly_profile(), helios_profile(), pai_profile()}) {
+    common::SampleStats s;
+    for (int i = 0; i < 20000; ++i) s.add(profile.sample_duration(rng));
+    EXPECT_GT(s.median(), 1.7 * 2 * kMinute) << profile.name;
+    EXPECT_LT(s.median(), 7.5 * 2 * kMinute) << profile.name;
+  }
+}
+
+TEST(Comparison, PhillyAverageAboutTwelveTimesAcme) {
+  common::Rng rng(4);
+  common::SampleStats philly;
+  for (int i = 0; i < 50000; ++i) philly.add(philly_profile().sample_duration(rng));
+  const double acme_avg = durations(seren_trace()).mean();
+  EXPECT_GT(philly.mean() / acme_avg, 6.0);
+  EXPECT_LT(philly.mean() / acme_avg, 25.0);
+}
+
+TEST(Comparison, UtilizationMediansMatchFig2b) {
+  common::Rng rng(5);
+  common::SampleStats philly, pai;
+  for (int i = 0; i < 50000; ++i) {
+    philly.add(philly_profile().sample_util(rng));
+    pai.add(pai_profile().sample_util(rng));
+  }
+  EXPECT_NEAR(philly.median(), 48.0, 8.0);
+  EXPECT_NEAR(pai.median(), 4.0, 4.0);
+}
+
+
+// Property: downscaling preserves the calibrated type mix (the campaign
+// volume scales with the shrunken horizon alongside the Poisson arrivals).
+class ScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweep, TypeMixStableUnderScaling) {
+  auto profile = scaled(seren_profile(), GetParam());
+  profile.cpu_jobs = 0;
+  const auto trace = TraceSynthesizer(profile).generate();
+  const auto shares = type_shares(trace);
+  EXPECT_NEAR(shares.at(WorkloadType::kPretrain).count_fraction, 0.010, 0.008);
+  EXPECT_GT(shares.at(WorkloadType::kPretrain).gpu_time_fraction, 0.5);
+  EXPECT_NEAR(shares.at(WorkloadType::kEvaluation).count_fraction, 0.78, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScaleSweep, ::testing::Values(10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace acme::trace
