@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_carbon"
+  "../bench/bench_a3_carbon.pdb"
+  "CMakeFiles/bench_a3_carbon.dir/bench_a3_carbon.cpp.o"
+  "CMakeFiles/bench_a3_carbon.dir/bench_a3_carbon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

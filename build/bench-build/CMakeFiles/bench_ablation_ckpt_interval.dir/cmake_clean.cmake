@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ckpt_interval"
+  "../bench/bench_ablation_ckpt_interval.pdb"
+  "CMakeFiles/bench_ablation_ckpt_interval.dir/bench_ablation_ckpt_interval.cpp.o"
+  "CMakeFiles/bench_ablation_ckpt_interval.dir/bench_ablation_ckpt_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ckpt_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

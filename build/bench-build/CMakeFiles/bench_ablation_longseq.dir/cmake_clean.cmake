@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_longseq"
+  "../bench/bench_ablation_longseq.pdb"
+  "CMakeFiles/bench_ablation_longseq.dir/bench_ablation_longseq.cpp.o"
+  "CMakeFiles/bench_ablation_longseq.dir/bench_ablation_longseq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_longseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

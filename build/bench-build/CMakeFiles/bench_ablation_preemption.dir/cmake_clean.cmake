@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_preemption"
+  "../bench/bench_ablation_preemption.pdb"
+  "CMakeFiles/bench_ablation_preemption.dir/bench_ablation_preemption.cpp.o"
+  "CMakeFiles/bench_ablation_preemption.dir/bench_ablation_preemption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

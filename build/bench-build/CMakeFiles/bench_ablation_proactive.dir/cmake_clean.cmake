@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_proactive"
+  "../bench/bench_ablation_proactive.pdb"
+  "CMakeFiles/bench_ablation_proactive.dir/bench_ablation_proactive.cpp.o"
+  "CMakeFiles/bench_ablation_proactive.dir/bench_ablation_proactive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reservation"
+  "../bench/bench_ablation_reservation.pdb"
+  "CMakeFiles/bench_ablation_reservation.dir/bench_ablation_reservation.cpp.o"
+  "CMakeFiles/bench_ablation_reservation.dir/bench_ablation_reservation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

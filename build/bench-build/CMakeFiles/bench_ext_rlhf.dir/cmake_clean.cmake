@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_rlhf"
+  "../bench/bench_ext_rlhf.pdb"
+  "CMakeFiles/bench_ext_rlhf.dir/bench_ext_rlhf.cpp.o"
+  "CMakeFiles/bench_ext_rlhf.dir/bench_ext_rlhf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rlhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_pretrain_sm"
+  "../bench/bench_fig10_pretrain_sm.pdb"
+  "CMakeFiles/bench_fig10_pretrain_sm.dir/bench_fig10_pretrain_sm.cpp.o"
+  "CMakeFiles/bench_fig10_pretrain_sm.dir/bench_fig10_pretrain_sm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pretrain_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_pipeline_mem"
+  "../bench/bench_fig12_pipeline_mem.pdb"
+  "CMakeFiles/bench_fig12_pipeline_mem.dir/bench_fig12_pipeline_mem.cpp.o"
+  "CMakeFiles/bench_fig12_pipeline_mem.dir/bench_fig12_pipeline_mem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pipeline_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

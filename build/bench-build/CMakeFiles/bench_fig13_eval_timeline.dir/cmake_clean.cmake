@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_eval_timeline"
+  "../bench/bench_fig13_eval_timeline.pdb"
+  "CMakeFiles/bench_fig13_eval_timeline.dir/bench_fig13_eval_timeline.cpp.o"
+  "CMakeFiles/bench_fig13_eval_timeline.dir/bench_fig13_eval_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_eval_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

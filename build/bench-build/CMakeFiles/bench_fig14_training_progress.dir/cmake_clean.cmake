@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_training_progress"
+  "../bench/bench_fig14_training_progress.pdb"
+  "CMakeFiles/bench_fig14_training_progress.dir/bench_fig14_training_progress.cpp.o"
+  "CMakeFiles/bench_fig14_training_progress.dir/bench_fig14_training_progress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_training_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_loading_contention"
+  "../bench/bench_fig16_loading_contention.pdb"
+  "CMakeFiles/bench_fig16_loading_contention.dir/bench_fig16_loading_contention.cpp.o"
+  "CMakeFiles/bench_fig16_loading_contention.dir/bench_fig16_loading_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_loading_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

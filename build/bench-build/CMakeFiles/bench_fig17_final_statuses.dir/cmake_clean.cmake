@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_final_statuses"
+  "../bench/bench_fig17_final_statuses.pdb"
+  "CMakeFiles/bench_fig17_final_statuses.dir/bench_fig17_final_statuses.cpp.o"
+  "CMakeFiles/bench_fig17_final_statuses.dir/bench_fig17_final_statuses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_final_statuses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

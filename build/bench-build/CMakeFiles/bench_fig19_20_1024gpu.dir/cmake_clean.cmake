@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_20_1024gpu"
+  "../bench/bench_fig19_20_1024gpu.pdb"
+  "CMakeFiles/bench_fig19_20_1024gpu.dir/bench_fig19_20_1024gpu.cpp.o"
+  "CMakeFiles/bench_fig19_20_1024gpu.dir/bench_fig19_20_1024gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_1024gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

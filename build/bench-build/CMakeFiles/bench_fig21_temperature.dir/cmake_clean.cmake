@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_temperature"
+  "../bench/bench_fig21_temperature.pdb"
+  "CMakeFiles/bench_fig21_temperature.dir/bench_fig21_temperature.cpp.o"
+  "CMakeFiles/bench_fig21_temperature.dir/bench_fig21_temperature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

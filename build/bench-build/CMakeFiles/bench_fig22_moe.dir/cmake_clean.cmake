@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_moe"
+  "../bench/bench_fig22_moe.pdb"
+  "CMakeFiles/bench_fig22_moe.dir/bench_fig22_moe.cpp.o"
+  "CMakeFiles/bench_fig22_moe.dir/bench_fig22_moe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_gpu_demand"
+  "../bench/bench_fig3_gpu_demand.pdb"
+  "CMakeFiles/bench_fig3_gpu_demand.dir/bench_fig3_gpu_demand.cpp.o"
+  "CMakeFiles/bench_fig3_gpu_demand.dir/bench_fig3_gpu_demand.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_gpu_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_demand_boxplot"
+  "../bench/bench_fig5_demand_boxplot.pdb"
+  "CMakeFiles/bench_fig5_demand_boxplot.dir/bench_fig5_demand_boxplot.cpp.o"
+  "CMakeFiles/bench_fig5_demand_boxplot.dir/bench_fig5_demand_boxplot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_demand_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

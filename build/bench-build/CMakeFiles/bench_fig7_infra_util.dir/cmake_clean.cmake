@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_infra_util"
+  "../bench/bench_fig7_infra_util.pdb"
+  "CMakeFiles/bench_fig7_infra_util.dir/bench_fig7_infra_util.cpp.o"
+  "CMakeFiles/bench_fig7_infra_util.dir/bench_fig7_infra_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_infra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_engines"
+  "../bench/bench_micro_engines.pdb"
+  "CMakeFiles/bench_micro_engines.dir/bench_micro_engines.cpp.o"
+  "CMakeFiles/bench_micro_engines.dir/bench_micro_engines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

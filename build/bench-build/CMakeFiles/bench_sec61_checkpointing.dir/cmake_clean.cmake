@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec61_checkpointing"
+  "../bench/bench_sec61_checkpointing.pdb"
+  "CMakeFiles/bench_sec61_checkpointing.dir/bench_sec61_checkpointing.cpp.o"
+  "CMakeFiles/bench_sec61_checkpointing.dir/bench_sec61_checkpointing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec62_eval_makespan"
+  "../bench/bench_sec62_eval_makespan.pdb"
+  "CMakeFiles/bench_sec62_eval_makespan.dir/bench_sec62_eval_makespan.cpp.o"
+  "CMakeFiles/bench_sec62_eval_makespan.dir/bench_sec62_eval_makespan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_eval_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

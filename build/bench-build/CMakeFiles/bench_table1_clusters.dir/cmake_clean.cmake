@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_clusters"
+  "../bench/bench_table1_clusters.pdb"
+  "CMakeFiles/bench_table1_clusters.dir/bench_table1_clusters.cpp.o"
+  "CMakeFiles/bench_table1_clusters.dir/bench_table1_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_datacenters"
+  "../bench/bench_table2_datacenters.pdb"
+  "CMakeFiles/bench_table2_datacenters.dir/bench_table2_datacenters.cpp.o"
+  "CMakeFiles/bench_table2_datacenters.dir/bench_table2_datacenters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_datacenters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

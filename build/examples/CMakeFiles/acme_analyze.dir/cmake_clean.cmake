@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_analyze.dir/acme_analyze.cpp.o"
+  "CMakeFiles/acme_analyze.dir/acme_analyze.cpp.o.d"
+  "acme_analyze"
+  "acme_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

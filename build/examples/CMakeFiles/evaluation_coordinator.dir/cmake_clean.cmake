@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluation_coordinator.dir/evaluation_coordinator.cpp.o"
+  "CMakeFiles/evaluation_coordinator.dir/evaluation_coordinator.cpp.o.d"
+  "evaluation_coordinator"
+  "evaluation_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluation_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_pretraining.dir/fault_tolerant_pretraining.cpp.o"
+  "CMakeFiles/fault_tolerant_pretraining.dir/fault_tolerant_pretraining.cpp.o.d"
+  "fault_tolerant_pretraining"
+  "fault_tolerant_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

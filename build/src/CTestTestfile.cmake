@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cluster")
+subdirs("storage")
+subdirs("trace")
+subdirs("sched")
+subdirs("telemetry")
+subdirs("parallel")
+subdirs("failure")
+subdirs("ckpt")
+subdirs("diagnosis")
+subdirs("recovery")
+subdirs("evalsched")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/async_writer.cpp" "src/ckpt/CMakeFiles/acme_ckpt.dir/async_writer.cpp.o" "gcc" "src/ckpt/CMakeFiles/acme_ckpt.dir/async_writer.cpp.o.d"
+  "/root/repo/src/ckpt/ledger.cpp" "src/ckpt/CMakeFiles/acme_ckpt.dir/ledger.cpp.o" "gcc" "src/ckpt/CMakeFiles/acme_ckpt.dir/ledger.cpp.o.d"
+  "/root/repo/src/ckpt/timing.cpp" "src/ckpt/CMakeFiles/acme_ckpt.dir/timing.cpp.o" "gcc" "src/ckpt/CMakeFiles/acme_ckpt.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/acme_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

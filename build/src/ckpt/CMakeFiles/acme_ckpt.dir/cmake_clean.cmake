@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_ckpt.dir/async_writer.cpp.o"
+  "CMakeFiles/acme_ckpt.dir/async_writer.cpp.o.d"
+  "CMakeFiles/acme_ckpt.dir/ledger.cpp.o"
+  "CMakeFiles/acme_ckpt.dir/ledger.cpp.o.d"
+  "CMakeFiles/acme_ckpt.dir/timing.cpp.o"
+  "CMakeFiles/acme_ckpt.dir/timing.cpp.o.d"
+  "libacme_ckpt.a"
+  "libacme_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_cluster.dir/power.cpp.o"
+  "CMakeFiles/acme_cluster.dir/power.cpp.o.d"
+  "CMakeFiles/acme_cluster.dir/spec.cpp.o"
+  "CMakeFiles/acme_cluster.dir/spec.cpp.o.d"
+  "CMakeFiles/acme_cluster.dir/state.cpp.o"
+  "CMakeFiles/acme_cluster.dir/state.cpp.o.d"
+  "libacme_cluster.a"
+  "libacme_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

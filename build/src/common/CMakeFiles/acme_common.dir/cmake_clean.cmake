@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/acme_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/acme_common.dir/csv.cpp.o"
+  "CMakeFiles/acme_common.dir/csv.cpp.o.d"
+  "CMakeFiles/acme_common.dir/dist.cpp.o"
+  "CMakeFiles/acme_common.dir/dist.cpp.o.d"
+  "CMakeFiles/acme_common.dir/rng.cpp.o"
+  "CMakeFiles/acme_common.dir/rng.cpp.o.d"
+  "CMakeFiles/acme_common.dir/stats.cpp.o"
+  "CMakeFiles/acme_common.dir/stats.cpp.o.d"
+  "CMakeFiles/acme_common.dir/table.cpp.o"
+  "CMakeFiles/acme_common.dir/table.cpp.o.d"
+  "CMakeFiles/acme_common.dir/units.cpp.o"
+  "CMakeFiles/acme_common.dir/units.cpp.o.d"
+  "libacme_common.a"
+  "libacme_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_core.dir/experiments.cpp.o"
+  "CMakeFiles/acme_core.dir/experiments.cpp.o.d"
+  "libacme_core.a"
+  "libacme_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacme_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnosis/embedding.cpp" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/embedding.cpp.o" "gcc" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/embedding.cpp.o.d"
+  "/root/repo/src/diagnosis/failure_agent.cpp" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/failure_agent.cpp.o" "gcc" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/failure_agent.cpp.o.d"
+  "/root/repo/src/diagnosis/log_agent.cpp" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/log_agent.cpp.o" "gcc" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/log_agent.cpp.o.d"
+  "/root/repo/src/diagnosis/log_template.cpp" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/log_template.cpp.o" "gcc" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/log_template.cpp.o.d"
+  "/root/repo/src/diagnosis/rule_registry.cpp" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/rule_registry.cpp.o" "gcc" "src/diagnosis/CMakeFiles/acme_diagnosis.dir/rule_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acme_failure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

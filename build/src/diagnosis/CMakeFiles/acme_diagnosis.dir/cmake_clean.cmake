@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_diagnosis.dir/embedding.cpp.o"
+  "CMakeFiles/acme_diagnosis.dir/embedding.cpp.o.d"
+  "CMakeFiles/acme_diagnosis.dir/failure_agent.cpp.o"
+  "CMakeFiles/acme_diagnosis.dir/failure_agent.cpp.o.d"
+  "CMakeFiles/acme_diagnosis.dir/log_agent.cpp.o"
+  "CMakeFiles/acme_diagnosis.dir/log_agent.cpp.o.d"
+  "CMakeFiles/acme_diagnosis.dir/log_template.cpp.o"
+  "CMakeFiles/acme_diagnosis.dir/log_template.cpp.o.d"
+  "CMakeFiles/acme_diagnosis.dir/rule_registry.cpp.o"
+  "CMakeFiles/acme_diagnosis.dir/rule_registry.cpp.o.d"
+  "libacme_diagnosis.a"
+  "libacme_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

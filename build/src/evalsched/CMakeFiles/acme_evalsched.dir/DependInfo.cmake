@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evalsched/coordinator.cpp" "src/evalsched/CMakeFiles/acme_evalsched.dir/coordinator.cpp.o" "gcc" "src/evalsched/CMakeFiles/acme_evalsched.dir/coordinator.cpp.o.d"
+  "/root/repo/src/evalsched/datasets.cpp" "src/evalsched/CMakeFiles/acme_evalsched.dir/datasets.cpp.o" "gcc" "src/evalsched/CMakeFiles/acme_evalsched.dir/datasets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acme_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/acme_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_evalsched.dir/coordinator.cpp.o"
+  "CMakeFiles/acme_evalsched.dir/coordinator.cpp.o.d"
+  "CMakeFiles/acme_evalsched.dir/datasets.cpp.o"
+  "CMakeFiles/acme_evalsched.dir/datasets.cpp.o.d"
+  "libacme_evalsched.a"
+  "libacme_evalsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_evalsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

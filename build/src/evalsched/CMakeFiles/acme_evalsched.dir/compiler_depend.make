@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for acme_evalsched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/injector.cpp" "src/failure/CMakeFiles/acme_failure.dir/injector.cpp.o" "gcc" "src/failure/CMakeFiles/acme_failure.dir/injector.cpp.o.d"
+  "/root/repo/src/failure/log_synth.cpp" "src/failure/CMakeFiles/acme_failure.dir/log_synth.cpp.o" "gcc" "src/failure/CMakeFiles/acme_failure.dir/log_synth.cpp.o.d"
+  "/root/repo/src/failure/taxonomy.cpp" "src/failure/CMakeFiles/acme_failure.dir/taxonomy.cpp.o" "gcc" "src/failure/CMakeFiles/acme_failure.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_failure.dir/injector.cpp.o"
+  "CMakeFiles/acme_failure.dir/injector.cpp.o.d"
+  "CMakeFiles/acme_failure.dir/log_synth.cpp.o"
+  "CMakeFiles/acme_failure.dir/log_synth.cpp.o.d"
+  "CMakeFiles/acme_failure.dir/taxonomy.cpp.o"
+  "CMakeFiles/acme_failure.dir/taxonomy.cpp.o.d"
+  "libacme_failure.a"
+  "libacme_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

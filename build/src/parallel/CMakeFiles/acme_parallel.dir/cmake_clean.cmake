@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_parallel.dir/model_math.cpp.o"
+  "CMakeFiles/acme_parallel.dir/model_math.cpp.o.d"
+  "CMakeFiles/acme_parallel.dir/schedule.cpp.o"
+  "CMakeFiles/acme_parallel.dir/schedule.cpp.o.d"
+  "libacme_parallel.a"
+  "libacme_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

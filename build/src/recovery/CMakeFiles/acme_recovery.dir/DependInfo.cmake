@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/loss_spike.cpp" "src/recovery/CMakeFiles/acme_recovery.dir/loss_spike.cpp.o" "gcc" "src/recovery/CMakeFiles/acme_recovery.dir/loss_spike.cpp.o.d"
+  "/root/repo/src/recovery/runner.cpp" "src/recovery/CMakeFiles/acme_recovery.dir/runner.cpp.o" "gcc" "src/recovery/CMakeFiles/acme_recovery.dir/runner.cpp.o.d"
+  "/root/repo/src/recovery/two_round_test.cpp" "src/recovery/CMakeFiles/acme_recovery.dir/two_round_test.cpp.o" "gcc" "src/recovery/CMakeFiles/acme_recovery.dir/two_round_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/acme_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acme_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/acme_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/acme_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/acme_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

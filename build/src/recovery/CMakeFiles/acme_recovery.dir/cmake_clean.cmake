@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_recovery.dir/loss_spike.cpp.o"
+  "CMakeFiles/acme_recovery.dir/loss_spike.cpp.o.d"
+  "CMakeFiles/acme_recovery.dir/runner.cpp.o"
+  "CMakeFiles/acme_recovery.dir/runner.cpp.o.d"
+  "CMakeFiles/acme_recovery.dir/two_round_test.cpp.o"
+  "CMakeFiles/acme_recovery.dir/two_round_test.cpp.o.d"
+  "libacme_recovery.a"
+  "libacme_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

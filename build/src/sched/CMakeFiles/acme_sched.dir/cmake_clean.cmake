@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/acme_sched.dir/scheduler.cpp.o.d"
+  "libacme_sched.a"
+  "libacme_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_sim.dir/engine.cpp.o"
+  "CMakeFiles/acme_sim.dir/engine.cpp.o.d"
+  "libacme_sim.a"
+  "libacme_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/network.cpp" "src/storage/CMakeFiles/acme_storage.dir/network.cpp.o" "gcc" "src/storage/CMakeFiles/acme_storage.dir/network.cpp.o.d"
+  "/root/repo/src/storage/shm_cache.cpp" "src/storage/CMakeFiles/acme_storage.dir/shm_cache.cpp.o" "gcc" "src/storage/CMakeFiles/acme_storage.dir/shm_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/acme_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

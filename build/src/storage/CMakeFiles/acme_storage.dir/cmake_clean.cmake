@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_storage.dir/network.cpp.o"
+  "CMakeFiles/acme_storage.dir/network.cpp.o.d"
+  "CMakeFiles/acme_storage.dir/shm_cache.cpp.o"
+  "CMakeFiles/acme_storage.dir/shm_cache.cpp.o.d"
+  "libacme_storage.a"
+  "libacme_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/fleet_sampler.cpp" "src/telemetry/CMakeFiles/acme_telemetry.dir/fleet_sampler.cpp.o" "gcc" "src/telemetry/CMakeFiles/acme_telemetry.dir/fleet_sampler.cpp.o.d"
+  "/root/repo/src/telemetry/job_profiler.cpp" "src/telemetry/CMakeFiles/acme_telemetry.dir/job_profiler.cpp.o" "gcc" "src/telemetry/CMakeFiles/acme_telemetry.dir/job_profiler.cpp.o.d"
+  "/root/repo/src/telemetry/timeseries.cpp" "src/telemetry/CMakeFiles/acme_telemetry.dir/timeseries.cpp.o" "gcc" "src/telemetry/CMakeFiles/acme_telemetry.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/acme_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acme_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/acme_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_telemetry.dir/fleet_sampler.cpp.o"
+  "CMakeFiles/acme_telemetry.dir/fleet_sampler.cpp.o.d"
+  "CMakeFiles/acme_telemetry.dir/job_profiler.cpp.o"
+  "CMakeFiles/acme_telemetry.dir/job_profiler.cpp.o.d"
+  "CMakeFiles/acme_telemetry.dir/timeseries.cpp.o"
+  "CMakeFiles/acme_telemetry.dir/timeseries.cpp.o.d"
+  "libacme_telemetry.a"
+  "libacme_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

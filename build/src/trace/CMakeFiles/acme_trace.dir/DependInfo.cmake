@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/acme_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/acme_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/comparison.cpp" "src/trace/CMakeFiles/acme_trace.dir/comparison.cpp.o" "gcc" "src/trace/CMakeFiles/acme_trace.dir/comparison.cpp.o.d"
+  "/root/repo/src/trace/synthesizer.cpp" "src/trace/CMakeFiles/acme_trace.dir/synthesizer.cpp.o" "gcc" "src/trace/CMakeFiles/acme_trace.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/acme_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/acme_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload_profile.cpp" "src/trace/CMakeFiles/acme_trace.dir/workload_profile.cpp.o" "gcc" "src/trace/CMakeFiles/acme_trace.dir/workload_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

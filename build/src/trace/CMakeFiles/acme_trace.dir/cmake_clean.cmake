@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_trace.dir/analysis.cpp.o"
+  "CMakeFiles/acme_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/acme_trace.dir/comparison.cpp.o"
+  "CMakeFiles/acme_trace.dir/comparison.cpp.o.d"
+  "CMakeFiles/acme_trace.dir/synthesizer.cpp.o"
+  "CMakeFiles/acme_trace.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/acme_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/acme_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/acme_trace.dir/workload_profile.cpp.o"
+  "CMakeFiles/acme_trace.dir/workload_profile.cpp.o.d"
+  "libacme_trace.a"
+  "libacme_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagnosis.dir/test_diagnosis.cpp.o"
+  "CMakeFiles/test_diagnosis.dir/test_diagnosis.cpp.o.d"
+  "test_diagnosis"
+  "test_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

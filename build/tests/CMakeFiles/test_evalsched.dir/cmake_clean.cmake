@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evalsched.dir/test_evalsched.cpp.o"
+  "CMakeFiles/test_evalsched.dir/test_evalsched.cpp.o.d"
+  "test_evalsched"
+  "test_evalsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evalsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/test_storage.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/test_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/acme_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/acme_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/acme_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/acme_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/acme_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/acme_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/acme_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acme_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/evalsched/CMakeFiles/acme_evalsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acme_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/acme_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
