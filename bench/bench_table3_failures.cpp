@@ -1,13 +1,67 @@
 // Table 3: job failure statistics — 29 reasons with occurrence counts, GPU
 // demand, time-to-failure, GPU time share and time-to-restart, regenerated
 // by the failure injector and diagnosed by the failure agent.
+//
+// Monte Carlo conversion: the headline shares and the diagnosis accuracy are
+// resampled across N independent replicas (fresh injector stream each) so the
+// recap carries 95% confidence intervals instead of one draw.
+// Flags: --replicas N --threads K --seed S --json out.json
 #include <algorithm>
 
 #include "bench_util.h"
 
 using namespace acme;
 
-int main() {
+namespace {
+
+struct Table3Sample {
+  double infra_gpu_time_share = 0;
+  double infra_count_share = 0;
+  double diagnosis_accuracy = 0;
+};
+
+// One full resample of Table 3 plus a diagnosis probe pass, all randomness
+// drawn from `rng` so replicas are independent and reproducible.
+Table3Sample sample_table3(common::Rng& rng, const failure::FailureInjector& injector,
+                           int probes) {
+  Table3Sample out;
+  double total_gpu_time = 0, infra_gpu_time = 0;
+  int total_count = 0, infra_count = 0;
+  for (const auto& spec : failure::failure_table()) {
+    double gpu_time = 0;
+    for (int i = 0; i < spec.count; ++i) {
+      const int demand = injector.sample_demand(spec, rng);
+      const double ttf = injector.sample_ttf(spec, rng) / common::kMinute;
+      gpu_time += demand * ttf;
+    }
+    total_gpu_time += gpu_time;
+    total_count += spec.count;
+    if (spec.category == failure::FailureCategory::kInfrastructure) {
+      infra_gpu_time += gpu_time;
+      infra_count += spec.count;
+    }
+  }
+  out.infra_gpu_time_share = infra_gpu_time / total_gpu_time;
+  out.infra_count_share = static_cast<double>(infra_count) / total_count;
+
+  diagnosis::FailureAgent agent;
+  std::vector<const failure::FailureSpec*> specs;
+  for (const auto& s : failure::failure_table()) specs.push_back(&s);
+  agent.seed_rules(specs);
+  failure::LogSynthesizer synth;
+  int correct = 0;
+  for (int i = 0; i < probes; ++i) {
+    const auto event = injector.sample(rng);
+    const auto log = synth.failed_run(*event.spec, rng);
+    if (agent.diagnose(log.lines).reason == event.spec->reason) ++correct;
+  }
+  out.diagnosis_accuracy = static_cast<double>(correct) / probes;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   bench::header("Table 3", "Job failure statistics over the six-month trace");
 
   failure::FailureInjector injector(3);
@@ -41,8 +95,6 @@ int main() {
   common::Table table({"Category", "Reason", "Num", "Demand avg", "Demand med",
                        "TTF avg(min)", "TTF med", "GPU time Total%", "TTR avg(min)",
                        "TTR med"});
-  double infra_gpu_time = 0;
-  int infra_count = 0, total_count = 0;
   for (const auto& row : rows) {
     table.add_row({failure::to_string(row.spec->category), row.spec->reason,
                    std::to_string(row.spec->count),
@@ -53,33 +105,46 @@ int main() {
                    common::Table::pct(row.gpu_time_min / total_gpu_time, 2),
                    common::Table::num(row.ttr_min.mean(), 1),
                    common::Table::num(row.ttr_min.median(), 1)});
-    total_count += row.spec->count;
-    if (row.spec->category == failure::FailureCategory::kInfrastructure) {
-      infra_gpu_time += row.gpu_time_min;
-      infra_count += row.spec->count;
-    }
   }
   std::printf("%s", table.render().c_str());
 
-  // Diagnosis sanity over the same population.
-  diagnosis::FailureAgent agent;
-  std::vector<const failure::FailureSpec*> specs;
-  for (const auto& s : failure::failure_table()) specs.push_back(&s);
-  agent.seed_rules(specs);
-  failure::LogSynthesizer synth;
-  int correct = 0;
+  // Multi-seed resampling of the headline shares + diagnosis accuracy.
+  mc::ReplicationOptions defaults;
+  defaults.replicas = 8;
+  defaults.stream_label = "table3";
+  const mc::McCli cli = mc::parse_mc_cli(argc, argv, defaults);
   const int probes = 300;
-  for (int i = 0; i < probes; ++i) {
-    const auto event = injector.sample(rng);
-    const auto log = synth.failed_run(*event.spec, rng);
-    if (agent.diagnose(log.lines).reason == event.spec->reason) ++correct;
-  }
+  const auto run = mc::run_replicas<Table3Sample>(
+      cli.options, [&injector, probes](common::Rng& replica_rng, std::size_t) {
+        return sample_table3(replica_rng, injector, probes);
+      });
+
+  mc::MetricAggregator infra_time, infra_count, accuracy;
+  mc::fold_metric(run, [](const Table3Sample& s) {
+    return 100.0 * s.infra_gpu_time_share;
+  }, infra_time);
+  mc::fold_metric(run, [](const Table3Sample& s) {
+    return 100.0 * s.infra_count_share;
+  }, infra_count);
+  mc::fold_metric(run, [](const Table3Sample& s) {
+    return 100.0 * s.diagnosis_accuracy;
+  }, accuracy);
+
+  mc::BenchReport report("table3_failures");
+  report.set_timing(run.timing, cli.options.replicas);
+  report.add_metric("infra_share_of_failure_gpu_time", infra_time, "%");
+  report.add_metric("infra_share_of_failure_count", infra_count, "%");
+  report.add_metric("diagnosis_accuracy", accuracy, "%");
 
   bench::recap("infrastructure share of failure GPU time", ">82%",
-               common::Table::pct(infra_gpu_time / total_gpu_time));
+               common::Table::num(infra_time.mean(), 1) + "%",
+               mc::format_with_ci(infra_time.mean(), infra_time.ci95(), "%", 1));
   bench::recap("infrastructure share of failure count", "~11%",
-               common::Table::pct(static_cast<double>(infra_count) / total_count));
+               common::Table::num(infra_count.mean(), 1) + "%",
+               mc::format_with_ci(infra_count.mean(), infra_count.ci95(), "%", 1));
   bench::recap("diagnosis accuracy on regenerated logs", "high (GPT-4-assisted)",
-               common::Table::pct(static_cast<double>(correct) / probes));
+               common::Table::num(accuracy.mean(), 1) + "%",
+               mc::format_with_ci(accuracy.mean(), accuracy.ci95(), "%", 1));
+  bench::mc_footer(report, cli);
   return 0;
 }

@@ -17,10 +17,31 @@ inline void header(const std::string& id, const std::string& title) {
   std::printf("================================================================\n");
 }
 
+// PAPER vs MEASURED recap line. `ci95` is optional: multi-seed benches pass
+// a formatted half-width (e.g. "±12.3 s") and get an extra column; single-seed
+// benches keep the exact historical layout.
 inline void recap(const std::string& what, const std::string& paper,
-                  const std::string& measured) {
-  std::printf("  [recap] %-46s paper: %-18s measured: %s\n", what.c_str(),
-              paper.c_str(), measured.c_str());
+                  const std::string& measured, const std::string& ci95 = "") {
+  if (ci95.empty()) {
+    std::printf("  [recap] %-46s paper: %-18s measured: %s\n", what.c_str(),
+                paper.c_str(), measured.c_str());
+  } else {
+    std::printf("  [recap] %-46s paper: %-18s measured: %-18s ci95: %s\n",
+                what.c_str(), paper.c_str(), measured.c_str(), ci95.c_str());
+  }
+}
+
+// Prints the replication run footer every converted bench shares and, when
+// the CLI asked for it, writes the JSON report.
+inline void mc_footer(const mc::BenchReport& report, const mc::McCli& cli) {
+  const auto& t = report.timing();
+  std::printf(
+      "\n[mc] %zu replicas on %zu threads: wall %.2f s, serial-equivalent "
+      "%.2f s, speedup %.2fx\n",
+      cli.options.replicas, t.threads_used, t.wall_seconds, t.serial_seconds,
+      t.speedup());
+  if (!cli.json_path.empty() && report.write(cli.json_path))
+    std::printf("[mc] report written to %s\n", cli.json_path.c_str());
 }
 
 // CDF curve of a sample set over log-spaced x points.

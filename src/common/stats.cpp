@@ -21,8 +21,29 @@ void StreamingStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double StreamingStats::variance() const {
   return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
@@ -184,6 +205,28 @@ double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
 double Histogram::fraction(std::size_t i) const {
   return total_ > 0 ? counts_[i] / total_ : 0.0;
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% (i.e. t_{0.975}); exact to three decimals for df <= 30,
+  // then the usual coarse steps down to the normal asymptote.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+double ci95_halfwidth(const StreamingStats& s) {
+  if (s.count() < 2) return 0.0;
+  const double se =
+      std::sqrt(s.sample_variance() / static_cast<double>(s.count()));
+  return t_critical_95(s.count() - 1) * se;
 }
 
 std::vector<double> log_space(double lo, double hi, std::size_t n) {

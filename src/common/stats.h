@@ -14,9 +14,15 @@ namespace acme::common {
 class StreamingStats {
  public:
   void add(double x);
+  // Folds another accumulator in (Chan et al. pairwise update), as if every
+  // sample of `other` had been added here. Used to combine per-replica /
+  // per-shard accumulators after a parallel phase.
+  void merge(const StreamingStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  // population variance
+  // Unbiased (n-1) variance, the one confidence intervals want; 0 for n < 2.
+  double sample_variance() const;
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
@@ -89,6 +95,13 @@ class Histogram {
   std::vector<double> counts_;
   double total_ = 0.0;
 };
+
+// Two-sided Student-t critical value at 95% confidence for `df` degrees of
+// freedom (table for small df, 1.96 asymptote).
+double t_critical_95(std::size_t df);
+// Half-width of the t-based 95% confidence interval of the mean of the
+// accumulated samples: t * s / sqrt(n). Zero until two samples are present.
+double ci95_halfwidth(const StreamingStats& s);
 
 // Log-spaced points between lo and hi (inclusive), for CDF x-axes that the
 // paper plots on log scale (durations, queuing delays).

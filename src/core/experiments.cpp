@@ -34,6 +34,17 @@ SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
   return out;
 }
 
+mc::ReplicaRun<SixMonthReplay> run_six_month_replay_mc(
+    const ClusterSetup& setup, const mc::ReplicationOptions& options,
+    double scale, double sample_interval) {
+  return mc::run_replicas<SixMonthReplay>(
+      options, [&setup, scale, sample_interval](common::Rng& rng, std::size_t) {
+        // Each replica resynthesizes the trace from a seed drawn off its own
+        // forked stream, then replays it through a private scheduler+engine.
+        return run_six_month_replay(setup, scale, sample_interval, rng.next());
+      });
+}
+
 telemetry::FleetSamplerConfig fleet_config_from(const ClusterSetup& setup,
                                                 const SixMonthReplay& replay) {
   telemetry::FleetSamplerConfig config;

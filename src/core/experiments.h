@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cluster/spec.h"
+#include "mc/replication.h"
 #include "sched/scheduler.h"
 #include "telemetry/fleet_sampler.h"
 #include "trace/synthesizer.h"
@@ -32,6 +33,15 @@ struct SixMonthReplay {
 SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale = 1.0,
                                     double sample_interval = 900.0,
                                     std::uint64_t seed = 42);
+
+// Monte Carlo replication of the six-month replay: N independent replicas,
+// each with its own trace synthesis seed (drawn from the replica's forked
+// Rng stream) and its own scheduler/engine instance, run on a worker pool.
+// Per-replica results are bit-identical to a serial run regardless of thread
+// count (see mc/replication.h).
+mc::ReplicaRun<SixMonthReplay> run_six_month_replay_mc(
+    const ClusterSetup& setup, const mc::ReplicationOptions& options,
+    double scale = 1.0, double sample_interval = 900.0);
 
 // Builds a fleet sampler calibrated from a replay: occupancy from the
 // scheduler timeline, workload mix from the trace's GPU-time shares.

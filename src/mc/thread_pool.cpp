@@ -1,0 +1,110 @@
+#include "mc/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace acme::mc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    dropped_ += queue_.size();
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ACME_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_ || shutdown_) {
+      ++dropped_;
+      return;
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    dropped_ += queue_.size();
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+bool ThreadPool::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+std::size_t ThreadPool::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  ACME_CHECK(fn != nullptr);
+  if (chunk == 0) chunk = 1;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace acme::mc

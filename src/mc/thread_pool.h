@@ -1,0 +1,68 @@
+// Fixed-size worker thread pool with a chunked task queue and cooperative
+// cancellation — the execution substrate for Monte Carlo replication
+// (replication.h). Replicas are CPU-bound and independent, so the pool is a
+// plain mutex/condvar FIFO: no work stealing, no futures, just deterministic
+// completion accounting (wait_idle) and a cancel flag that running tasks may
+// poll to stop early.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acme::mc {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  // Cancels pending work and joins the workers.
+  ~ThreadPool();
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks submitted after cancel() are dropped (counted in
+  // dropped()). Safe to call from worker threads.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle. Exceptions
+  // thrown by tasks are captured; the first one is rethrown here.
+  void wait_idle();
+
+  // Cooperative cancellation: discards queued tasks (counted in dropped())
+  // and raises the flag that in-flight tasks may poll via cancelled().
+  // Does not interrupt running tasks.
+  void cancel();
+  bool cancelled() const;
+  std::size_t dropped() const;
+
+  // Runs fn(i) for every i in [0, n), dispatched in contiguous chunks of
+  // `chunk` indices so short tasks amortize queue traffic. Blocks until all
+  // chunks finish (or are dropped by cancel()); rethrows the first task
+  // exception. Must not be called from inside a pool task.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for tasks
+  std::condition_variable idle_cv_;   // wait_idle/parallel_for wait here
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;      // tasks currently executing
+  std::size_t dropped_ = 0;      // tasks discarded by cancel()
+  bool cancelled_ = false;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace acme::mc

@@ -158,6 +158,76 @@ TEST(Engine, EventAtExactHorizonFires) {
   EXPECT_TRUE(fired);
 }
 
+// Edge cases relied on by the MC worker pool wiring: cancelling handles that
+// already fired via step(), step() exactly at the horizon, and re-entrant
+// scheduling while run_until drains a bounded window.
+
+TEST(Engine, StepAtExactHorizonFires) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(5.0, [&] { fired = true; });
+  EXPECT_TRUE(e.step(5.0));  // horizon == event time is inclusive
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, StepBeyondHorizonLeavesEventPending) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(5.0, [&] { fired = true; });
+  EXPECT_FALSE(e.step(4.999999));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);  // step never advances past the horizon
+}
+
+TEST(Engine, CancelHandleFiredByStepReturnsFalse) {
+  Engine e;
+  auto h = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.step(1.0));
+  EXPECT_FALSE(e.cancel(h));      // already fired
+  EXPECT_FALSE(e.cancel(h));      // still false, no phantom pending entries
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelledThenFiredSequenceStaysConsistent) {
+  Engine e;
+  auto victim = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_TRUE(e.cancel(victim));
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_FALSE(e.cancel(victim));  // cancelled entry already reaped
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ReentrantSchedulingDuringRunUntil) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] {
+    fired.push_back(e.now());
+    // Both inside and beyond the active horizon.
+    e.schedule_after(0.5, [&] { fired.push_back(e.now()); });
+    e.schedule_after(9.0, [&] { fired.push_back(e.now()); });
+  });
+  EXPECT_EQ(e.run_until(2.0), 2u);  // t=1 and the re-entrant t=1.5
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 1.5}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 1u);       // t=10 still queued
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_EQ(fired.back(), 10.0);
+}
+
+TEST(Engine, ReentrantScheduleAtCurrentTimeFiresInSameRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(3.0, [&] {
+    ++fired;
+    e.schedule_at(3.0, [&] { ++fired; });  // zero-delay re-entrant event
+  });
+  EXPECT_EQ(e.run_until(3.0), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(Engine, CancelFromInsideAnEvent) {
   Engine e;
   bool victim_fired = false;

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/experiments.h"
+#include "mc/aggregate.h"
+#include "mc/replication.h"
+#include "mc/report.h"
+#include "mc/thread_pool.h"
+
+namespace acme::mc {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), 10,
+                    [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ChunkZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(7, 0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 7);
+}
+
+TEST(ThreadPool, CancelDropsPendingTasks) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  for (int i = 0; i < 50; ++i) pool.submit([] {});
+  pool.cancel();
+  release = true;
+  pool.wait_idle();
+  EXPECT_TRUE(pool.cancelled());
+  EXPECT_GE(pool.dropped(), 1u);
+  // Submissions after cancel are dropped too.
+  const std::size_t before = pool.dropped();
+  pool.submit([] { FAIL(); });
+  EXPECT_EQ(pool.dropped(), before + 1);
+}
+
+TEST(ThreadPool, RunningTaskCanPollCancellation) {
+  ThreadPool pool(1);
+  std::atomic<bool> saw_cancel{false};
+  std::atomic<bool> started{false};
+  pool.submit([&] {
+    started = true;
+    while (!pool.cancelled())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    saw_cancel = true;
+  });
+  while (!started.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool.cancel();
+  pool.wait_idle();
+  EXPECT_TRUE(saw_cancel.load());
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// ------------------------------------------------------------- P2 / metrics
+
+TEST(P2Quantile, ExactForSmallCounts) {
+  P2Quantile q(0.5);
+  q.add(3);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1);
+  q.add(2);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // exact median of {1,2,3}
+}
+
+TEST(P2Quantile, TracksUniformQuantiles) {
+  common::Rng rng(77);
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform();
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.5, 0.02);
+  EXPECT_NEAR(p90.value(), 0.9, 0.02);
+  EXPECT_NEAR(p99.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, TracksLognormalMedian) {
+  common::Rng rng(78);
+  P2Quantile p50(0.5);
+  for (int i = 0; i < 50000; ++i) p50.add(rng.lognormal(1.0, 0.8));
+  EXPECT_NEAR(p50.value(), std::exp(1.0), 0.1 * std::exp(1.0));
+}
+
+TEST(P2Quantile, DeterministicForSameSequence) {
+  P2Quantile a(0.9), b(0.9);
+  common::Rng r1(5), r2(5);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(r1.uniform());
+    b.add(r2.uniform());
+  }
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(MetricAggregator, MeanAndCi) {
+  MetricAggregator agg;
+  for (double v : {10.0, 12.0, 11.0, 13.0}) agg.add(v);
+  EXPECT_EQ(agg.count(), 4u);
+  EXPECT_DOUBLE_EQ(agg.mean(), 11.5);
+  // t(3) * s/sqrt(4) with s = sqrt(5/3).
+  const double s = std::sqrt(5.0 / 3.0);
+  EXPECT_NEAR(agg.ci95(), 3.182 * s / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(agg.min(), 10.0);
+  EXPECT_DOUBLE_EQ(agg.max(), 13.0);
+}
+
+TEST(MetricAggregator, CiZeroBeforeTwoSamples) {
+  MetricAggregator agg;
+  EXPECT_DOUBLE_EQ(agg.ci95(), 0.0);
+  agg.add(5.0);
+  EXPECT_DOUBLE_EQ(agg.ci95(), 0.0);
+}
+
+// ------------------------------------------------------------- Replication
+
+// The determinism proof demanded by the issue: the same plan run with one
+// thread and with >= 4 threads yields bit-identical per-replica results and
+// identical merged aggregates.
+TEST(ReplicationPlan, BitIdenticalAcrossThreadCounts) {
+  const auto body = [](common::Rng& rng, std::size_t replica) {
+    // A result that depends on every draw, so any stream perturbation shows.
+    double acc = static_cast<double>(replica);
+    for (int i = 0; i < 1000; ++i) acc += rng.uniform() * rng.normal();
+    return acc;
+  };
+  ReplicationOptions serial;
+  serial.replicas = 16;
+  serial.threads = 1;
+  serial.seed = 1234;
+  ReplicationOptions parallel = serial;
+  parallel.threads = 4;
+  ReplicationOptions chunked = serial;
+  chunked.threads = 5;
+  chunked.chunk = 3;
+
+  const auto a = run_replicas<double>(serial, body);
+  const auto b = run_replicas<double>(parallel, body);
+  const auto c = run_replicas<double>(chunked, body);
+  ASSERT_EQ(a.results.size(), 16u);
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i], b.results[i]) << "replica " << i;
+    EXPECT_EQ(a.results[i], c.results[i]) << "replica " << i;
+  }
+
+  MetricAggregator ma, mb;
+  fold_metric(a, [](double v) { return v; }, ma);
+  fold_metric(b, [](double v) { return v; }, mb);
+  EXPECT_EQ(ma.mean(), mb.mean());
+  EXPECT_EQ(ma.ci95(), mb.ci95());
+  EXPECT_EQ(ma.p50(), mb.p50());
+  EXPECT_EQ(ma.p99(), mb.p99());
+}
+
+TEST(ReplicationPlan, ReplicaStreamsAreIndependentOfReplicaCount) {
+  const auto body = [](common::Rng& rng, std::size_t) { return rng.next(); };
+  ReplicationOptions small;
+  small.replicas = 4;
+  small.threads = 1;
+  ReplicationOptions big = small;
+  big.replicas = 12;
+  const auto a = run_replicas<std::uint64_t>(small, body);
+  const auto b = run_replicas<std::uint64_t>(big, body);
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    EXPECT_EQ(a.results[i], b.results[i]);
+  // And the streams differ between replicas.
+  std::set<std::uint64_t> distinct(b.results.begin(), b.results.end());
+  EXPECT_EQ(distinct.size(), b.results.size());
+}
+
+TEST(ReplicationPlan, TimingAccountsEveryReplica) {
+  ReplicationOptions options;
+  options.replicas = 6;
+  options.threads = 2;
+  const auto run = run_replicas<int>(options, [](common::Rng& rng, std::size_t i) {
+    // Compute-bound body: replica cost is measured in thread-CPU time, so a
+    // sleeping replica would legitimately report ~0 seconds.
+    double acc = 0;
+    for (int k = 0; k < 200000; ++k) acc += rng.uniform();
+    return static_cast<int>(i) + (acc > 0 ? 0 : 1);
+  });
+  EXPECT_EQ(run.replica_seconds.size(), 6u);
+  for (double s : run.replica_seconds) EXPECT_GT(s, 0.0);
+  EXPECT_GT(run.timing.serial_seconds, 0.0);
+  EXPECT_GT(run.timing.wall_seconds, 0.0);
+  EXPECT_EQ(run.timing.threads_used, 2u);
+  EXPECT_GT(run.timing.speedup(), 0.0);
+}
+
+TEST(ReplicationPlan, SixMonthReplayMcIsDeterministic) {
+  const auto setup = core::seren_setup();
+  mc::ReplicationOptions serial;
+  serial.replicas = 2;
+  serial.threads = 1;
+  mc::ReplicationOptions parallel = serial;
+  parallel.threads = 4;
+  // Heavy downscale: distributions unchanged, runtime trivial.
+  const auto a = core::run_six_month_replay_mc(setup, serial, 64.0);
+  const auto b = core::run_six_month_replay_mc(setup, parallel, 64.0);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].busy_fraction, b.results[i].busy_fraction);
+    EXPECT_EQ(a.results[i].replay.jobs.size(), b.results[i].replay.jobs.size());
+    EXPECT_EQ(a.results[i].replay.makespan, b.results[i].replay.makespan);
+  }
+  // Replicas saw different traces (independent seeds).
+  EXPECT_NE(a.results[0].replay.makespan, a.results[1].replay.makespan);
+}
+
+// ------------------------------------------------------------------ Report
+
+TEST(BenchReport, JsonContainsEveryField) {
+  MetricAggregator agg;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) agg.add(v);
+  BenchReport report("unit_test_bench");
+  RunTiming timing;
+  timing.wall_seconds = 2.0;
+  timing.serial_seconds = 6.0;
+  timing.threads_used = 4;
+  report.set_timing(timing, 6);
+  report.add_metric("latency", agg, "s");
+
+  const std::string json = report.to_json();
+  for (const char* key :
+       {"\"bench\": \"unit_test_bench\"", "\"replicas\": 6", "\"threads\": 4",
+        "\"wall_seconds\": 2", "\"serial_seconds\": 6", "\"speedup\": 3",
+        "\"metric\": \"latency\"", "\"unit\": \"s\"", "\"mean\": 3.5",
+        "\"ci95\":", "\"p50\":", "\"p90\":", "\"p99\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+}
+
+TEST(BenchReport, NonFiniteValuesBecomeNull) {
+  MetricAggregator agg;
+  BenchReport report("nonfinite_bench");
+  RunTiming timing;
+  timing.wall_seconds = 0.0;  // speedup() falls back to 1.0
+  report.set_timing(timing, 0);
+  report.add_metric("empty", agg);
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(BenchReport, WriteRoundTrips) {
+  MetricAggregator agg;
+  agg.add(1.0);
+  agg.add(2.0);
+  BenchReport report("file_bench");
+  report.add_metric("m", agg);
+  const std::string path = ::testing::TempDir() + "acme_mc_report_test.json";
+  ASSERT_TRUE(report.write(path));
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), report.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WriteToBadPathFailsGracefully) {
+  BenchReport report("bad_path");
+  EXPECT_FALSE(report.write("/nonexistent-dir-xyz/report.json"));
+}
+
+// --------------------------------------------------------------------- CLI
+
+TEST(McCli, ParsesAllFlags) {
+  ReplicationOptions defaults;
+  defaults.replicas = 8;
+  const char* argv[] = {"bench",   "--replicas", "12",   "--threads", "3",
+                        "--seed",  "99",         "--json", "out.json"};
+  const auto cli = parse_mc_cli(9, const_cast<char**>(argv), defaults);
+  EXPECT_EQ(cli.options.replicas, 12u);
+  EXPECT_EQ(cli.options.threads, 3u);
+  EXPECT_EQ(cli.options.seed, 99u);
+  EXPECT_EQ(cli.json_path, "out.json");
+}
+
+TEST(McCli, DefaultsSurviveUnknownFlags) {
+  ReplicationOptions defaults;
+  defaults.replicas = 5;
+  defaults.seed = 7;
+  const char* argv[] = {"bench", "--verbose", "--replicas"};  // trailing, no value
+  const auto cli = parse_mc_cli(3, const_cast<char**>(argv), defaults);
+  EXPECT_EQ(cli.options.replicas, 5u);
+  EXPECT_EQ(cli.options.seed, 7u);
+  EXPECT_TRUE(cli.json_path.empty());
+}
+
+}  // namespace
+}  // namespace acme::mc

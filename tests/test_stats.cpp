@@ -28,6 +28,74 @@ TEST(StreamingStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(StreamingStats, MergeMatchesDirectAccumulation) {
+  Rng rng(31);
+  StreamingStats direct, a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.lognormal(0.5, 1.2);
+    direct.add(x);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+  }
+  StreamingStats merged = a;
+  merged.merge(b);
+  merged.merge(c);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_NEAR(merged.mean(), direct.mean(), 1e-12 * std::abs(direct.mean()));
+  EXPECT_NEAR(merged.variance(), direct.variance(),
+              1e-9 * direct.variance());
+  EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+  EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+  EXPECT_NEAR(merged.sum(), direct.sum(), 1e-9 * std::abs(direct.sum()));
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats b = a;
+  b.merge(empty);  // no-op
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  StreamingStats c;
+  c.merge(a);  // adopt
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 3.0);
+}
+
+TEST(StreamingStats, SampleVarianceUsesBesselCorrection) {
+  StreamingStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  StreamingStats single;
+  single.add(5.0);
+  EXPECT_DOUBLE_EQ(single.sample_variance(), 0.0);
+}
+
+TEST(TCritical, TableAndAsymptote) {
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(4), 2.776);
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_critical_95(50), 2.000);
+  EXPECT_DOUBLE_EQ(t_critical_95(1000), 1.960);
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+  // Monotone non-increasing in df.
+  for (std::size_t df = 2; df < 200; ++df)
+    EXPECT_LE(t_critical_95(df), t_critical_95(df - 1));
+}
+
+TEST(Ci95Halfwidth, MatchesManualFormula) {
+  StreamingStats s;
+  for (double v : {10.0, 12.0, 11.0, 13.0}) s.add(v);
+  const double se = std::sqrt(s.sample_variance() / 4.0);
+  EXPECT_NEAR(ci95_halfwidth(s), 3.182 * se, 1e-12);
+  StreamingStats one;
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(one), 0.0);
+}
+
 TEST(SampleStats, QuantilesAgainstKnownValues) {
   SampleStats s;
   for (int i = 1; i <= 100; ++i) s.add(i);
