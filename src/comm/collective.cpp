@@ -1,0 +1,231 @@
+#include "comm/collective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace acme::comm {
+
+namespace {
+
+// Scheduler resubmit + NCCL bootstrap base cost, plus a per-node rendezvous
+// term. 30 + (60/256) * nodes puts a 2048-GPU (256-node) world at the 90 s
+// the recovery path historically hard-coded (paper §6.1-3's restart cost).
+constexpr double kBringupBaseSeconds = 30.0;
+constexpr double kBringupPerNodeSeconds = 60.0 / 256.0;
+
+// Trees pipeline imperfectly: interior ranks serve two children over one
+// link and chunk turnaround stalls the pipe, so the sustained bandwidth is a
+// fraction of the link rate. This is what makes rings win for large payloads
+// even though the per-link traffic factors (2S vs 2S(p-1)/p) nearly match.
+constexpr double kTreeBandwidthEfficiency = 0.7;
+
+int ceil_log2(int n) {
+  int bits = 0;
+  for (int v = n - 1; v > 0; v >>= 1) ++bits;
+  return bits;
+}
+
+void validate(const World& w, double bytes) {
+  ACME_CHECK(w.gpus > 0);
+  ACME_CHECK(w.first_node >= 0);
+  ACME_CHECK(w.ranks_per_node >= 0);
+  ACME_CHECK(w.nic_share >= 1);
+  ACME_CHECK(bytes >= 0);
+}
+
+}  // namespace
+
+int CollectiveModel::nodes(const World& w) const {
+  return topo_.nodes_for(w.gpus, w.ranks_per_node);
+}
+
+CollectiveModel::LinkTerms CollectiveModel::nvlink_terms(const World& w) const {
+  const int n = nodes(w);
+  // A hierarchical stage synchronizes across nodes, so the slowest node's
+  // NVLink paces every intra-node stage in the span.
+  const double bw = topo_.nvlink_bytes_per_sec(w.first_node) /
+                    topo_.link_scale(w.first_node) *
+                    topo_.min_link_scale(w.first_node, n);
+  return {topo_.nvlink_alpha(), 1.0 / bw};
+}
+
+CollectiveModel::LinkTerms CollectiveModel::inter_node_terms(const World& w) const {
+  const int n = nodes(w);
+  const double bw = topo_.node_nic_bytes_per_sec(w.first_node) /
+                    topo_.link_scale(w.first_node) *
+                    topo_.min_link_scale(w.first_node, n) /
+                    static_cast<double>(w.nic_share);
+  return {topo_.nic_alpha(), 1.0 / bw};
+}
+
+CollectiveModel::LinkTerms CollectiveModel::flat_link(const World& w) const {
+  return nodes(w) == 1 ? nvlink_terms(w) : inter_node_terms(w);
+}
+
+CollectiveCost CollectiveModel::all_gather(const World& w, double bytes,
+                                           Algorithm algorithm) const {
+  validate(w, bytes);
+  const int p = w.gpus;
+  CollectiveCost c;
+  if (p == 1) return c;
+  const int n = nodes(w);
+
+  if (algorithm == Algorithm::kHierarchical && n > 1) {
+    // Stage 1: intra-node all-gather of the per-rank shard s over NVLink;
+    // stage 2: inter-node all-gather of the per-node slab g*s over IB.
+    const int g = (p + n - 1) / n;
+    const double s = bytes / p;
+    const auto nv = nvlink_terms(w);
+    const auto ib = inter_node_terms(w);
+    c.hops = (g - 1) + (n - 1);
+    c.latency_seconds = (g - 1) * nv.alpha + (n - 1) * ib.alpha;
+    c.bandwidth_seconds = (g - 1) * s * nv.beta + (n - 1) * g * s * ib.beta;
+    return c;
+  }
+  const auto link = flat_link(w);
+  if (algorithm == Algorithm::kTree) {
+    // Gather-then-broadcast trees; latency-friendly, bandwidth-poor (the
+    // full result crosses the root twice). Rings win past tiny payloads.
+    c.hops = 2 * ceil_log2(p);
+    c.latency_seconds = c.hops * link.alpha;
+    c.bandwidth_seconds = 2.0 * bytes * link.beta / kTreeBandwidthEfficiency;
+    return c;
+  }
+  c.hops = p - 1;
+  c.latency_seconds = c.hops * link.alpha;
+  c.bandwidth_seconds = (p - 1) * bytes / p * link.beta;
+  return c;
+}
+
+CollectiveCost CollectiveModel::reduce_scatter(const World& w, double bytes,
+                                               Algorithm algorithm) const {
+  // Mirror image of all-gather: same traffic, opposite direction.
+  return all_gather(w, bytes, algorithm);
+}
+
+CollectiveCost CollectiveModel::all_reduce(const World& w, double bytes,
+                                           Algorithm algorithm) const {
+  validate(w, bytes);
+  const int p = w.gpus;
+  CollectiveCost c;
+  if (p == 1) return c;
+  const int n = nodes(w);
+
+  if (algorithm == Algorithm::kHierarchical && n > 1) {
+    // Intra-node reduce-scatter, inter-node all-reduce of the node shards
+    // (each node moves the whole payload through its NIC aggregate, the g
+    // local shards in parallel), intra-node all-gather.
+    const int g = (p + n - 1) / n;
+    const auto nv = nvlink_terms(w);
+    const auto ib = inter_node_terms(w);
+    c.hops = 2 * (g - 1) + 2 * (n - 1);
+    c.latency_seconds = 2 * (g - 1) * nv.alpha + 2 * (n - 1) * ib.alpha;
+    c.bandwidth_seconds = 2.0 * (g - 1) / g * bytes * nv.beta +
+                          2.0 * (n - 1) / n * bytes * ib.beta;
+    return c;
+  }
+  const auto link = flat_link(w);
+  if (algorithm == Algorithm::kTree) {
+    // Pipelined reduce + broadcast trees: log-depth latency, but the payload
+    // crosses the bottleneck twice with no (p-1)/p discount.
+    c.hops = 2 * ceil_log2(p);
+    c.latency_seconds = c.hops * link.alpha;
+    c.bandwidth_seconds = 2.0 * bytes * link.beta / kTreeBandwidthEfficiency;
+    return c;
+  }
+  c.hops = 2 * (p - 1);
+  c.latency_seconds = c.hops * link.alpha;
+  c.bandwidth_seconds = 2.0 * (p - 1) * bytes / p * link.beta;
+  return c;
+}
+
+CollectiveCost CollectiveModel::broadcast(const World& w, double bytes,
+                                          Algorithm algorithm) const {
+  validate(w, bytes);
+  const int p = w.gpus;
+  CollectiveCost c;
+  if (p == 1) return c;
+  const int n = nodes(w);
+
+  if (algorithm == Algorithm::kHierarchical && n > 1) {
+    const int g = (p + n - 1) / n;
+    const auto nv = nvlink_terms(w);
+    const auto ib = inter_node_terms(w);
+    c.hops = ceil_log2(n) + ceil_log2(g);
+    c.latency_seconds = ceil_log2(n) * ib.alpha + ceil_log2(g) * nv.alpha;
+    c.bandwidth_seconds = bytes * ib.beta + bytes * nv.beta;
+    return c;
+  }
+  const auto link = flat_link(w);
+  if (algorithm == Algorithm::kRing) {
+    // Pipelined chain: (p-1) launch hops, payload crosses each link once.
+    c.hops = p - 1;
+    c.latency_seconds = c.hops * link.alpha;
+    c.bandwidth_seconds = bytes * link.beta;
+    return c;
+  }
+  c.hops = ceil_log2(p);
+  c.latency_seconds = c.hops * link.alpha;
+  c.bandwidth_seconds = bytes * link.beta;
+  return c;
+}
+
+CollectiveCost CollectiveModel::all_to_all(const World& w, double bytes) const {
+  validate(w, bytes);
+  const int p = w.gpus;
+  CollectiveCost c;
+  if (p == 1) return c;
+  const int n = nodes(w);
+  c.hops = p - 1;
+  if (n == 1) {
+    const auto nv = nvlink_terms(w);
+    c.latency_seconds = c.hops * nv.alpha;
+    c.bandwidth_seconds = (p - 1) * bytes / p * nv.beta;
+    return c;
+  }
+  // Each node's g ranks send the off-node slice of their buffers through the
+  // shared NIC aggregate: g * S * (p - g) / p bytes per direction.
+  const int g = (p + n - 1) / n;
+  const auto ib = inter_node_terms(w);
+  c.latency_seconds = c.hops * ib.alpha;
+  c.bandwidth_seconds = static_cast<double>(g) * bytes * (p - g) / p * ib.beta;
+  return c;
+}
+
+double CollectiveModel::bringup_seconds(const World& w) const {
+  ACME_CHECK(w.gpus > 0);
+  return kBringupBaseSeconds + kBringupPerNodeSeconds * nodes(w);
+}
+
+double CollectiveModel::probe_round_seconds(int probe_nodes,
+                                            double probe_bytes) const {
+  ACME_CHECK(probe_nodes > 0);
+  ACME_CHECK(probe_bytes > 0);
+  // All worlds of the round rendezvous through one launcher, so bring-up
+  // scales with the probe set; the data phase is the slowest (three-node)
+  // world's all-gather, run hierarchically like the production test does.
+  const int world_nodes = std::min(probe_nodes, 3);
+  World probe_world;
+  probe_world.gpus = world_nodes * topo_.gpus_per_node();
+  const double gather =
+      all_gather(probe_world, probe_bytes,
+                 world_nodes > 1 ? Algorithm::kHierarchical : Algorithm::kRing)
+          .seconds();
+  return kBringupBaseSeconds + kBringupPerNodeSeconds * probe_nodes + gather;
+}
+
+double bus_bandwidth_allreduce(int gpus, double bytes, double seconds) {
+  ACME_CHECK(gpus > 0 && seconds > 0);
+  if (gpus == 1) return 0;
+  return 2.0 * (gpus - 1) / gpus * bytes / seconds;
+}
+
+double bus_bandwidth_allgather(int gpus, double bytes, double seconds) {
+  ACME_CHECK(gpus > 0 && seconds > 0);
+  if (gpus == 1) return 0;
+  return static_cast<double>(gpus - 1) / gpus * bytes / seconds;
+}
+
+}  // namespace acme::comm

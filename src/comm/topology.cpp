@@ -1,0 +1,100 @@
+#include "comm/topology.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace acme::comm {
+
+namespace {
+
+// Fraction of the 600 GB/s bidirectional NVLink figure that ring collectives
+// sustain as bus bandwidth on A100 NVSwitch nodes (~240 GB/s, the number
+// nccl-tests report on 8xA100).
+constexpr double kNvlinkBusEfficiency = 0.4;
+// NCCL launch + NVSwitch hop latency vs cross-node IB (verbs + switch hops).
+constexpr double kNvlinkAlphaSeconds = 5e-6;
+constexpr double kIbAlphaSeconds = 20e-6;
+// Share of Seren's single HDR HCA left for collectives once the 25 Gb/s
+// storage lane (Fig 16-left) is carved out: (200 - 25) / 200.
+constexpr double kSharedNicComputeShare = 0.875;
+
+LinkSpec nvlink_link() {
+  LinkSpec l;
+  l.alpha_seconds = kNvlinkAlphaSeconds;
+  l.bytes_per_sec =
+      common::gbps_to_Bps(cluster::GpuSpec{}.nvlink_gbps) * kNvlinkBusEfficiency;
+  return l;
+}
+
+}  // namespace
+
+FabricConfig fabric_from_cluster(const cluster::ClusterSpec& spec) {
+  FabricConfig f;
+  f.name = spec.name;
+  f.gpus_per_node = spec.node.gpus;
+  f.nvlink = nvlink_link();
+  f.nic.alpha_seconds = kIbAlphaSeconds;
+  f.nic.bytes_per_sec = common::gbps_to_Bps(spec.node.nic_gbps);
+  f.compute_nics = spec.node.compute_nics;
+  // No dedicated storage HCA means checkpoint/loading traffic rides the
+  // compute HCA (the Seren pattern; Kalos has a separate storage NIC).
+  f.nic_shared_with_storage = spec.node.storage_nics == 0;
+  return f;
+}
+
+FabricConfig seren_fabric() { return fabric_from_cluster(cluster::seren_spec()); }
+
+FabricConfig kalos_fabric() { return fabric_from_cluster(cluster::kalos_spec()); }
+
+FabricTopology::FabricTopology(FabricConfig config) : config_(std::move(config)) {
+  ACME_CHECK(config_.gpus_per_node > 0);
+  ACME_CHECK(config_.nvlink.bytes_per_sec > 0 && config_.nic.bytes_per_sec > 0);
+  ACME_CHECK(config_.nvlink.alpha_seconds >= 0 && config_.nic.alpha_seconds >= 0);
+  ACME_CHECK(config_.compute_nics > 0);
+  ACME_CHECK(config_.nic_efficiency > 0 && config_.nic_efficiency <= 1.0);
+}
+
+int FabricTopology::nodes_for(int gpus, int ranks_per_node) const {
+  ACME_CHECK(gpus > 0);
+  const int per_node = ranks_per_node > 0 ? ranks_per_node : config_.gpus_per_node;
+  return (gpus + per_node - 1) / per_node;
+}
+
+double FabricTopology::nvlink_bytes_per_sec(cluster::NodeId node) const {
+  return config_.nvlink.bytes_per_sec * link_scale(node);
+}
+
+double FabricTopology::node_nic_bytes_per_sec(cluster::NodeId node) const {
+  double per_nic = config_.nic.bytes_per_sec * config_.nic_efficiency;
+  if (config_.nic_shared_with_storage) per_nic *= kSharedNicComputeShare;
+  return per_nic * config_.compute_nics * link_scale(node);
+}
+
+void FabricTopology::set_link_scale(cluster::NodeId node, double factor) {
+  ACME_CHECK_MSG(factor > 0, "link scale must be positive");
+  if (factor == 1.0) {
+    link_scale_.erase(node);
+  } else {
+    link_scale_[node] = factor;
+  }
+}
+
+double FabricTopology::link_scale(cluster::NodeId node) const {
+  const auto it = link_scale_.find(node);
+  return it == link_scale_.end() ? 1.0 : it->second;
+}
+
+double FabricTopology::min_link_scale(cluster::NodeId first, int count) const {
+  double min_scale = 1.0;
+  // The scale map is sparse (only degraded nodes appear), so scan it rather
+  // than the span.
+  for (const auto& [node, scale] : link_scale_) {
+    if (node >= first && node < first + count)
+      min_scale = std::min(min_scale, scale);
+  }
+  return min_scale;
+}
+
+}  // namespace acme::comm

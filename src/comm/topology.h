@@ -1,0 +1,91 @@
+// Topology-aware collective-communication fabric model (paper §2.1; the
+// NVLink-inside / InfiniBand-across fabric that shapes every pretraining and
+// recovery analysis in §4.1 and §6.1-3).
+//
+// Two link classes, mirroring the Acme clusters:
+//  - NVLink/NVSwitch inside a node: 600 GB/s bidirectional per A100, of
+//    which NCCL-style collectives sustain a calibrated fraction.
+//  - InfiniBand across nodes: Seren has one 200 Gb/s HDR HCA per node,
+//    shared with storage traffic; Kalos has four dedicated 200 Gb/s compute
+//    HCAs (plus a separate storage HCA modelled in acme::storage).
+//
+// Every link carries an alpha (per-hop message latency) and beta
+// (1/bandwidth) term — the standard alpha-beta cost model used by
+// fine-grained LLM-cluster simulators. Per-node degradation hooks
+// (`set_link_scale`) shrink a node's link bandwidth for straggler and
+// fault-injection experiments: any collective whose world spans the degraded
+// node is slowed; collectives elsewhere are untouched.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cluster/spec.h"
+#include "cluster/state.h"
+
+namespace acme::comm {
+
+struct LinkSpec {
+  double alpha_seconds = 0;  // per-hop message launch latency
+  double bytes_per_sec = 0;  // sustained link bandwidth (beta = 1/this)
+};
+
+struct FabricConfig {
+  std::string name;
+  int gpus_per_node = 8;
+  // Intra-node NVLink as seen by a ring collective (achievable bus
+  // bandwidth, not the marketing bidirectional figure).
+  LinkSpec nvlink;
+  // One IB HCA (raw line rate; nic_efficiency derates it).
+  LinkSpec nic;
+  int compute_nics = 1;
+  // Fraction of the raw NIC line rate collectives sustain (protocol
+  // overhead, congestion, rail imbalance).
+  double nic_efficiency = 0.8;
+  // Seren's single HDR HCA also carries the 25 Gb/s storage lane
+  // (Fig 16-left), so collectives get only the remaining capacity.
+  bool nic_shared_with_storage = false;
+};
+
+// Seren: 1x200 Gb/s HDR shared with storage. Kalos: 4x200 Gb/s compute NICs.
+FabricConfig seren_fabric();
+FabricConfig kalos_fabric();
+// Derives a fabric from a Table-1 cluster spec: compute NIC count and line
+// rate from the NodeSpec; a node with no dedicated storage HCA shares its
+// compute HCA with storage (the Seren pattern).
+FabricConfig fabric_from_cluster(const cluster::ClusterSpec& spec);
+
+class FabricTopology {
+ public:
+  explicit FabricTopology(FabricConfig config);
+
+  const FabricConfig& config() const { return config_; }
+  int gpus_per_node() const { return config_.gpus_per_node; }
+  // Nodes spanned by `gpus` ranks at `ranks_per_node` per node (ceiling).
+  int nodes_for(int gpus, int ranks_per_node) const;
+
+  double nvlink_alpha() const { return config_.nvlink.alpha_seconds; }
+  double nic_alpha() const { return config_.nic.alpha_seconds; }
+
+  // Effective bandwidths with per-node degradation applied.
+  double nvlink_bytes_per_sec(cluster::NodeId node) const;
+  // Aggregate collective bandwidth of one node's compute NICs, after
+  // efficiency derating, the storage share, and degradation.
+  double node_nic_bytes_per_sec(cluster::NodeId node) const;
+
+  // Degraded-link injection for straggler experiments: scales both the
+  // node's NVLink and its NIC aggregate by `factor` (0 < factor; <1 =
+  // degraded, 1 = healthy, >1 = hypothetical upgrade).
+  void set_link_scale(cluster::NodeId node, double factor);
+  double link_scale(cluster::NodeId node) const;
+  void clear_link_scales() { link_scale_.clear(); }
+  // Slowest link scale across the contiguous node span [first, first+count):
+  // a collective runs at the pace of its slowest member.
+  double min_link_scale(cluster::NodeId first, int count) const;
+
+ private:
+  FabricConfig config_;
+  std::map<cluster::NodeId, double> link_scale_;  // sparse; absent = 1.0
+};
+
+}  // namespace acme::comm

@@ -7,6 +7,23 @@
 
 namespace acme::parallel {
 
+namespace {
+
+// Fraction of the data-parallel gradient all-reduce hidden under the backward
+// pass (bucketed async all-reduce; only the tail buckets are exposed).
+constexpr double kGradAllreduceOverlap = 0.75;
+// Fraction of the hierarchical-ZeRO parameter all-gather / gradient
+// reduce-scatter hidden by prefetch (the design point of InternEvo V2:
+// intra-subgroup collectives overlap with compute almost entirely).
+constexpr double kZeroCommOverlap = 0.90;
+// At most this share of the steady 1F1B span can be re-attributed to the
+// tensor-parallel stall phase; the sustained-efficiency constant already
+// prices the collectives in, so carving more would double-count. Wire time
+// beyond the cap (degraded NVLink) extends the step instead.
+constexpr double kTpStallCarveCap = 0.30;
+
+}  // namespace
+
 double StepTimeline::step_time() const {
   double t = 0;
   for (const auto& p : phases) t += p.duration;
@@ -57,8 +74,9 @@ std::vector<double> StepTimeline::sample(double dt, double horizon,
   return out;
 }
 
-PretrainExecutionModel::PretrainExecutionModel(TransformerConfig cfg)
-    : cfg_(std::move(cfg)) {}
+PretrainExecutionModel::PretrainExecutionModel(TransformerConfig cfg,
+                                               comm::FabricConfig fabric)
+    : cfg_(std::move(cfg)), comm_(std::move(fabric)) {}
 
 double PretrainExecutionModel::compute_time(double flops, int gpus, double eff) const {
   return flops / (static_cast<double>(gpus) * peak_flops_per_gpu_ * eff);
@@ -84,17 +102,43 @@ StepTimeline PretrainExecutionModel::step_3d(const ThreeDConfig& pc) const {
   const double steady = compute - per_mb * (p - 1) * 0.0;  // full 1F1B body
   const double cooldown = per_mb * (p - 1) * 0.5;
 
+  // Tensor-parallel collectives on one pipeline stage's critical path: four
+  // ring all-reduces per layer per microbatch (attention + MLP, forward +
+  // backward) of the microbatch activations, confined to the tp group's
+  // NVLink island. Sequence parallelism swaps each all-reduce for an
+  // all-gather + reduce-scatter pair with identical ring traffic.
+  const int layers_per_stage = cfg_.layers / p;
+  comm::World tp_world;
+  tp_world.gpus = pc.tensor_parallel;
+  const double act_bytes =
+      2.0 * pc.microbatch_size * cfg_.seq_len * cfg_.hidden;
+  const double tp_wire =
+      4.0 * layers_per_stage * m * comm_.all_reduce(tp_world, act_bytes).seconds();
+  // The sustained-efficiency constant already pays for healthy-fabric
+  // collectives, so the stall is carved out of the steady span up to a cap;
+  // wire time beyond the cap (e.g. a degraded NVLink) extends the step.
+  const double carved = std::min(tp_wire, kTpStallCarveCap * steady);
+  const double body = steady * 0.92 - carved;
+
   // Gradient all-reduce across dp and the optimizer step close the step.
+  // Each ring places one rank per node (the tp x pp replica fills whole
+  // nodes) and shares the node's NICs with the other co-resident rings.
   const double grad_bytes = 2.0 * cfg_.params() / (pc.tensor_parallel * p);
-  const double allreduce = grad_bytes / 40e9 *  // ~40 GB/s effective bus bw
-                           2.0 * (pc.data_parallel() - 1) / pc.data_parallel();
+  const int model_ranks = pc.tensor_parallel * p;
+  const int per_node = comm_.topology().gpus_per_node();
+  comm::World dp_world;
+  dp_world.gpus = pc.data_parallel();
+  dp_world.ranks_per_node = std::max(1, per_node / model_ranks);
+  dp_world.nic_share = std::min(per_node, model_ranks);
+  const double ar_wire = comm_.all_reduce(dp_world, grad_bytes).seconds();
+  const double allreduce = ar_wire * (1.0 - kGradAllreduceOverlap);
   const double optim = compute * 0.035;
 
   StepTimeline tl;
   tl.phases.push_back({"warmup-bubble", warmup, 0.22});
-  tl.phases.push_back({"steady-1f1b", steady * 0.46, 0.52});
-  tl.phases.push_back({"tp-comm-stall", steady * 0.08, 0.08});
-  tl.phases.push_back({"steady-1f1b", steady * 0.38, 0.50});
+  tl.phases.push_back({"steady-1f1b", body * (0.46 / 0.84), 0.52});
+  tl.phases.push_back({"tp-comm-stall", tp_wire, 0.08});
+  tl.phases.push_back({"steady-1f1b", body * (0.38 / 0.84), 0.50});
   tl.phases.push_back({"pp-bubble", steady * 0.08, 0.03});
   tl.phases.push_back({"cooldown-bubble", cooldown, 0.20});
   tl.phases.push_back({"grad-allreduce", allreduce, 0.04});
@@ -117,17 +161,32 @@ StepTimeline PretrainExecutionModel::step_hier_zero(const HierZeroConfig& pc) co
   const double cp_penalty = 1.0 - 0.03 * std::log2(static_cast<double>(pc.context_parallel));
   const double compute = compute_time(flops, pc.world, 0.52 * std::max(0.3, cp_penalty));
 
-  const double grad_bytes = 2.0 * cfg_.params() / pc.shard_group;
-  const double reduce_scatter = grad_bytes / 60e9;
+  // Parameter all-gathers (forward + backward) and the gradient
+  // reduce-scatter run hierarchically inside the shard subgroup — intra-node
+  // NVLink stage, then inter-node IB — and are mostly hidden by prefetch;
+  // only the exposed residue shows up in the timeline.
+  comm::World shard_world;
+  shard_world.gpus = pc.shard_group;
+  const double param_bytes = 2.0 * cfg_.params();
+  const double ag_wire =
+      2.0 * comm_.all_gather(shard_world, param_bytes, comm::Algorithm::kHierarchical)
+                .seconds();
+  const double rs_wire =
+      comm_.reduce_scatter(shard_world, param_bytes, comm::Algorithm::kHierarchical)
+          .seconds();
+  const double exposed_ag = ag_wire * (1.0 - kZeroCommOverlap);
+  const double reduce_scatter = rs_wire * (1.0 - kZeroCommOverlap);
   const double optim = compute * 0.03;
 
   StepTimeline tl;
-  // Prefetched all-gather keeps SM high with brief per-accum dips.
+  // Prefetched all-gather keeps SM high with brief per-accum dips; the dips
+  // re-attribute part of the compute span rather than extending it.
   const int chunks = std::max(8, pc.accum_steps);
   const double body = compute / chunks;
+  const double dip = std::min(exposed_ag, 0.3 * compute) / chunks;
   for (int i = 0; i < chunks; ++i) {
-    tl.phases.push_back({"fwd-bwd-overlap", body * 0.92, 0.60});
-    tl.phases.push_back({"allgather-dip", body * 0.08, 0.25});
+    tl.phases.push_back({"fwd-bwd-overlap", body - dip, 0.60});
+    tl.phases.push_back({"allgather-dip", dip, 0.25});
   }
   tl.phases.push_back({"reduce-scatter", reduce_scatter, 0.06});
   tl.phases.push_back({"optimizer", optim, 0.32});

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/collective.h"
 #include "common/rng.h"
 #include "parallel/model_math.h"
 
@@ -67,9 +68,17 @@ struct HierZeroConfig {
 
 class PretrainExecutionModel {
  public:
-  explicit PretrainExecutionModel(TransformerConfig cfg);
+  // Phase durations involving communication (tensor-parallel collectives,
+  // gradient all-reduce, ZeRO all-gather/reduce-scatter) are derived from
+  // `fabric`; the default is the Kalos fabric the paper's pretraining
+  // analyses ran on.
+  explicit PretrainExecutionModel(TransformerConfig cfg,
+                                  comm::FabricConfig fabric = comm::kalos_fabric());
 
   const TransformerConfig& config() const { return cfg_; }
+  // Mutable so callers can inject degraded links (straggler experiments).
+  comm::CollectiveModel& collectives() { return comm_; }
+  const comm::CollectiveModel& collectives() const { return comm_; }
 
   // InternEvo V1: 3D parallelism with 1F1B.
   StepTimeline step_3d(const ThreeDConfig& pc) const;
@@ -120,6 +129,7 @@ class PretrainExecutionModel {
   double compute_time(double flops, int gpus, double eff) const;
 
   TransformerConfig cfg_;
+  comm::CollectiveModel comm_;
   double peak_flops_per_gpu_ = 312e12;  // A100 BF16 dense
 };
 

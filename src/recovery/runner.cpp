@@ -16,6 +16,7 @@ using common::kMinute;
 FaultTolerantRunner::FaultTolerantRunner(RunnerConfig config)
     : config_(std::move(config)), injector_(config_.seed) {
   ACME_CHECK(config_.gpus > 0 && config_.step_seconds > 0);
+  if (config_.fabric) comm_.emplace(*config_.fabric);
   std::vector<const failure::FailureSpec*> specs;
   for (const auto& s : failure::failure_table()) specs.push_back(&s);
   agent_.seed_rules(specs);
@@ -76,7 +77,8 @@ double FaultTolerantRunner::recovery_stall(const failure::FailureSpec& spec,
     const int bad =
         static_cast<int>(rng.uniform_int(0, 1)) + 1;  // 1-2 faulty nodes
     auto faulty = [&](cluster::NodeId id) { return id < bad; };
-    const auto localization = two_round_localize(probe, faulty);
+    const auto localization = comm_ ? two_round_localize(probe, faulty, *comm_)
+                                    : two_round_localize(probe, faulty);
     stall += localization.duration_seconds;
     report.nodes_cordoned += static_cast<int>(localization.faulty.size());
   }
@@ -86,7 +88,16 @@ double FaultTolerantRunner::recovery_stall(const failure::FailureSpec& spec,
     ++report.manual_interventions;
     stall += injector_.sample_ttr(spec, rng) * 0.5;
   }
-  stall += 90.0;  // scheduler resubmit + NCCL bring-up
+  // Scheduler resubmit + NCCL bring-up of the full training world. The
+  // fabric model lands on ~90 s for the 2048-GPU scale (the value this used
+  // to hard-code); without a fabric, that flat 90 s is the fallback.
+  if (comm_) {
+    comm::World job_world;
+    job_world.gpus = config_.gpus;
+    stall += comm_->bringup_seconds(job_world);
+  } else {
+    stall += 90.0;
+  }
   *detail = spec.reason + " -> " +
             (diagnosis.reason.empty() ? std::string("undiagnosed")
                                       : diagnosis.reason + " [" + diagnosis.source + "]");

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ckpt/ledger.h"
+#include "comm/collective.h"
 #include "ckpt/timing.h"
 #include "diagnosis/failure_agent.h"
 #include "failure/injector.h"
@@ -41,6 +43,10 @@ struct RunnerConfig {
   double mean_failure_interval_scale = 1.0;  // stretch TTFs for ablations
   double loss_spike_mean_interval = 5 * 24 * 3600.0;
   double user_pause_mean_interval = 2 * 24 * 3600.0;
+  // Fabric used to price fault-localization rounds and the post-restart NCCL
+  // bring-up. nullopt falls back to the legacy flat 90 s per round / per
+  // bring-up, so fabric-less callers keep the old behaviour.
+  std::optional<comm::FabricConfig> fabric = comm::kalos_fabric();
   std::uint64_t seed = 2024;
 };
 
@@ -87,6 +93,7 @@ class FaultTolerantRunner {
   static bool is_night(double t);
 
   RunnerConfig config_;
+  std::optional<comm::CollectiveModel> comm_;
   ckpt::CheckpointTimingModel timing_;
   failure::FailureInjector injector_;
   failure::LogSynthesizer log_synth_;

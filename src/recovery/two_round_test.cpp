@@ -6,10 +6,14 @@
 
 namespace acme::recovery {
 
-TwoRoundResult two_round_localize(
-    const std::vector<cluster::NodeId>& nodes,
-    const std::function<bool(cluster::NodeId)>& is_faulty,
-    double per_round_seconds) {
+namespace {
+
+// Cost of one localization round as a function of how many nodes take part.
+using RoundCost = std::function<double(int)>;
+
+TwoRoundResult localize_impl(const std::vector<cluster::NodeId>& nodes,
+                             const std::function<bool(cluster::NodeId)>& is_faulty,
+                             const RoundCost& round_cost) {
   TwoRoundResult result;
   if (nodes.empty()) return result;
 
@@ -37,7 +41,7 @@ TwoRoundResult two_round_localize(
     for (cluster::NodeId n : world)
       (failed ? result.suspects : clean).push_back(n);
   }
-  result.duration_seconds = per_round_seconds;
+  result.duration_seconds = round_cost(static_cast<int>(nodes.size()));
   if (result.suspects.empty()) return result;  // fabric-wide pass, one round
 
   // Round 2: each suspect pairs with a known-clean node; the all-gather then
@@ -45,12 +49,34 @@ TwoRoundResult two_round_localize(
   // 1 there is no healthy witness to pair with, so each suspect instead runs
   // an intra-node self-test (single-node NCCL world exercising its own GPUs
   // and NVLinks) — still one parallel round.
-  result.duration_seconds += per_round_seconds;
   result.round2_worlds = static_cast<int>(result.suspects.size());
+  const int round2_nodes = clean.empty()
+                               ? result.round2_worlds
+                               : 2 * result.round2_worlds;
+  result.duration_seconds += round_cost(round2_nodes);
   for (cluster::NodeId suspect : result.suspects)
     if (is_faulty(suspect)) result.faulty.push_back(suspect);
   std::sort(result.faulty.begin(), result.faulty.end());
   return result;
+}
+
+}  // namespace
+
+TwoRoundResult two_round_localize(
+    const std::vector<cluster::NodeId>& nodes,
+    const std::function<bool(cluster::NodeId)>& is_faulty,
+    double per_round_seconds) {
+  return localize_impl(nodes, is_faulty,
+                       [per_round_seconds](int) { return per_round_seconds; });
+}
+
+TwoRoundResult two_round_localize(
+    const std::vector<cluster::NodeId>& nodes,
+    const std::function<bool(cluster::NodeId)>& is_faulty,
+    const comm::CollectiveModel& model) {
+  return localize_impl(nodes, is_faulty, [&model](int probe_nodes) {
+    return model.probe_round_seconds(probe_nodes);
+  });
 }
 
 }  // namespace acme::recovery

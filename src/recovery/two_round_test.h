@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/state.h"
+#include "comm/collective.h"
 
 namespace acme::recovery {
 
@@ -29,10 +30,20 @@ struct TwoRoundResult {
 };
 
 // `is_faulty` answers whether a node is faulty; `nodes` is the probe set.
-// `per_round_seconds` is the cost of one all-gather round (default: NCCL
-// bring-up + test on a large world, ~90 s).
+// `per_round_seconds` is the flat cost of one all-gather round (default:
+// NCCL bring-up + test on a full-scale world, ~90 s — the documented
+// fallback when no fabric model is supplied).
 TwoRoundResult two_round_localize(const std::vector<cluster::NodeId>& nodes,
                                   const std::function<bool(cluster::NodeId)>& is_faulty,
                                   double per_round_seconds = 90.0);
+
+// Fabric-derived variant: each round's cost comes from
+// `comm::CollectiveModel::probe_round_seconds` sized to the nodes actually
+// participating in that round (all probed nodes in round 1; suspects plus
+// their clean witnesses in round 2), so localization over a small probe set
+// is proportionally cheaper than over the whole cluster.
+TwoRoundResult two_round_localize(const std::vector<cluster::NodeId>& nodes,
+                                  const std::function<bool(cluster::NodeId)>& is_faulty,
+                                  const comm::CollectiveModel& model);
 
 }  // namespace acme::recovery

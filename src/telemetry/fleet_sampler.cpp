@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/collective.h"
 #include "common/check.h"
+#include "common/units.h"
+#include "parallel/schedule.h"
 
 namespace acme::telemetry {
 
 using trace::WorkloadType;
+
+namespace {
+
+// Bucketed gradient sync overlaps with the backward pass, so the NICs are
+// live during roughly this share of a pretraining step (the rest is forward
+// compute, NVLink-only tensor-parallel traffic, and the optimizer).
+constexpr double kGradSyncSpanFraction = 0.45;
+// Share of SFT / debug jobs large enough to span nodes at all; the rest fit
+// inside one NVLink island and never touch IB (Fig 9: most non-pretrain jobs
+// are single-node).
+constexpr double kMultiNodeSftShare = 0.15;
+constexpr double kMultiNodeDebugShare = 0.05;
+
+}  // namespace
 
 FleetSampler::FleetSampler(FleetSamplerConfig config)
     : config_(std::move(config)),
@@ -19,6 +36,51 @@ FleetSampler::FleetSampler(FleetSamplerConfig config)
     mix_weights_.push_back(weight);
   }
   ACME_CHECK_MSG(!mix_types_.empty(), "empty workload mix");
+
+  // Derive per-type IB counter profiles from the fabric's collective costs,
+  // anchored on the flagship 3D-parallel pretraining job: each node carries
+  // gpus_per_node co-resident gradient rings, so its per-step IB volume is
+  // the per-rank ring traffic times the node's GPU count, spread over the
+  // backward span of the step.
+  const comm::FabricConfig fabric = comm::fabric_from_cluster(config_.spec);
+  parallel::PretrainExecutionModel exec(parallel::llm_123b(), fabric);
+  const parallel::ThreeDConfig flagship;
+  const double step = exec.step_3d(flagship).step_time();
+  const int dp = flagship.data_parallel();
+  const double grad_bytes =
+      2.0 * exec.config().params() /
+      (flagship.tensor_parallel * flagship.pipeline_parallel);
+  const double ring_bytes = 2.0 * (dp - 1) / dp * grad_bytes;  // per rank
+  const double per_node_bytes = config_.spec.node.gpus * ring_bytes;
+  const double raw_line = common::gbps_to_Bps(config_.spec.node.nic_gbps) *
+                          config_.spec.node.compute_nics;
+  // Counters can never read above what collectives actually sustain.
+  const double peak_frac = exec.collectives().topology().node_nic_bytes_per_sec(0) /
+                           raw_line;
+  IbProfile pretrain;
+  pretrain.duty = kGradSyncSpanFraction;
+  pretrain.level =
+      std::min(per_node_bytes / (step * raw_line) / pretrain.duty, peak_frac);
+  pretrain.sd = pretrain.level / 3.0;
+  ib_profiles_[WorkloadType::kPretrain] = pretrain;
+  ib_profiles_[WorkloadType::kMLLM] = pretrain;
+  // The multi-node minority of SFT / debug jobs runs the same collective
+  // pattern at smaller scale; evaluation loads models through the storage
+  // path and leaves the compute IB quiet.
+  IbProfile sft = pretrain;
+  sft.duty = pretrain.duty * kMultiNodeSftShare;
+  ib_profiles_[WorkloadType::kSFT] = sft;
+  IbProfile debug = pretrain;
+  debug.duty = pretrain.duty * kMultiNodeDebugShare;
+  debug.level = pretrain.level * 0.5;
+  debug.sd = debug.level / 3.0;
+  ib_profiles_[WorkloadType::kDebug] = debug;
+  ib_profiles_[WorkloadType::kOther] = debug;
+}
+
+FleetSampler::IbProfile FleetSampler::ib_profile(WorkloadType type) const {
+  const auto it = ib_profiles_.find(type);
+  return it == ib_profiles_.end() ? IbProfile{} : it->second;
 }
 
 FleetSampler::GpuObservation FleetSampler::observe_gpu(WorkloadType type,
@@ -112,11 +174,15 @@ FleetMetrics FleetSampler::sample(std::size_t n, common::Rng& rng) const {
     const double cpu_util =
         std::clamp(0.01 + 0.08 * occ * rng.uniform(0.3, 1.6), 0.0, 1.0);
     m.cpu_util.add(cpu_util);
-    // IB: idle >60% of the time; bursts rarely exceed 25% of line rate, and
-    // send/recv overlap (symmetric collectives).
+    // IB: per-type collective traffic profile (idle >60% of the time;
+    // bursts rarely exceed 25% of line rate). Send/recv overlap because
+    // ring collectives are symmetric.
     double ib = 0.0;
-    if (busy && type != WorkloadType::kEvaluation && rng.bernoulli(0.38))
-      ib = std::clamp(std::abs(rng.normal(0.10, 0.07)), 0.0, 0.45);
+    if (busy) {
+      const IbProfile prof = ib_profile(type);
+      if (prof.duty > 0 && rng.bernoulli(prof.duty))
+        ib = std::clamp(rng.normal(prof.level, prof.sd), 0.0, 0.45);
+    }
     m.ib_send_frac.add(ib);
     m.ib_recv_frac.add(std::clamp(ib + rng.normal(0.0, 0.004), 0.0, 1.0));
 

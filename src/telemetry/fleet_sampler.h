@@ -58,9 +58,20 @@ class FleetSampler {
     double tc;       // 0..1
     double mem_gb;
   };
+  // What a node's IB counters show for a GPU running workload `type`:
+  // duty is the probability an observation lands inside a collective burst,
+  // level the mean fraction of the raw NIC line rate while bursting. Both
+  // are derived from comm::CollectiveModel traffic in the constructor.
+  struct IbProfile {
+    double duty = 0;
+    double level = 0;
+    double sd = 0.01;
+  };
   GpuObservation observe_gpu(trace::WorkloadType type, common::Rng& rng) const;
+  IbProfile ib_profile(trace::WorkloadType type) const;
 
   FleetSamplerConfig config_;
+  std::map<trace::WorkloadType, IbProfile> ib_profiles_;
   std::vector<trace::WorkloadType> mix_types_;
   std::vector<double> mix_weights_;
   cluster::GpuPowerModel gpu_power_;

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/topology.h"
+#include "common/check.h"
+
+namespace acme::comm {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * kMiB;
+
+CollectiveModel kalos_model() { return CollectiveModel(kalos_fabric()); }
+
+// --- Fabric topology ---
+
+TEST(FabricTopology, DerivedFromClusterSpecs) {
+  const FabricConfig seren = seren_fabric();
+  const FabricConfig kalos = kalos_fabric();
+  // Seren: one HDR HCA shared with storage; Kalos: four dedicated ones.
+  EXPECT_TRUE(seren.nic_shared_with_storage);
+  EXPECT_FALSE(kalos.nic_shared_with_storage);
+  EXPECT_EQ(seren.compute_nics, 1);
+  EXPECT_EQ(kalos.compute_nics, 4);
+  FabricTopology st(seren), kt(kalos);
+  EXPECT_GT(kt.node_nic_bytes_per_sec(0), 4.0 * st.node_nic_bytes_per_sec(0));
+  // NVLink islands are identical across the two clusters.
+  EXPECT_DOUBLE_EQ(st.nvlink_bytes_per_sec(0), kt.nvlink_bytes_per_sec(0));
+}
+
+TEST(FabricTopology, NodesForPlacement) {
+  FabricTopology topo(kalos_fabric());
+  EXPECT_EQ(topo.nodes_for(8, 0), 1);    // packed: one full node
+  EXPECT_EQ(topo.nodes_for(64, 0), 8);
+  EXPECT_EQ(topo.nodes_for(64, 1), 64);  // one rank per node (dp rings)
+  EXPECT_EQ(topo.nodes_for(9, 0), 2);    // ceiling
+}
+
+TEST(FabricTopology, LinkScaleHooks) {
+  FabricTopology topo(kalos_fabric());
+  const double healthy = topo.node_nic_bytes_per_sec(3);
+  topo.set_link_scale(3, 0.5);
+  EXPECT_DOUBLE_EQ(topo.node_nic_bytes_per_sec(3), healthy * 0.5);
+  EXPECT_DOUBLE_EQ(topo.min_link_scale(0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(topo.min_link_scale(4, 8), 1.0);  // span excludes node 3
+  topo.set_link_scale(3, 1.0);  // back to healthy
+  EXPECT_DOUBLE_EQ(topo.node_nic_bytes_per_sec(3), healthy);
+  topo.set_link_scale(1, 0.25);
+  topo.clear_link_scales();
+  EXPECT_DOUBLE_EQ(topo.min_link_scale(0, 64), 1.0);
+  EXPECT_THROW(topo.set_link_scale(0, 0.0), common::CheckError);
+  EXPECT_THROW(topo.set_link_scale(0, -1.0), common::CheckError);
+}
+
+// --- Collective cost models ---
+
+TEST(Collective, RingAllReduceMonotoneInMessageSize) {
+  const auto model = kalos_model();
+  World w;
+  w.gpus = 64;
+  double prev = 0;
+  for (double bytes : {1 * kMiB, 8 * kMiB, 64 * kMiB, 512 * kMiB, 4 * kGiB}) {
+    const double t = model.all_reduce(w, bytes).seconds();
+    EXPECT_GT(t, prev) << "bytes=" << bytes;
+    prev = t;
+  }
+}
+
+TEST(Collective, RingAllReduceMonotoneInWorldSize) {
+  const auto model = kalos_model();
+  const double bytes = 256 * kMiB;
+  double prev = 0;
+  for (int gpus : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    World w;
+    w.gpus = gpus;
+    const double t = model.all_reduce(w, bytes).seconds();
+    EXPECT_GT(t, prev) << "gpus=" << gpus;
+    prev = t;
+  }
+}
+
+TEST(Collective, CrossingNodeBoundaryIsExpensive) {
+  const auto model = kalos_model();
+  World intra, inter;
+  intra.gpus = 8;
+  inter.gpus = 16;
+  const double bytes = 1 * kGiB;
+  // Going from an NVLink island to a two-node IB world costs far more than
+  // the (p-1)/p traffic growth alone would.
+  EXPECT_GT(model.all_reduce(inter, bytes).seconds(),
+            2.0 * model.all_reduce(intra, bytes).seconds());
+}
+
+TEST(Collective, HierarchicalAllGatherBeatsFlatRingMultiNode) {
+  const auto model = kalos_model();
+  World w;
+  w.gpus = 64;  // 8 Kalos nodes
+  const double bytes = 1 * kGiB;
+  const auto flat = model.all_gather(w, bytes, Algorithm::kRing);
+  const auto hier = model.all_gather(w, bytes, Algorithm::kHierarchical);
+  EXPECT_LT(hier.seconds(), flat.seconds());
+  // Single-node worlds have no inter-node stage; hierarchical degenerates to
+  // the flat ring.
+  World island;
+  island.gpus = 8;
+  EXPECT_DOUBLE_EQ(model.all_gather(island, bytes, Algorithm::kHierarchical).seconds(),
+                   model.all_gather(island, bytes, Algorithm::kRing).seconds());
+}
+
+TEST(Collective, ReduceScatterMirrorsAllGather) {
+  const auto model = kalos_model();
+  World w;
+  w.gpus = 64;
+  for (auto alg : {Algorithm::kRing, Algorithm::kHierarchical}) {
+    EXPECT_DOUBLE_EQ(model.reduce_scatter(w, kGiB, alg).seconds(),
+                     model.all_gather(w, kGiB, alg).seconds());
+  }
+}
+
+TEST(Collective, TreeWinsTinyMessagesRingWinsLarge) {
+  const auto model = kalos_model();
+  World w;
+  w.gpus = 128;
+  const double tiny = 8 * 1024.0;
+  EXPECT_LT(model.all_reduce(w, tiny, Algorithm::kTree).seconds(),
+            model.all_reduce(w, tiny, Algorithm::kRing).seconds());
+  EXPECT_GT(model.all_reduce(w, kGiB, Algorithm::kTree).seconds(),
+            model.all_reduce(w, kGiB, Algorithm::kRing).seconds());
+}
+
+TEST(Collective, DegradedLinkSlowsOnlyTraversingCollectives) {
+  auto model = kalos_model();
+  World through, elsewhere;
+  through.gpus = 32;  // nodes 0-3
+  elsewhere.gpus = 32;
+  elsewhere.first_node = 4;  // nodes 4-7
+  const double bytes = 1 * kGiB;
+  const double through_before = model.all_reduce(through, bytes).seconds();
+  const double elsewhere_before = model.all_reduce(elsewhere, bytes).seconds();
+  model.topology().set_link_scale(2, 0.25);
+  EXPECT_GT(model.all_reduce(through, bytes).seconds(), 2.0 * through_before);
+  EXPECT_DOUBLE_EQ(model.all_reduce(elsewhere, bytes).seconds(), elsewhere_before);
+  model.topology().clear_link_scales();
+  EXPECT_DOUBLE_EQ(model.all_reduce(through, bytes).seconds(), through_before);
+}
+
+TEST(Collective, NicShareDividesBandwidth) {
+  const auto model = kalos_model();
+  World lone, shared;
+  lone.gpus = shared.gpus = 64;
+  lone.ranks_per_node = shared.ranks_per_node = 1;
+  shared.nic_share = 8;
+  const auto a = model.all_reduce(lone, kGiB);
+  const auto b = model.all_reduce(shared, kGiB);
+  EXPECT_NEAR(b.bandwidth_seconds, 8.0 * a.bandwidth_seconds,
+              1e-9 * b.bandwidth_seconds);
+  EXPECT_DOUBLE_EQ(a.latency_seconds, b.latency_seconds);
+}
+
+TEST(Collective, SerenInterNodeSlowerThanKalos) {
+  const CollectiveModel seren(seren_fabric());
+  const CollectiveModel kalos(kalos_fabric());
+  World w;
+  w.gpus = 64;
+  // One shared HDR HCA vs four dedicated ones: > 4x slower across nodes.
+  EXPECT_GT(seren.all_reduce(w, kGiB).seconds(),
+            4.0 * kalos.all_reduce(w, kGiB).seconds());
+}
+
+TEST(Collective, DegenerateWorlds) {
+  const auto model = kalos_model();
+  World solo;
+  solo.gpus = 1;
+  EXPECT_DOUBLE_EQ(model.all_reduce(solo, kGiB).seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(model.all_gather(solo, kGiB).seconds(), 0.0);
+  World w;
+  w.gpus = 8;
+  // Zero bytes still pays the per-hop latency.
+  const auto c = model.all_reduce(w, 0.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_seconds, 0.0);
+  EXPECT_GT(c.latency_seconds, 0.0);
+  World bad;
+  bad.gpus = 0;
+  EXPECT_THROW(model.all_reduce(bad, kGiB), common::CheckError);
+}
+
+TEST(Collective, BusBandwidthApproachesLinkRate) {
+  const auto model = kalos_model();
+  World island;
+  island.gpus = 8;
+  const double bytes = 4 * kGiB;
+  const auto ar = model.all_reduce(island, bytes);
+  const double busbw = bus_bandwidth_allreduce(island.gpus, bytes, ar.seconds());
+  const double link = model.topology().nvlink_bytes_per_sec(0);
+  // Large messages amortize latency: bus bandwidth within 5% of the link
+  // rate but never above it.
+  EXPECT_LT(busbw, link);
+  EXPECT_GT(busbw, 0.95 * link);
+  const auto ag = model.all_gather(island, bytes);
+  const double ag_busbw = bus_bandwidth_allgather(island.gpus, bytes, ag.seconds());
+  EXPECT_LT(ag_busbw, link);
+  EXPECT_GT(ag_busbw, 0.95 * link);
+}
+
+// --- Bring-up & probe rounds ---
+
+TEST(Bringup, FullScaleWorldCostsNinetySeconds) {
+  const auto model = kalos_model();
+  World full;
+  full.gpus = 2048;  // 256 nodes: the historical hard-coded 90 s
+  EXPECT_NEAR(model.bringup_seconds(full), 90.0, 1e-9);
+  World small;
+  small.gpus = 64;
+  EXPECT_LT(model.bringup_seconds(small), 90.0);
+  EXPECT_GT(model.bringup_seconds(small), 30.0);
+}
+
+TEST(Bringup, ProbeRoundScalesWithProbeCount) {
+  const auto model = kalos_model();
+  const double small = model.probe_round_seconds(16);
+  const double large = model.probe_round_seconds(256);
+  EXPECT_LT(small, large);
+  // The data phase is bounded by the worst three-node world, so the gap is
+  // exactly the extra bring-up.
+  EXPECT_NEAR(large - small, (60.0 / 256.0) * (256 - 16), 1e-9);
+  EXPECT_THROW(model.probe_round_seconds(0), common::CheckError);
+}
+
+}  // namespace
+}  // namespace acme::comm

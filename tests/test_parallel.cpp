@@ -311,5 +311,55 @@ TEST(Rlhf, RejectsDegenerateConfig) {
   EXPECT_THROW(m.step_rlhf(bad), common::CheckError);
 }
 
+// --- Fabric-derived communication phases ---
+
+TEST(Fabric, DegradedNvlinkLengthensStep) {
+  PretrainExecutionModel healthy(llm_123b());
+  PretrainExecutionModel degraded(llm_123b());
+  // The tensor-parallel group lives on node 0's NVLink island; slowing that
+  // island stretches the tp-comm-stall phase and the whole step.
+  degraded.collectives().topology().set_link_scale(0, 0.2);
+  const ThreeDConfig cfg;
+  const double base = healthy.step_3d(cfg).step_time();
+  const double slow = degraded.step_3d(cfg).step_time();
+  EXPECT_GT(slow, base * 1.05);
+}
+
+TEST(Fabric, SerenFabricSlowsGradientSync) {
+  // Same model and layout, but Seren's single shared HDR HCA makes the
+  // exposed gradient all-reduce longer than on Kalos' four NICs.
+  PretrainExecutionModel kalos(llm_123b(), comm::kalos_fabric());
+  PretrainExecutionModel seren(llm_123b(), comm::seren_fabric());
+  const ThreeDConfig cfg;
+  auto allreduce_of = [](const StepTimeline& tl) {
+    for (const auto& p : tl.phases)
+      if (p.kind == "grad-allreduce") return p.duration;
+    return 0.0;
+  };
+  EXPECT_GT(allreduce_of(seren.step_3d(cfg)),
+            2.0 * allreduce_of(kalos.step_3d(cfg)));
+  EXPECT_GT(seren.step_3d(cfg).step_time(), kalos.step_3d(cfg).step_time());
+}
+
+TEST(Fabric, GradAllreducePhaseTracksCollectiveModel) {
+  PretrainExecutionModel m(llm_123b());
+  const ThreeDConfig cfg;
+  const auto tl = m.step_3d(cfg);
+  // The exposed all-reduce phase must be a fixed share of the wire cost the
+  // collective model predicts for the dp ring layout.
+  comm::World dp_world;
+  dp_world.gpus = cfg.data_parallel();
+  dp_world.ranks_per_node = 1;
+  dp_world.nic_share = 8;
+  const double grad_bytes =
+      2.0 * m.config().params() / (cfg.tensor_parallel * cfg.pipeline_parallel);
+  const double wire = m.collectives().all_reduce(dp_world, grad_bytes).seconds();
+  for (const auto& p : tl.phases) {
+    if (p.kind != "grad-allreduce") continue;
+    EXPECT_GT(p.duration, 0.1 * wire);
+    EXPECT_LT(p.duration, wire);
+  }
+}
+
 }  // namespace
 }  // namespace acme::parallel

@@ -68,6 +68,32 @@ TEST(TwoRound, DurationAccountsRounds) {
   EXPECT_DOUBLE_EQ(dirty.duration_seconds, 120.0);
 }
 
+TEST(TwoRound, FabricDurationScalesWithProbeCount) {
+  const comm::CollectiveModel model(comm::kalos_fabric());
+  auto one_fault = [](cluster::NodeId id) { return id == 0; };
+  const auto small = two_round_localize(node_range(16), one_fault, model);
+  const auto large = two_round_localize(node_range(256), one_fault, model);
+  // Same protocol, same fault — but localizing over a 256-node probe set
+  // pays a bigger bring-up than over 16 nodes (not a constant 90 s each).
+  EXPECT_LT(small.duration_seconds, large.duration_seconds);
+  EXPECT_EQ(small.faulty, large.faulty);
+  // Round 2 involves only the suspects and their witnesses, so it is far
+  // cheaper than round 1 over the full probe set.
+  const auto clean = two_round_localize(node_range(256),
+                                        [](cluster::NodeId) { return false; }, model);
+  EXPECT_LT(large.duration_seconds, 2.0 * clean.duration_seconds);
+}
+
+TEST(TwoRound, FabricAgreesWithLegacyDefaultAtFullScale) {
+  const comm::CollectiveModel model(comm::kalos_fabric());
+  // Probing all 256 nodes of a 2048-GPU job: one fabric-derived round is the
+  // old flat 90 s plus the probe all-gather itself.
+  const auto result = two_round_localize(node_range(256),
+                                         [](cluster::NodeId) { return false; }, model);
+  EXPECT_GT(result.duration_seconds, 90.0);
+  EXPECT_LT(result.duration_seconds, 95.0);
+}
+
 // Property: for arbitrary fault patterns, the confirmed set equals the true
 // set exactly (no false positives, no misses) whenever a clean witness
 // exists.

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "sim/engine.h"
 #include "storage/network.h"
@@ -85,6 +86,52 @@ TEST(StorageNetwork, CancelStopsCallback) {
   engine.run();
   EXPECT_FALSE(fired);
   EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(StorageNetwork, CancelAfterCompletionIsNoOp) {
+  sim::Engine engine;
+  StorageNetwork net(engine, small_config());
+  int fired = 0;
+  const auto id = net.start_flow(0, 10.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  // The flow already completed; cancelling its stale id must neither throw
+  // nor disturb the (empty) flow table.
+  net.cancel(id);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(net.active_flows(), 0u);
+  // And the network still works afterwards.
+  net.start_flow(0, 10.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(StorageNetwork, ZeroByteFlowRejected) {
+  sim::Engine engine;
+  StorageNetwork net(engine, small_config());
+  EXPECT_THROW(net.start_flow(0, 0.0, [] {}), common::CheckError);
+  EXPECT_THROW(net.start_flow(0, -1.0, [] {}), common::CheckError);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(StorageNetwork, FairShareRecoversAfterMidFlightDeparture) {
+  sim::Engine engine;
+  StorageNetwork net(engine, small_config());  // node NIC 10 B/s
+  double survivor_done = -1;
+  const auto doomed = net.start_flow(0, 100.0, [] {});
+  const auto survivor = net.start_flow(0, 10.0, [&] { survivor_done = engine.now(); });
+  double rate_before = -1, rate_after = -1;
+  engine.schedule_at(0.5, [&] {
+    rate_before = net.flow_rate(survivor);
+    net.cancel(doomed);
+    rate_after = net.flow_rate(survivor);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(rate_before, 5.0);   // two flows sharing the 10 B/s NIC
+  EXPECT_DOUBLE_EQ(rate_after, 10.0);   // departure hands back the full NIC
+  // 2.5 bytes at 5 B/s, then 7.5 bytes at 10 B/s -> done at 1.25 s.
+  EXPECT_NEAR(survivor_done, 1.25, 1e-9);
+  EXPECT_DOUBLE_EQ(net.flow_rate(doomed), 0.0);  // unknown id reads zero
 }
 
 TEST(StorageNetwork, CompletionCallbackCanStartNewFlow) {
