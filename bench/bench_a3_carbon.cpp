@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_a3_carbon");
   bench::header("Appendix A.3", "Energy and carbon emissions (Seren, one month)");
 
   // Integrate fleet power over a month at the replayed occupancy.
@@ -36,5 +37,5 @@ int main() {
                common::Table::num(emissions, 1) + " tCO2e");
   bench::recap("paper's rate check: 673 MWh x 0.478", "321.7 tCO2e",
                common::Table::num(carbon.emissions_tco2e(673.0), 1) + " tCO2e");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -5,7 +5,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_ckpt_interval");
   bench::header("Ablation",
                 "Checkpoint interval x strategy (123B, 2048 GPUs, 20 days, auto recovery)");
 
@@ -43,5 +44,5 @@ int main() {
                    common::Table::pct(best_sync) + " goodput");
   bench::recap("why the paper picks 30 min async", "loss bounded, stall negligible",
                "sync forces long intervals (stall) or heavy stalls (loss)");
-  return 0;
+  return bench::finish(obs_cli);
 }

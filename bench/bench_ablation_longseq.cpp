@@ -5,7 +5,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_longseq");
   bench::header("Extension", "Long-sequence pretraining: 123B activation scaling");
 
   common::Table table({"Sequence", "strategy", "static/GPU", "activations/GPU",
@@ -55,5 +56,5 @@ int main() {
                    common::format_bytes(exec.activation_bytes_3d(sp)));
   bench::recap("long-context without cp", "activations blow past HBM",
                "recompute keeps inputs only, yet 128k ctx needs context parallelism");
-  return 0;
+  return bench::finish(obs_cli);
 }

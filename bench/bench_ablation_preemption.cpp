@@ -6,7 +6,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_preemption");
   bench::header("Ablation", "Quota reservation vs preemptive scheduling (Kalos)");
 
   auto profile = trace::kalos_profile();
@@ -56,5 +57,5 @@ int main() {
   bench::recap("preempting pretraining (fairness)", "considerable recovery overhead",
                "checkpoint rollbacks burn ~20% of cluster GPU time and the thrash "
                "delays everyone — the paper's reason to use reservations instead");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -22,7 +22,8 @@ recovery::RunnerReport run(bool proactive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_proactive");
   bench::header("Extension",
                 "Proactive node validation on top of automatic recovery (123B/2048)");
 
@@ -47,5 +48,5 @@ int main() {
                    std::to_string(without.steps_lost_to_rollback -
                                   with.steps_lost_to_rollback) +
                    " fewer steps lost");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -5,7 +5,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_reservation");
   bench::header("Ablation", "Pretraining reservation fraction sweep (Seren, 1/8 scale)");
 
   auto profile = trace::scaled(trace::seren_profile(), 8.0);
@@ -42,5 +43,5 @@ int main() {
   bench::recap("operating point", "reserve the campaign footprint (+ slack)",
                "below ~68% the campaigns spill and queue; above it best-effort "
                "delays grow with no pretraining benefit");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -42,7 +42,8 @@ Outcome run(const storage::StorageNetworkConfig& config, int ckpt_nodes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_storage");
   bench::header("Ablation",
                 "Checkpoint persists vs evaluation loads on the storage fabric");
 
@@ -73,5 +74,5 @@ int main() {
   bench::recap("dedicated storage NIC (Kalos, Table 1)", "removes the contention",
                common::format_duration(kalos.mean_eval_load_seconds) + " loads, " +
                    common::format_duration(kalos.ckpt_persist_seconds) + " persist");
-  return 0;
+  return bench::finish(obs_cli);
 }

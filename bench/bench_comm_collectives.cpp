@@ -51,7 +51,8 @@ void sweep_cluster(const char* name, const comm::FabricConfig& fabric) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_comm_collectives");
   bench::header("comm", "Collective sweep vs NCCL-style bus bandwidth");
 
   sweep_cluster("Kalos (4x200 Gb/s compute NICs)", comm::kalos_fabric());
@@ -105,5 +106,5 @@ int main() {
   bench::recap("Seren/Kalos inter-node slowdown", ">4x (" + gbs(seren_nic) +
                " vs " + gbs(kalos_nic) + " GB/s NIC)",
                common::Table::num(ib_ratio, 1) + "x");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -5,7 +5,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ext_rlhf");
   bench::header("Extension", "RLHF iteration anatomy (7B actor, 1024 GPUs)");
 
   parallel::PretrainExecutionModel model(parallel::llm_7b());
@@ -51,5 +52,5 @@ int main() {
                    common::Table::pct(pretrain.mean_sm()));
   bench::recap("generation share of the iteration", "dominant",
                common::Table::pct(gen / rlhf.step_time()));
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig10_pretrain_sm");
   bench::header("Fig 10", "SM utilization: 123B over 2048 GPUs, V1 vs V2");
 
   parallel::PretrainExecutionModel model(parallel::llm_123b());
@@ -47,5 +48,5 @@ int main() {
   bench::recap("V2 peak SM and idle periods vs V1", "higher peak, fewer idles",
                common::Table::pct(peak(v2)) + " peak, " +
                    common::Table::pct(v2.idle_fraction()) + " idle");
-  return 0;
+  return bench::finish(obs_cli);
 }

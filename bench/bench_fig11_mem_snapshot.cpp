@@ -26,7 +26,8 @@ void print_snapshot(const char* name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig11_mem_snapshot");
   bench::header("Fig 11", "Memory snapshot under different pretraining strategies");
   parallel::PretrainExecutionModel model(parallel::llm_123b());
   const auto snap3d = model.memory_snapshot_3d(parallel::ThreeDConfig{});
@@ -49,5 +50,5 @@ int main() {
                    common::format_bytes(
                        parallel::mixed_precision_anatomy(parallel::llm_123b().params())
                            .optimizer_bytes));
-  return 0;
+  return bench::finish(obs_cli);
 }

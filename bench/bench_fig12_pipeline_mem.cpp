@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig12_pipeline_mem");
   bench::header("Fig 12", "Per-pipeline-rank memory under 1F1B (123B, tp=8, pp=4)");
 
   parallel::PretrainExecutionModel model(parallel::llm_123b());
@@ -30,5 +31,5 @@ int main() {
   std::printf(
       "  note: the imbalance motivates rank-specialized recomputation, as the\n"
       "  paper suggests for balancing pipeline memory.\n");
-  return 0;
+  return bench::finish(obs_cli);
 }

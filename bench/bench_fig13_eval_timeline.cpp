@@ -5,7 +5,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig13_eval_timeline");
   bench::header("Fig 13", "Evaluation workload anatomy: HumanEval on a 7B model");
 
   evalsched::TrialCoordinator coordinator(
@@ -47,5 +48,5 @@ int main() {
   std::printf(
       "  note: §6.2 decouples the metric stage to a CPU job and pre-stages the\n"
       "  model in shared memory, reclaiming both idle segments.\n");
-  return 0;
+  return bench::finish(obs_cli);
 }

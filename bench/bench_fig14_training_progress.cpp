@@ -54,7 +54,8 @@ void print_progress(const char* name, const recovery::RunnerReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig14_training_progress");
   bench::header("Fig 14", "Training progress with manual recovery (104B vs 123B)");
 
   const auto b104 =
@@ -77,5 +78,5 @@ int main() {
   bench::recap("goodput: 104B vs 123B", "123B higher",
                common::Table::pct(b104.goodput()) + " vs " +
                    common::Table::pct(b123.goodput()));
-  return 0;
+  return bench::finish(obs_cli);
 }

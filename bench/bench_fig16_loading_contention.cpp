@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig16_loading_contention");
   bench::header("Fig 16 (left)", "Model loading speed vs concurrent trials (Seren)");
 
   const double model_bytes = 2.0 * parallel::llm_7b().params();  // fp16 7B
@@ -49,5 +50,5 @@ int main() {
   std::printf(
       "  note: this bottleneck motivates §6.2-1 — one precursor load per node\n"
       "  into shared memory, then PCIe-speed reads for every trial.\n");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -17,7 +17,8 @@ void print_cluster(const char* name, const trace::Trace& jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig17_final_statuses");
   bench::header("Fig 17", "Final statuses of jobs (quantity vs GPU resources)");
   print_cluster("Seren", bench::seren_replay().replay.jobs);
   print_cluster("Kalos", bench::kalos_replay().replay.jobs);
@@ -35,5 +36,5 @@ int main() {
                    " / " +
                    common::Table::pct(
                        seren.at(trace::JobStatus::kCanceled).gpu_time_fraction));
-  return 0;
+  return bench::finish(obs_cli);
 }

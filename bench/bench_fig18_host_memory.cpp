@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig18_host_memory");
   bench::header("Fig 18", "Host memory breakdown on a pretraining node (Seren)");
 
   // Component accounting mirroring the paper's measured node: training
@@ -51,5 +52,5 @@ int main() {
   std::printf(
       "  note: this headroom is exactly what §6.1's asynchronous checkpointing\n"
       "  exploits — several TB-scale snapshots fit in host memory per node.\n");
-  return 0;
+  return bench::finish(obs_cli);
 }

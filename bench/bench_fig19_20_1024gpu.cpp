@@ -25,6 +25,12 @@ struct SampledSm {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mc::ReplicationOptions defaults;
+  defaults.replicas = 16;
+  defaults.stream_label = "fig19-1024";
+  const bench::BenchCli obs_cli =
+      bench::parse_cli(argc, argv, "bench_fig19_20_1024gpu", defaults);
+  const mc::McCli& cli = obs_cli.mc;
   bench::header("Fig 19/20", "123B pretraining profiled at 1024 GPUs (A.4)");
 
   parallel::PretrainExecutionModel model(parallel::llm_123b());
@@ -79,10 +85,6 @@ int main(int argc, char** argv) {
 
   // Multi-seed replication: each replica redraws the noisy 1 ms SM samples
   // over two steps of both strategies with its own stream.
-  mc::ReplicationOptions defaults;
-  defaults.replicas = 16;
-  defaults.stream_label = "fig19-1024";
-  const mc::McCli cli = mc::parse_mc_cli(argc, argv, defaults);
   const auto run = mc::run_replicas<SampledSm>(
       cli.options, [&](common::Rng& replica_rng, std::size_t) {
         SampledSm out;
@@ -113,5 +115,5 @@ int main(int argc, char** argv) {
                common::Table::num(v2_gain_pct.mean(), 1) + "%",
                mc::format_with_ci(v2_gain_pct.mean(), v2_gain_pct.ci95(), "%", 2));
   bench::mc_footer(report, cli);
-  return 0;
+  return bench::finish(obs_cli);
 }

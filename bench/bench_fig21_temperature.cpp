@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig21_temperature");
   bench::header("Fig 21", "GPU core and memory temperature CDFs");
 
   common::Rng rng(21);
@@ -36,5 +37,5 @@ int main() {
   std::printf(
       "  note: July 2023 ambient pushed this population up (§5.2: NVLink/ECC\n"
       "  errors on hot 7B jobs) until the cooling was upgraded.\n");
-  return 0;
+  return bench::finish(obs_cli);
 }

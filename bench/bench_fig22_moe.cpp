@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig22_moe");
   bench::header("Fig 22", "MoE pretraining SM utilization (1024 GPUs, Seren)");
 
   parallel::PretrainExecutionModel moe(parallel::moe_mistral_7b());
@@ -40,5 +41,5 @@ int main() {
                    common::Table::pct(dense_tl.mean_sm()));
   bench::recap("cause", "frequent all-to-all on one IB NIC per node",
                common::Table::pct(tl.idle_fraction()) + " of the step near-idle");
-  return 0;
+  return bench::finish(obs_cli);
 }

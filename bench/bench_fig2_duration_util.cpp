@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig2_duration_util");
   bench::header("Fig 2(a)", "CDF of GPU job duration across datacenters");
 
   const auto seren_durations = trace::durations(bench::seren_replay().replay.jobs);
@@ -80,5 +81,5 @@ int main() {
   bench::recap("median GPU util Philly/PAI", "48% / 4%",
                common::Table::num(philly_util.median(), 0) + "% / " +
                    common::Table::num(pai_util.median(), 0) + "%");
-  return 0;
+  return bench::finish(obs_cli);
 }

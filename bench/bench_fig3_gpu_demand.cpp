@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig3_gpu_demand");
   bench::header("Fig 3", "Distribution of jobs and GPU time over GPU demand");
 
   const auto& seren = bench::seren_replay().replay.jobs;
@@ -60,5 +61,5 @@ int main() {
                common::Table::pct(1.0 - kalos_time.cdf(255.0)));
   bench::recap("single-GPU share of PAI GPU time", "~68%",
                common::Table::pct(pai_time.cdf(1.0)));
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -25,7 +25,8 @@ void print_cluster(const char* name, const trace::Trace& jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig4_workload_mix");
   bench::header("Fig 4", "Workload type distribution (job count vs GPU time)");
   print_cluster("Seren", bench::seren_replay().replay.jobs);
   print_cluster("Kalos", bench::kalos_replay().replay.jobs);
@@ -50,5 +51,5 @@ int main() {
                    " / " +
                    common::Table::pct(
                        seren.at(trace::WorkloadType::kPretrain).gpu_time_fraction));
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -23,7 +23,8 @@ void print_cluster(const char* name, const trace::Trace& jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig5_demand_boxplot");
   bench::header("Fig 5", "GPU demand distribution across workload types");
   print_cluster("Seren", bench::seren_replay().replay.jobs);
   print_cluster("Kalos", bench::kalos_replay().replay.jobs);
@@ -43,5 +44,5 @@ int main() {
   bench::recap("debug demand range", "wide",
                common::Table::integer(debug.min()) + " .. " +
                    common::Table::integer(debug.max()) + " GPUs");
-  return 0;
+  return bench::finish(obs_cli);
 }

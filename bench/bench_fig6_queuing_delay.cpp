@@ -45,6 +45,12 @@ void print_cluster(const char* name, const trace::Trace& jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mc::ReplicationOptions defaults;
+  defaults.replicas = 8;
+  defaults.stream_label = "fig6-seren";
+  const bench::BenchCli obs_cli =
+      bench::parse_cli(argc, argv, "bench_fig6_queuing_delay", defaults);
+  const mc::McCli& cli = obs_cli.mc;
   bench::header("Fig 6", "Job duration and queuing delay per workload type");
   print_cluster("Seren", bench::seren_replay().replay.jobs);
   print_cluster("Kalos", bench::kalos_replay().replay.jobs);
@@ -62,10 +68,6 @@ int main(int argc, char** argv) {
   }
 
   // Multi-seed replication of the Seren replay (1/8 job scale per replica).
-  mc::ReplicationOptions defaults;
-  defaults.replicas = 8;
-  defaults.stream_label = "fig6-seren";
-  const mc::McCli cli = mc::parse_mc_cli(argc, argv, defaults);
   const auto setup = core::seren_setup();
   const auto run = core::run_six_month_replay_mc(setup, cli.options, 8.0);
 
@@ -99,5 +101,5 @@ int main(int argc, char** argv) {
                common::Table::num(over_day_pct.mean(), 2) + "%",
                mc::format_with_ci(over_day_pct.mean(), over_day_pct.ci95(), "%", 2));
   bench::mc_footer(report, cli);
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig7_infra_util");
   bench::header("Fig 7", "Infrastructure utilization (monitor-data CDFs)");
 
   common::Rng rng(7);
@@ -62,5 +63,5 @@ int main() {
                common::Table::pct(seren.ib_send_frac.cdf(0.005)));
   bench::recap("IB active bw above 25% of peak", "rare",
                common::Table::pct(1.0 - seren.ib_send_frac.cdf(0.25)));
-  return 0;
+  return bench::finish(obs_cli);
 }

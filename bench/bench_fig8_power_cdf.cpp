@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig8_power_cdf");
   bench::header("Fig 8", "Power consumption CDFs");
 
   common::Rng rng(8);
@@ -46,5 +47,5 @@ int main() {
                common::Table::num(
                    seren.server_power_w.mean() / cpu_servers.mean(), 1) +
                    "x");
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_fig9_power_breakdown");
   bench::header("Fig 9", "Average power distribution of GPU-server modules");
 
   // Average over the fleet's operating points: GPUs at their fleet-mean
@@ -42,5 +43,5 @@ int main() {
   bench::recap("CPU share", "11.2%", common::Table::pct(split.cpu_w / total));
   bench::recap("PSU loss share", "9.6%",
                common::Table::pct(split.psu_loss_w / total));
-  return 0;
+  return bench::finish(obs_cli);
 }

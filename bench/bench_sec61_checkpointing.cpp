@@ -52,6 +52,13 @@ CkptSample sample_ckpt(common::Rng& rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mc::ReplicationOptions defaults;
+  defaults.replicas = 16;
+  defaults.stream_label = "sec61-ckpt";
+  defaults.chunk = 8;  // replicas are microsecond-scale; amortize the queue
+  const bench::BenchCli obs_cli =
+      bench::parse_cli(argc, argv, "bench_sec61_checkpointing", defaults);
+  const mc::McCli& cli = obs_cli.mc;
   bench::header("Sec 6.1", "Asynchronous checkpointing speedups");
 
   ckpt::CheckpointTimingModel timing;
@@ -113,11 +120,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(writer.stats().dropped));
 
   // Multi-seed replication under storage bandwidth jitter.
-  mc::ReplicationOptions defaults;
-  defaults.replicas = 16;
-  defaults.stream_label = "sec61-ckpt";
-  defaults.chunk = 8;  // replicas are microsecond-scale; amortize the queue
-  const mc::McCli cli = mc::parse_mc_cli(argc, argv, defaults);
   const auto run = mc::run_replicas<CkptSample>(
       cli.options,
       [](common::Rng& rng, std::size_t) { return sample_ckpt(rng); });
@@ -147,5 +149,5 @@ int main(int argc, char** argv) {
                common::Table::num(total_stall, 2) + " s vs " +
                    common::Table::num(persist_total, 2) + " s");
   bench::mc_footer(report, cli);
-  return 0;
+  return bench::finish(obs_cli);
 }

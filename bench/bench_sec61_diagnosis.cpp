@@ -5,7 +5,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_sec61_diagnosis");
   bench::header("Sec 6.1", "Failure diagnosis and automatic recovery");
 
   // 1. Log compression (LogAgent + Filter Rules).
@@ -91,5 +92,5 @@ int main() {
   bench::recap("manual intervention reduction", "~90%",
                common::Table::pct(failure_manual));
   bench::recap("diagnosis accuracy (seeded)", "high", "see table");
-  return 0;
+  return bench::finish(obs_cli);
 }

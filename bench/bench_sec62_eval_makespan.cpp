@@ -4,7 +4,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_sec62_eval_makespan");
   bench::header("Sec 6.2", "Trial coordinator: evaluation makespan (63 datasets, 7B)");
 
   common::Table table({"Resources", "Baseline makespan", "Coordinator makespan",
@@ -52,5 +53,5 @@ int main() {
                common::Table::num(s1, 2) + "x");
   bench::recap("makespan reduction, 4 nodes", "1.8x",
                common::Table::num(s4, 2) + "x");
-  return 0;
+  return bench::finish(obs_cli);
 }

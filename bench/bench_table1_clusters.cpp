@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_table1_clusters");
   bench::header("Table 1", "Per-node specification and cluster scale");
   common::Table table({"Cluster", "#CPUs", "#GPUs", "Mem(GB)", "Network", "#Nodes",
                        "Total GPUs", "Scheduler"});
@@ -26,5 +27,5 @@ int main() {
   bench::recap("Acme total GPUs", "4,704",
                std::to_string(cluster::seren_spec().total_gpus() +
                               cluster::kalos_spec().total_gpus()));
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -3,7 +3,8 @@
 
 using namespace acme;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_table2_datacenters");
   bench::header("Table 2", "Comparison between Acme and prior datacenters");
   common::Table table(
       {"Datacenter", "Year", "Duration", "#Jobs", "Avg. #GPUs", "GPU Model",
@@ -29,5 +30,5 @@ int main() {
   bench::recap("Acme avg. requested GPUs", "6.3", common::Table::num(acme_avg, 1));
   bench::recap("Seren avg. GPUs", "5.7", common::Table::num(seren_avg, 1));
   bench::recap("Kalos avg. GPUs", "26.8", common::Table::num(kalos_avg, 1));
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -62,6 +62,12 @@ Table3Sample sample_table3(common::Rng& rng, const failure::FailureInjector& inj
 }  // namespace
 
 int main(int argc, char** argv) {
+  mc::ReplicationOptions defaults;
+  defaults.replicas = 8;
+  defaults.stream_label = "table3";
+  const bench::BenchCli obs_cli =
+      bench::parse_cli(argc, argv, "bench_table3_failures", defaults);
+  const mc::McCli& cli = obs_cli.mc;
   bench::header("Table 3", "Job failure statistics over the six-month trace");
 
   failure::FailureInjector injector(3);
@@ -109,10 +115,6 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
 
   // Multi-seed resampling of the headline shares + diagnosis accuracy.
-  mc::ReplicationOptions defaults;
-  defaults.replicas = 8;
-  defaults.stream_label = "table3";
-  const mc::McCli cli = mc::parse_mc_cli(argc, argv, defaults);
   const int probes = 300;
   const auto run = mc::run_replicas<Table3Sample>(
       cli.options, [&injector, probes](common::Rng& replica_rng, std::size_t) {
@@ -146,5 +148,5 @@ int main(int argc, char** argv) {
                common::Table::num(accuracy.mean(), 1) + "%",
                mc::format_with_ci(accuracy.mean(), accuracy.ci95(), "%", 1));
   bench::mc_footer(report, cli);
-  return 0;
+  return bench::finish(obs_cli);
 }

@@ -11,6 +11,69 @@
 
 namespace acme::bench {
 
+// Shared bench command line. Every bench accepts
+//   --trace-out FILE.json    write a Chrome trace of this run (Perfetto)
+//   --metrics-out FILE.prom  write the obs registry as Prometheus text
+// and the Monte Carlo benches additionally take --replicas / --threads /
+// --seed / --json (see mc/report.h). Passing either obs flag switches the
+// self-observability layer on for the whole run. Parsing is strict: an
+// unknown flag, a missing value or a stray positional prints the reason plus
+// usage and exits 2.
+struct BenchCli {
+  std::string trace_path;
+  std::string metrics_path;
+  mc::McCli mc;  // only meaningful when parse_cli was given mc defaults
+};
+
+inline BenchCli parse_cli(int argc, char** argv, const std::string& bench_name,
+                          const mc::ReplicationOptions* mc_defaults = nullptr) {
+  BenchCli cli;
+  common::FlagSet flags(bench_name);
+  flags.add("--trace-out", &cli.trace_path,
+            "write a Chrome trace-event JSON of this run (Perfetto-loadable)");
+  flags.add("--metrics-out", &cli.metrics_path,
+            "write the self-observability metrics as Prometheus text");
+  if (mc_defaults != nullptr) {
+    cli.mc.options = *mc_defaults;
+    mc::add_mc_flags(flags, cli.mc);
+  }
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s: %s\n%s", bench_name.c_str(), error.c_str(),
+                 flags.usage().c_str());
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    std::exit(0);
+  }
+  if (cli.mc.options.replicas == 0) cli.mc.options.replicas = 1;
+  if (!cli.trace_path.empty() || !cli.metrics_path.empty())
+    obs::set_enabled(true);
+  return cli;
+}
+
+inline BenchCli parse_cli(int argc, char** argv, const std::string& bench_name,
+                          const mc::ReplicationOptions& mc_defaults) {
+  return parse_cli(argc, argv, bench_name, &mc_defaults);
+}
+
+// End-of-main hook: writes the trace / metrics files the CLI asked for.
+// Returns the bench's exit code so mains can `return bench::finish(cli);`.
+inline int finish(const BenchCli& cli) {
+  if (!cli.trace_path.empty() && obs::tracer().write_json(cli.trace_path)) {
+    std::printf("[obs] trace written to %s (%zu events, %zu dropped)\n",
+                cli.trace_path.c_str(), obs::tracer().event_count(),
+                obs::tracer().dropped());
+  }
+  if (!cli.metrics_path.empty() &&
+      obs::metrics().write_prometheus(cli.metrics_path)) {
+    std::printf("[obs] metrics written to %s (%zu series)\n",
+                cli.metrics_path.c_str(), obs::metrics().size());
+  }
+  return 0;
+}
+
 inline void header(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());

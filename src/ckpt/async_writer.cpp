@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace acme::ckpt {
 
@@ -60,6 +61,16 @@ AsyncCheckpointWriter::~AsyncCheckpointWriter() {
 
 bool AsyncCheckpointWriter::snapshot(std::uint64_t step,
                                      std::span<const std::byte> state) {
+  ACME_OBS_SPAN_ARG("ckpt", "snapshot", "step", std::to_string(step));
+  if (obs::enabled()) {
+    static obs::Counter& snapshots = obs::metrics().counter(
+        "acme_ckpt_snapshots_total", "Trainer-side checkpoint snapshots staged");
+    static obs::Histogram& bytes = obs::metrics().histogram(
+        "acme_ckpt_snapshot_bytes", "Size of each staged checkpoint snapshot",
+        obs::Histogram::exponential_buckets(1024.0, 8.0, 10));
+    snapshots.inc();
+    bytes.observe(static_cast<double>(state.size()));
+  }
   // The copy happens outside the lock: it is the trainer's "stall" and must
   // not serialize against the persist thread.
   Staged staged{step, {state.begin(), state.end()}};
@@ -100,7 +111,16 @@ void AsyncCheckpointWriter::worker() {
     queue_.pop_front();
     in_flight_ = true;
     lock.unlock();
-    const bool ok = sink_.persist(staged.step, staged.data);
+    bool ok;
+    {
+      ACME_OBS_SPAN_ARG("ckpt", "persist", "step", std::to_string(staged.step));
+      ok = sink_.persist(staged.step, staged.data);
+    }
+    if (obs::enabled()) {
+      static obs::Counter& persisted = obs::metrics().counter(
+          "acme_ckpt_persists_total", "Checkpoints handed to the persist sink");
+      persisted.inc();
+    }
     lock.lock();
     in_flight_ = false;
     if (ok) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace acme::comm {
 
@@ -33,6 +34,21 @@ void validate(const World& w, double bytes) {
   ACME_CHECK(w.ranks_per_node >= 0);
   ACME_CHECK(w.nic_share >= 1);
   ACME_CHECK(bytes >= 0);
+}
+
+// Records one cost-model query. Counted at each public entry point, so a
+// delegating op (reduce_scatter -> all_gather) shows up under both labels.
+// Only called behind obs::enabled(); the registry lookup is idempotent.
+void observe_collective(const char* op, const CollectiveCost& c) {
+  const obs::Labels labels{{"op", op}};
+  obs::metrics()
+      .counter("acme_comm_queries_total", "Collective cost-model queries", labels)
+      .inc();
+  obs::metrics()
+      .histogram("acme_comm_collective_seconds",
+                 "Modelled duration of each collective query",
+                 obs::Histogram::exponential_buckets(1e-6, 10.0, 10), labels)
+      .observe(c.seconds());
 }
 
 }  // namespace
@@ -66,132 +82,150 @@ CollectiveModel::LinkTerms CollectiveModel::flat_link(const World& w) const {
 
 CollectiveCost CollectiveModel::all_gather(const World& w, double bytes,
                                            Algorithm algorithm) const {
-  validate(w, bytes);
-  const int p = w.gpus;
-  CollectiveCost c;
-  if (p == 1) return c;
-  const int n = nodes(w);
+  const CollectiveCost cost = [&]() -> CollectiveCost {
+    validate(w, bytes);
+    const int p = w.gpus;
+    CollectiveCost c;
+    if (p == 1) return c;
+    const int n = nodes(w);
 
-  if (algorithm == Algorithm::kHierarchical && n > 1) {
-    // Stage 1: intra-node all-gather of the per-rank shard s over NVLink;
-    // stage 2: inter-node all-gather of the per-node slab g*s over IB.
-    const int g = (p + n - 1) / n;
-    const double s = bytes / p;
-    const auto nv = nvlink_terms(w);
-    const auto ib = inter_node_terms(w);
-    c.hops = (g - 1) + (n - 1);
-    c.latency_seconds = (g - 1) * nv.alpha + (n - 1) * ib.alpha;
-    c.bandwidth_seconds = (g - 1) * s * nv.beta + (n - 1) * g * s * ib.beta;
-    return c;
-  }
-  const auto link = flat_link(w);
-  if (algorithm == Algorithm::kTree) {
-    // Gather-then-broadcast trees; latency-friendly, bandwidth-poor (the
-    // full result crosses the root twice). Rings win past tiny payloads.
-    c.hops = 2 * ceil_log2(p);
+    if (algorithm == Algorithm::kHierarchical && n > 1) {
+      // Stage 1: intra-node all-gather of the per-rank shard s over NVLink;
+      // stage 2: inter-node all-gather of the per-node slab g*s over IB.
+      const int g = (p + n - 1) / n;
+      const double s = bytes / p;
+      const auto nv = nvlink_terms(w);
+      const auto ib = inter_node_terms(w);
+      c.hops = (g - 1) + (n - 1);
+      c.latency_seconds = (g - 1) * nv.alpha + (n - 1) * ib.alpha;
+      c.bandwidth_seconds = (g - 1) * s * nv.beta + (n - 1) * g * s * ib.beta;
+      return c;
+    }
+    const auto link = flat_link(w);
+    if (algorithm == Algorithm::kTree) {
+      // Gather-then-broadcast trees; latency-friendly, bandwidth-poor (the
+      // full result crosses the root twice). Rings win past tiny payloads.
+      c.hops = 2 * ceil_log2(p);
+      c.latency_seconds = c.hops * link.alpha;
+      c.bandwidth_seconds = 2.0 * bytes * link.beta / kTreeBandwidthEfficiency;
+      return c;
+    }
+    c.hops = p - 1;
     c.latency_seconds = c.hops * link.alpha;
-    c.bandwidth_seconds = 2.0 * bytes * link.beta / kTreeBandwidthEfficiency;
+    c.bandwidth_seconds = (p - 1) * bytes / p * link.beta;
     return c;
-  }
-  c.hops = p - 1;
-  c.latency_seconds = c.hops * link.alpha;
-  c.bandwidth_seconds = (p - 1) * bytes / p * link.beta;
-  return c;
+  }();
+  if (obs::enabled()) observe_collective("all_gather", cost);
+  return cost;
 }
 
 CollectiveCost CollectiveModel::reduce_scatter(const World& w, double bytes,
                                                Algorithm algorithm) const {
   // Mirror image of all-gather: same traffic, opposite direction.
-  return all_gather(w, bytes, algorithm);
+  const CollectiveCost cost = all_gather(w, bytes, algorithm);
+  if (obs::enabled()) observe_collective("reduce_scatter", cost);
+  return cost;
 }
 
 CollectiveCost CollectiveModel::all_reduce(const World& w, double bytes,
                                            Algorithm algorithm) const {
-  validate(w, bytes);
-  const int p = w.gpus;
-  CollectiveCost c;
-  if (p == 1) return c;
-  const int n = nodes(w);
+  const CollectiveCost cost = [&]() -> CollectiveCost {
+    validate(w, bytes);
+    const int p = w.gpus;
+    CollectiveCost c;
+    if (p == 1) return c;
+    const int n = nodes(w);
 
-  if (algorithm == Algorithm::kHierarchical && n > 1) {
-    // Intra-node reduce-scatter, inter-node all-reduce of the node shards
-    // (each node moves the whole payload through its NIC aggregate, the g
-    // local shards in parallel), intra-node all-gather.
-    const int g = (p + n - 1) / n;
-    const auto nv = nvlink_terms(w);
-    const auto ib = inter_node_terms(w);
-    c.hops = 2 * (g - 1) + 2 * (n - 1);
-    c.latency_seconds = 2 * (g - 1) * nv.alpha + 2 * (n - 1) * ib.alpha;
-    c.bandwidth_seconds = 2.0 * (g - 1) / g * bytes * nv.beta +
-                          2.0 * (n - 1) / n * bytes * ib.beta;
-    return c;
-  }
-  const auto link = flat_link(w);
-  if (algorithm == Algorithm::kTree) {
-    // Pipelined reduce + broadcast trees: log-depth latency, but the payload
-    // crosses the bottleneck twice with no (p-1)/p discount.
-    c.hops = 2 * ceil_log2(p);
+    if (algorithm == Algorithm::kHierarchical && n > 1) {
+      // Intra-node reduce-scatter, inter-node all-reduce of the node shards
+      // (each node moves the whole payload through its NIC aggregate, the g
+      // local shards in parallel), intra-node all-gather.
+      const int g = (p + n - 1) / n;
+      const auto nv = nvlink_terms(w);
+      const auto ib = inter_node_terms(w);
+      c.hops = 2 * (g - 1) + 2 * (n - 1);
+      c.latency_seconds = 2 * (g - 1) * nv.alpha + 2 * (n - 1) * ib.alpha;
+      c.bandwidth_seconds = 2.0 * (g - 1) / g * bytes * nv.beta +
+                            2.0 * (n - 1) / n * bytes * ib.beta;
+      return c;
+    }
+    const auto link = flat_link(w);
+    if (algorithm == Algorithm::kTree) {
+      // Pipelined reduce + broadcast trees: log-depth latency, but the payload
+      // crosses the bottleneck twice with no (p-1)/p discount.
+      c.hops = 2 * ceil_log2(p);
+      c.latency_seconds = c.hops * link.alpha;
+      c.bandwidth_seconds = 2.0 * bytes * link.beta / kTreeBandwidthEfficiency;
+      return c;
+    }
+    c.hops = 2 * (p - 1);
     c.latency_seconds = c.hops * link.alpha;
-    c.bandwidth_seconds = 2.0 * bytes * link.beta / kTreeBandwidthEfficiency;
+    c.bandwidth_seconds = 2.0 * (p - 1) * bytes / p * link.beta;
     return c;
-  }
-  c.hops = 2 * (p - 1);
-  c.latency_seconds = c.hops * link.alpha;
-  c.bandwidth_seconds = 2.0 * (p - 1) * bytes / p * link.beta;
-  return c;
+  }();
+  if (obs::enabled()) observe_collective("all_reduce", cost);
+  return cost;
 }
 
 CollectiveCost CollectiveModel::broadcast(const World& w, double bytes,
                                           Algorithm algorithm) const {
-  validate(w, bytes);
-  const int p = w.gpus;
-  CollectiveCost c;
-  if (p == 1) return c;
-  const int n = nodes(w);
+  const CollectiveCost cost = [&]() -> CollectiveCost {
+    validate(w, bytes);
+    const int p = w.gpus;
+    CollectiveCost c;
+    if (p == 1) return c;
+    const int n = nodes(w);
 
-  if (algorithm == Algorithm::kHierarchical && n > 1) {
-    const int g = (p + n - 1) / n;
-    const auto nv = nvlink_terms(w);
-    const auto ib = inter_node_terms(w);
-    c.hops = ceil_log2(n) + ceil_log2(g);
-    c.latency_seconds = ceil_log2(n) * ib.alpha + ceil_log2(g) * nv.alpha;
-    c.bandwidth_seconds = bytes * ib.beta + bytes * nv.beta;
-    return c;
-  }
-  const auto link = flat_link(w);
-  if (algorithm == Algorithm::kRing) {
-    // Pipelined chain: (p-1) launch hops, payload crosses each link once.
-    c.hops = p - 1;
+    if (algorithm == Algorithm::kHierarchical && n > 1) {
+      const int g = (p + n - 1) / n;
+      const auto nv = nvlink_terms(w);
+      const auto ib = inter_node_terms(w);
+      c.hops = ceil_log2(n) + ceil_log2(g);
+      c.latency_seconds = ceil_log2(n) * ib.alpha + ceil_log2(g) * nv.alpha;
+      c.bandwidth_seconds = bytes * ib.beta + bytes * nv.beta;
+      return c;
+    }
+    const auto link = flat_link(w);
+    if (algorithm == Algorithm::kRing) {
+      // Pipelined chain: (p-1) launch hops, payload crosses each link once.
+      c.hops = p - 1;
+      c.latency_seconds = c.hops * link.alpha;
+      c.bandwidth_seconds = bytes * link.beta;
+      return c;
+    }
+    c.hops = ceil_log2(p);
     c.latency_seconds = c.hops * link.alpha;
     c.bandwidth_seconds = bytes * link.beta;
     return c;
-  }
-  c.hops = ceil_log2(p);
-  c.latency_seconds = c.hops * link.alpha;
-  c.bandwidth_seconds = bytes * link.beta;
-  return c;
+  }();
+  if (obs::enabled()) observe_collective("broadcast", cost);
+  return cost;
 }
 
 CollectiveCost CollectiveModel::all_to_all(const World& w, double bytes) const {
-  validate(w, bytes);
-  const int p = w.gpus;
-  CollectiveCost c;
-  if (p == 1) return c;
-  const int n = nodes(w);
-  c.hops = p - 1;
-  if (n == 1) {
-    const auto nv = nvlink_terms(w);
-    c.latency_seconds = c.hops * nv.alpha;
-    c.bandwidth_seconds = (p - 1) * bytes / p * nv.beta;
+  const CollectiveCost cost = [&]() -> CollectiveCost {
+    validate(w, bytes);
+    const int p = w.gpus;
+    CollectiveCost c;
+    if (p == 1) return c;
+    const int n = nodes(w);
+    c.hops = p - 1;
+    if (n == 1) {
+      const auto nv = nvlink_terms(w);
+      c.latency_seconds = c.hops * nv.alpha;
+      c.bandwidth_seconds = (p - 1) * bytes / p * nv.beta;
+      return c;
+    }
+    // Each node's g ranks send the off-node slice of their buffers through the
+    // shared NIC aggregate: g * S * (p - g) / p bytes per direction.
+    const int g = (p + n - 1) / n;
+    const auto ib = inter_node_terms(w);
+    c.latency_seconds = c.hops * ib.alpha;
+    c.bandwidth_seconds = static_cast<double>(g) * bytes * (p - g) / p * ib.beta;
     return c;
-  }
-  // Each node's g ranks send the off-node slice of their buffers through the
-  // shared NIC aggregate: g * S * (p - g) / p bytes per direction.
-  const int g = (p + n - 1) / n;
-  const auto ib = inter_node_terms(w);
-  c.latency_seconds = c.hops * ib.alpha;
-  c.bandwidth_seconds = static_cast<double>(g) * bytes * (p - g) / p * ib.beta;
-  return c;
+  }();
+  if (obs::enabled()) observe_collective("all_to_all", cost);
+  return cost;
 }
 
 double CollectiveModel::bringup_seconds(const World& w) const {

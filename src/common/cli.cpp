@@ -1,0 +1,128 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace acme::common {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+// Levenshtein distance for "did you mean" suggestions on unknown flags.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t prev = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t cur = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      prev = cur;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagSet::add_flag(const std::string& name, const std::string& help,
+                       std::string default_value,
+                       std::function<bool(const std::string&)> assign) {
+  ACME_CHECK_MSG(name.rfind("--", 0) == 0, "flag names start with --");
+  for (const Flag& f : flags_) ACME_CHECK_MSG(f.name != name, "duplicate flag");
+  flags_.push_back({name, help, std::move(default_value), std::move(assign)});
+}
+
+void FlagSet::add(const std::string& name, std::string* target,
+                  const std::string& help) {
+  add_flag(name, help, *target, [target](const std::string& v) {
+    *target = v;
+    return true;
+  });
+}
+
+void FlagSet::add(const std::string& name, std::uint64_t* target,
+                  const std::string& help) {
+  add_flag(name, help, std::to_string(*target),
+           [target](const std::string& v) { return parse_u64(v, target); });
+}
+
+void FlagSet::add(const std::string& name, double* target,
+                  const std::string& help) {
+  add_flag(name, help, std::to_string(*target), [target](const std::string& v) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size()) return false;
+    *target = parsed;
+    return true;
+  });
+}
+
+bool FlagSet::parse(int argc, char** argv, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0)
+      return fail("unexpected positional argument '" + arg + "'");
+    const auto it = std::find_if(flags_.begin(), flags_.end(),
+                                 [&](const Flag& f) { return f.name == arg; });
+    if (it == flags_.end()) {
+      std::string msg = "unknown flag " + arg;
+      const Flag* best = nullptr;
+      std::size_t best_distance = 3;  // suggest only near-misses
+      for (const Flag& f : flags_) {
+        const std::size_t d = edit_distance(arg, f.name);
+        if (d < best_distance) {
+          best_distance = d;
+          best = &f;
+        }
+      }
+      if (best) msg += " (did you mean " + best->name + "?)";
+      return fail(msg);
+    }
+    if (i + 1 >= argc) return fail("missing value for " + arg);
+    const std::string value = argv[++i];
+    if (!it->assign(value))
+      return fail("bad value '" + value + "' for " + arg);
+  }
+  return true;
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_;
+  for (const Flag& f : flags_) out << " [" << f.name << " <value>]";
+  out << "\n";
+  if (!description_.empty()) out << description_ << "\n";
+  for (const Flag& f : flags_) {
+    out << "  " << f.name;
+    for (std::size_t pad = f.name.size(); pad < 16; ++pad) out << ' ';
+    out << f.help << " (default: " << f.default_value << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace acme::common

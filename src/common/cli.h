@@ -1,0 +1,54 @@
+// Strict command-line flag parsing for the bench harness.
+//
+// Every bench shares the same tiny grammar: `--flag value` pairs plus
+// `--help`. Flags must be declared up front; an unknown flag, a missing
+// value, or a stray positional argument is a parse error with a usage
+// message — silently ignoring unknown flags masked typos like `--replica`
+// for `--replicas`, which is exactly the failure mode this replaces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace acme::common {
+
+class FlagSet {
+ public:
+  // `program` is argv[0]; `description` heads the usage text.
+  explicit FlagSet(std::string program, std::string description = "");
+
+  // Declares `--name <value>` flags writing through to caller-owned storage.
+  // The target's current value is shown as the default in usage().
+  void add(const std::string& name, std::string* target, const std::string& help);
+  void add(const std::string& name, std::uint64_t* target, const std::string& help);
+  void add(const std::string& name, double* target, const std::string& help);
+
+  // Parses argv[1..]; returns true on success. On failure returns false and
+  // fills `error` (if given) with a one-line reason. `--help` parses
+  // successfully and sets help_requested().
+  bool parse(int argc, char** argv, std::string* error = nullptr);
+
+  bool help_requested() const { return help_requested_; }
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;  // including the leading "--"
+    std::string help;
+    std::string default_value;
+    // Returns false if the value does not parse.
+    std::function<bool(const std::string&)> assign;
+  };
+  void add_flag(const std::string& name, const std::string& help,
+                std::string default_value,
+                std::function<bool(const std::string&)> assign);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace acme::common

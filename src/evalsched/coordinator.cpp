@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace acme::evalsched {
 
@@ -111,6 +112,7 @@ std::vector<TrialCoordinator::Trial> TrialCoordinator::plan(
 }
 
 EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
+  ACME_OBS_SPAN_ARG("evalsched", "run", "datasets", std::to_string(suite.size()));
   EvalReport report;
   sim::Engine engine;
   storage::StorageNetwork net(engine, config_.storage);
@@ -155,6 +157,16 @@ EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
     const Trial& trial = trials[trial_idx];
     const int node = gpu / config_.gpus_per_node;
     const double t0 = engine.now();
+    if (obs::enabled()) {
+      // Async span keyed by trial index: lifecycle from dispatch to GPU free.
+      obs::tracer().async_begin("evalsched", "trial", trial_idx,
+                                {{"datasets",
+                                  std::to_string(trial.datasets.size())},
+                                 {"gpu", std::to_string(gpu)}});
+      static obs::Counter& started = obs::metrics().counter(
+          "acme_evalsched_trials_total", "Evaluation trials dispatched to GPUs");
+      started.inc();
+    }
     note_stage(trial, "startup", t0, config_.trial_startup_seconds);
 
     auto after_load = [&, trial_idx, gpu, t0](double load_done) {
@@ -187,7 +199,15 @@ EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
       report.gpu_busy_seconds += infer_total;
       report.gpu_held_seconds += t - t0;
       last_completion = std::max(last_completion, t);
-      engine.schedule_at(t, [&, gpu] {
+      engine.schedule_at(t, [&, trial_idx, gpu, t0, t] {
+        if (obs::enabled()) {
+          obs::tracer().async_end("evalsched", "trial", trial_idx);
+          static obs::Histogram& held = obs::metrics().histogram(
+              "acme_evalsched_trial_gpu_seconds",
+              "Simulated GPU hold time per evaluation trial",
+              obs::Histogram::exponential_buckets(60.0, 2.0, 10));
+          held.observe(t - t0);
+        }
         gpu_busy[static_cast<std::size_t>(gpu)] = false;
         dispatch();
       });

@@ -24,6 +24,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "mc/thread_pool.h"
+#include "obs/obs.h"
 
 namespace acme::mc {
 
@@ -95,6 +96,15 @@ class ReplicationPlan {
     const common::Rng root(options_.seed);
 
     const auto run_replica = [&](std::size_t i) {
+      // Wall-clock worker timing goes to the tracer only; metrics stay a
+      // deterministic function of the replica count so snapshots match
+      // byte-for-byte across thread counts.
+      ACME_OBS_SPAN_ARG("mc", "replica", "index", std::to_string(i));
+      if (obs::enabled()) {
+        static obs::Counter& replicas = obs::metrics().counter(
+            "acme_mc_replicas_total", "Monte Carlo replicas executed");
+        replicas.inc();
+      }
       const double t0 = thread_cpu_seconds();
       common::Rng rng =
           root.fork(options_.stream_label + "-" + std::to_string(i));

@@ -122,25 +122,42 @@ bool BenchReport::write(const std::string& path) const {
   return true;
 }
 
+void add_mc_flags(common::FlagSet& flags, McCli& cli) {
+  flags.add("--replicas", &cli.options.replicas,
+            "number of Monte Carlo replicas");
+  flags.add("--threads", &cli.options.threads,
+            "worker threads (0 = hardware concurrency, 1 = serial)");
+  flags.add("--seed", &cli.options.seed, "base seed for the replica streams");
+  flags.add("--json", &cli.json_path, "write the BenchReport JSON here");
+}
+
+std::optional<McCli> parse_mc_cli_strict(int argc, char** argv,
+                                         const ReplicationOptions& defaults,
+                                         std::string* error) {
+  McCli cli;
+  cli.options = defaults;
+  common::FlagSet flags(argc > 0 ? argv[0] : "bench");
+  add_mc_flags(flags, cli);
+  if (!flags.parse(argc, argv, error)) return std::nullopt;
+  if (cli.options.replicas == 0) cli.options.replicas = 1;
+  return cli;
+}
+
 McCli parse_mc_cli(int argc, char** argv, const ReplicationOptions& defaults) {
   McCli cli;
   cli.options = defaults;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const bool has_value = i + 1 < argc;
-    if (arg == "--replicas" && has_value) {
-      cli.options.replicas =
-          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-      if (cli.options.replicas == 0) cli.options.replicas = 1;
-    } else if (arg == "--threads" && has_value) {
-      cli.options.threads =
-          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && has_value) {
-      cli.options.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--json" && has_value) {
-      cli.json_path = argv[++i];
-    }
+  common::FlagSet flags(argc > 0 ? argv[0] : "bench");
+  add_mc_flags(flags, cli);
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), flags.usage().c_str());
+    std::exit(2);
   }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    std::exit(0);
+  }
+  if (cli.options.replicas == 0) cli.options.replicas = 1;
   return cli;
 }
 

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "mc/aggregate.h"
 #include "mc/replication.h"
 
@@ -60,12 +62,27 @@ class BenchReport {
 //   --threads K    worker threads (0 = hardware concurrency, 1 = serial)
 //   --seed S       base seed for the replica streams
 //   --json PATH    write the BenchReport JSON here
-// Unknown flags are ignored so benches stay composable with outer harnesses.
+// Unknown flags, missing values and stray positionals are parse errors —
+// silently ignoring them masked typos like `--replica` for `--replicas`.
 struct McCli {
   ReplicationOptions options;
   std::string json_path;
 };
 
+// Registers the four shared flags on `flags`, writing through to `cli` (which
+// must outlive parsing). bench_util.h composes these with the obs flags into
+// one strict FlagSet so a bench has a single flat flag namespace.
+void add_mc_flags(common::FlagSet& flags, McCli& cli);
+
+// Strict parse: returns nullopt and fills `error` on an unknown flag, a bad
+// or missing value, or a positional argument; never exits. `--replicas 0`
+// clamps to 1.
+std::optional<McCli> parse_mc_cli_strict(int argc, char** argv,
+                                         const ReplicationOptions& defaults,
+                                         std::string* error = nullptr);
+
+// Exiting wrapper for standalone benches: a parse error prints the reason and
+// usage to stderr and exits 2; --help prints usage and exits 0.
 McCli parse_mc_cli(int argc, char** argv, const ReplicationOptions& defaults);
 
 // Formats "v ±ci" with a unit suffix, e.g. "12.3 ±0.8 s".

@@ -1,0 +1,26 @@
+#include "obs/obs.h"
+
+namespace acme::obs {
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& metrics() {
+  // Intentionally leaked: instrumentation sites cache references in
+  // function-local statics and may fire during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+TraceRecorder& tracer() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void reset() {
+  metrics().reset();
+  tracer().clear();
+}
+
+}  // namespace acme::obs

@@ -1,0 +1,260 @@
+#include "obs/trace_recorder.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace acme::obs {
+
+namespace {
+
+// Thread ids are process-wide and never reused: a cleared recorder keeps
+// handing out fresh ids, which keeps per-tid monotonicity trivially true.
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+double TraceRecorder::now_us() const {
+  const std::int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count();
+  return static_cast<double>(ns - epoch_ns_) / 1e3;
+}
+
+void TraceRecorder::push(TraceEvent event) {
+  event.tid = thread_id();
+  std::lock_guard lock(mu_);
+  // The timestamp is taken under the lock so the global event order and the
+  // per-tid timestamp order agree (steady_clock is monotone).
+  event.ts_us = now_us();
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::begin(const std::string& category, const std::string& name,
+                          std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::end(const std::string& category, const std::string& name) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kEnd;
+  push(std::move(e));
+}
+
+void TraceRecorder::instant(const std::string& category, const std::string& name,
+                            std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::async_begin(
+    const std::string& category, const std::string& name, std::uint64_t id,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kAsyncBegin;
+  e.id = id;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::async_end(const std::string& category, const std::string& name,
+                              std::uint64_t id) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kAsyncEnd;
+  e.id = id;
+  push(std::move(e));
+}
+
+void TraceRecorder::counter(const std::string& category, const std::string& name,
+                            double value) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = TraceEvent::Phase::kCounter;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  e.args.emplace_back("value", buf);
+  push(std::move(e));
+}
+
+std::string TraceRecorder::to_json() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& e = snapshot[i];
+    out << (i ? ",\n" : "\n");
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%.3f", e.ts_us);
+    out << "  {\"name\": \"" << escape_json(e.name) << "\", \"cat\": \""
+        << escape_json(e.category) << "\", \"ph\": \""
+        << static_cast<char>(e.phase) << "\", \"ts\": " << ts
+        << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.phase == TraceEvent::Phase::kAsyncBegin ||
+        e.phase == TraceEvent::Phase::kAsyncEnd)
+      out << ", \"id\": " << e.id;
+    if (e.phase == TraceEvent::Phase::kInstant) out << ", \"s\": \"t\"";
+    if (!e.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a) out << ", ";
+        out << "\"" << escape_json(e.args[a].first) << "\": ";
+        // Counter samples are numeric tracks; everything else is a string.
+        if (e.phase == TraceEvent::Phase::kCounter)
+          out << e.args[a].second;
+        else
+          out << "\"" << escape_json(e.args[a].second) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "[obs] cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << to_json();
+  return out.good();
+}
+
+std::optional<std::string> TraceRecorder::well_formed_error(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> stacks;  // per tid
+  std::map<std::uint32_t, double> last_ts;
+  std::map<std::tuple<std::string, std::string, std::uint64_t>, int> async_open;
+  for (const TraceEvent& e : events) {
+    auto ts_it = last_ts.find(e.tid);
+    if (ts_it != last_ts.end() && e.ts_us < ts_it->second)
+      return "timestamp regression on tid " + std::to_string(e.tid) + " at " +
+             e.name;
+    last_ts[e.tid] = e.ts_us;
+    switch (e.phase) {
+      case TraceEvent::Phase::kBegin:
+        stacks[e.tid].push_back(&e);
+        break;
+      case TraceEvent::Phase::kEnd: {
+        auto& stack = stacks[e.tid];
+        if (stack.empty())
+          return "E without matching B: " + e.category + "/" + e.name;
+        const TraceEvent* open = stack.back();
+        if (open->name != e.name || open->category != e.category)
+          return "mismatched span nesting: B " + open->category + "/" +
+                 open->name + " closed by E " + e.category + "/" + e.name;
+        stack.pop_back();
+        break;
+      }
+      case TraceEvent::Phase::kAsyncBegin:
+        ++async_open[{e.category, e.name, e.id}];
+        break;
+      case TraceEvent::Phase::kAsyncEnd: {
+        auto it = async_open.find({e.category, e.name, e.id});
+        if (it == async_open.end() || it->second == 0)
+          return "async end without begin: " + e.category + "/" + e.name +
+                 " id " + std::to_string(e.id);
+        --it->second;
+        break;
+      }
+      case TraceEvent::Phase::kInstant:
+      case TraceEvent::Phase::kCounter:
+        break;
+    }
+  }
+  for (const auto& [tid, stack] : stacks)
+    if (!stack.empty())
+      return "unclosed span on tid " + std::to_string(tid) + ": " +
+             stack.back()->category + "/" + stack.back()->name;
+  for (const auto& [key, open] : async_open)
+    if (open != 0)
+      return "unclosed async span: " + std::get<0>(key) + "/" +
+             std::get<1>(key) + " id " + std::to_string(std::get<2>(key));
+  return std::nullopt;
+}
+
+std::optional<std::string> TraceRecorder::well_formed_error() const {
+  return well_formed_error(events());
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace acme::obs

@@ -1,0 +1,92 @@
+// Structured trace recorder for the simulator itself (DESIGN.md §8).
+//
+// Records Chrome trace-event JSON — loadable in Perfetto / chrome://tracing —
+// with scoped B/E spans, instant events, counter samples and async spans
+// keyed by simulated entities (job id, trial id, collective op). Timestamps
+// are wall-clock microseconds from a steady clock, so the trace shows where
+// *real* time went while the simulation replayed months of *simulated* time;
+// simulated-time quantities belong in the metrics registry instead.
+//
+// Thread-safe: events append under a mutex; thread ids are small dense
+// integers assigned at a thread's first event. The buffer is bounded
+// (drop-newest past `capacity`) so an over-instrumented run degrades to a
+// truncated trace instead of unbounded memory growth; dropped() reports how
+// many events were discarded.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace acme::obs {
+
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kInstant = 'i',
+    kAsyncBegin = 'b',
+    kAsyncEnd = 'e',
+    kCounter = 'C',
+  };
+  std::string name;
+  std::string category;
+  Phase phase = Phase::kInstant;
+  double ts_us = 0;        // microseconds since recorder start (steady clock)
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;    // async span key (entity id); unused otherwise
+  // Small argument payload rendered into "args". Values are emitted as JSON
+  // strings, which Perfetto displays fine and keeps the writer trivial.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1u << 21);
+
+  void begin(const std::string& category, const std::string& name,
+             std::vector<std::pair<std::string, std::string>> args = {});
+  void end(const std::string& category, const std::string& name);
+  void instant(const std::string& category, const std::string& name,
+               std::vector<std::pair<std::string, std::string>> args = {});
+  // Async spans: `id` keys the simulated entity (job id, trial id, ...).
+  void async_begin(const std::string& category, const std::string& name,
+                   std::uint64_t id,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+  void async_end(const std::string& category, const std::string& name,
+                 std::uint64_t id);
+  void counter(const std::string& category, const std::string& name, double value);
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}).
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  // Structural well-formedness: every tid's B/E events balance like brackets
+  // (matching category+name on pop), timestamps are monotone per tid, and
+  // every async 'b' has a matching 'e' on (category, name, id). Returns
+  // nullopt when well-formed, else a description of the first violation.
+  static std::optional<std::string> well_formed_error(
+      const std::vector<TraceEvent>& events);
+  std::optional<std::string> well_formed_error() const;
+
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+  std::size_t dropped() const;
+  void clear();
+
+ private:
+  void push(TraceEvent event);
+  double now_us() const;
+  std::uint32_t current_tid();
+
+  const std::size_t capacity_;
+  std::int64_t epoch_ns_ = 0;  // steady-clock origin
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+  std::uint32_t next_tid_ = 1;
+};
+
+}  // namespace acme::obs

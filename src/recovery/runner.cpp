@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/obs.h"
 #include "recovery/two_round_test.h"
 
 namespace acme::recovery {
@@ -45,6 +46,12 @@ double FaultTolerantRunner::checkpoint_persist_lag() const {
 double FaultTolerantRunner::recovery_stall(const failure::FailureSpec& spec,
                                            double now, RunnerReport& report,
                                            std::string* detail) {
+  ACME_OBS_SPAN_ARG("recovery", "recovery_stall", "reason", spec.reason);
+  if (obs::enabled()) {
+    static obs::Counter& restarts = obs::metrics().counter(
+        "acme_recovery_restarts_total", "Failure recoveries run by the runner");
+    restarts.inc();
+  }
   common::Rng rng = injector_.make_rng("recovery-" + std::to_string(now));
   // Checkpoint reload is paid either way.
   const double reload = timing_.async_persist_seconds(config_.model.params(),
@@ -77,8 +84,24 @@ double FaultTolerantRunner::recovery_stall(const failure::FailureSpec& spec,
     const int bad =
         static_cast<int>(rng.uniform_int(0, 1)) + 1;  // 1-2 faulty nodes
     auto faulty = [&](cluster::NodeId id) { return id < bad; };
-    const auto localization = comm_ ? two_round_localize(probe, faulty, *comm_)
-                                    : two_round_localize(probe, faulty);
+    TwoRoundResult localization;
+    {
+      ACME_OBS_SPAN_ARG("recovery", "two_round_localize", "nodes",
+                        std::to_string(nodes));
+      localization = comm_ ? two_round_localize(probe, faulty, *comm_)
+                           : two_round_localize(probe, faulty);
+    }
+    if (obs::enabled()) {
+      static obs::Counter& localizations = obs::metrics().counter(
+          "acme_recovery_localizations_total",
+          "Two-round fault localizations triggered by recoveries");
+      static obs::Histogram& stall_hist = obs::metrics().histogram(
+          "acme_recovery_localization_seconds",
+          "Simulated duration of each two-round localization",
+          obs::Histogram::exponential_buckets(1.0, 2.0, 12));
+      localizations.inc();
+      stall_hist.observe(localization.duration_seconds);
+    }
     stall += localization.duration_seconds;
     report.nodes_cordoned += static_cast<int>(localization.faulty.size());
   }
@@ -105,6 +128,7 @@ double FaultTolerantRunner::recovery_stall(const failure::FailureSpec& spec,
 }
 
 RunnerReport FaultTolerantRunner::run() {
+  ACME_OBS_SPAN_ARG("recovery", "run", "gpus", std::to_string(config_.gpus));
   RunnerReport report;
   common::Rng rng = injector_.make_rng("runner");
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace acme::recovery {
 
@@ -42,7 +43,15 @@ TwoRoundResult localize_impl(const std::vector<cluster::NodeId>& nodes,
       (failed ? result.suspects : clean).push_back(n);
   }
   result.duration_seconds = round_cost(static_cast<int>(nodes.size()));
-  if (result.suspects.empty()) return result;  // fabric-wide pass, one round
+  if (result.suspects.empty()) {  // fabric-wide pass, one round
+    if (obs::enabled()) {
+      static obs::Counter& rounds = obs::metrics().counter(
+          "acme_recovery_probe_rounds_total",
+          "All-gather probe rounds run during two-round localization");
+      rounds.inc(1);
+    }
+    return result;
+  }
 
   // Round 2: each suspect pairs with a known-clean node; the all-gather then
   // fails iff the suspect itself is faulty. If NO clean world survived round
@@ -57,6 +66,16 @@ TwoRoundResult localize_impl(const std::vector<cluster::NodeId>& nodes,
   for (cluster::NodeId suspect : result.suspects)
     if (is_faulty(suspect)) result.faulty.push_back(suspect);
   std::sort(result.faulty.begin(), result.faulty.end());
+  if (obs::enabled()) {
+    static obs::Counter& rounds = obs::metrics().counter(
+        "acme_recovery_probe_rounds_total",
+        "All-gather probe rounds run during two-round localization");
+    static obs::Counter& suspects = obs::metrics().counter(
+        "acme_recovery_suspect_nodes_total",
+        "Round-1 suspect nodes escalated to round 2");
+    rounds.inc(2);  // round 1 ran above; round 2 just ran
+    suspects.inc(result.suspects.size());
+  }
   return result;
 }
 

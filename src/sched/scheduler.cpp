@@ -5,8 +5,32 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace acme::sched {
+
+namespace {
+
+obs::Counter& placements_counter() {
+  static obs::Counter& c = obs::metrics().counter(
+      "acme_sched_placements_total", "Jobs placed onto GPUs by SchedulerReplay");
+  return c;
+}
+
+obs::Counter& preemptions_counter() {
+  static obs::Counter& c = obs::metrics().counter(
+      "acme_sched_preemptions_total", "Running jobs evicted by SchedulerReplay");
+  return c;
+}
+
+obs::Histogram& queue_depth_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "acme_sched_queue_depth", "Total queued jobs sampled at each dispatch pass",
+      obs::Histogram::exponential_buckets(1.0, 4.0, 10));
+  return h;
+}
+
+}  // namespace
 
 SchedulerConfig seren_scheduler_config() {
   SchedulerConfig c;
@@ -60,6 +84,7 @@ SchedulerReplay::QueueClass SchedulerReplay::classify(trace::WorkloadType type) 
 
 ReplayResult SchedulerReplay::replay(const trace::Trace& input,
                                      double sample_interval) {
+  ACME_OBS_SPAN_ARG("sched", "replay", "jobs", std::to_string(input.size()));
   jobs_ = input;
   placements_.assign(jobs_.size(), {});
   completion_.assign(jobs_.size(), {});
@@ -154,6 +179,7 @@ bool SchedulerReplay::try_start(std::size_t index) {
     delay_recorded_[index] = true;
   }
   started_at_[index] = engine_.now();
+  if (obs::enabled()) placements_counter().inc();
   ++running_jobs_;
   (cls == QueueClass::kPretrain ? running_pretrain_ : running_best_effort_)
       .push_back(index);
@@ -191,6 +217,7 @@ void SchedulerReplay::evict(std::size_t index, double rollback_cap) {
   extra_overhead_[index] += config_.preemption_overhead_seconds;
   waiting_since_[index] = engine_.now();
   queues_[static_cast<int>(cls)].push_back(index);
+  if (obs::enabled()) preemptions_counter().inc();
 }
 
 bool SchedulerReplay::preempt_for(int gpus) {
@@ -223,6 +250,10 @@ void SchedulerReplay::preempt_pretraining_if_starved() {
 }
 
 void SchedulerReplay::try_dispatch() {
+  if (obs::enabled()) {
+    queue_depth_histogram().observe(static_cast<double>(
+        queues_[0].size() + queues_[1].size() + queues_[2].size()));
+  }
   preempt_pretraining_if_starved();
   // Highest class first. FCFS within a class; a stuck head may be backfilled
   // past by up to backfill_depth smaller jobs (conservative: they must fit in

@@ -317,22 +317,35 @@ TEST(McCli, ParsesAllFlags) {
   defaults.replicas = 8;
   const char* argv[] = {"bench",   "--replicas", "12",   "--threads", "3",
                         "--seed",  "99",         "--json", "out.json"};
-  const auto cli = parse_mc_cli(9, const_cast<char**>(argv), defaults);
-  EXPECT_EQ(cli.options.replicas, 12u);
-  EXPECT_EQ(cli.options.threads, 3u);
-  EXPECT_EQ(cli.options.seed, 99u);
-  EXPECT_EQ(cli.json_path, "out.json");
+  const auto cli = parse_mc_cli_strict(9, const_cast<char**>(argv), defaults);
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_EQ(cli->options.replicas, 12u);
+  EXPECT_EQ(cli->options.threads, 3u);
+  EXPECT_EQ(cli->options.seed, 99u);
+  EXPECT_EQ(cli->json_path, "out.json");
 }
 
-TEST(McCli, DefaultsSurviveUnknownFlags) {
+TEST(McCli, RejectsUnknownFlagWithSuggestion) {
   ReplicationOptions defaults;
-  defaults.replicas = 5;
-  defaults.seed = 7;
-  const char* argv[] = {"bench", "--verbose", "--replicas"};  // trailing, no value
-  const auto cli = parse_mc_cli(3, const_cast<char**>(argv), defaults);
-  EXPECT_EQ(cli.options.replicas, 5u);
-  EXPECT_EQ(cli.options.seed, 7u);
-  EXPECT_TRUE(cli.json_path.empty());
+  // The typo that motivated strict parsing: --replica silently did nothing.
+  const char* argv[] = {"bench", "--replica", "12"};
+  std::string error;
+  const auto cli = parse_mc_cli_strict(3, const_cast<char**>(argv), defaults, &error);
+  EXPECT_FALSE(cli.has_value());
+  EXPECT_NE(error.find("--replica"), std::string::npos);
+  EXPECT_NE(error.find("--replicas"), std::string::npos);  // did-you-mean
+}
+
+TEST(McCli, RejectsMissingValueAndBadNumber) {
+  ReplicationOptions defaults;
+  std::string error;
+  const char* trailing[] = {"bench", "--replicas"};
+  EXPECT_FALSE(
+      parse_mc_cli_strict(2, const_cast<char**>(trailing), defaults, &error)
+          .has_value());
+  const char* bad[] = {"bench", "--seed", "not-a-number"};
+  EXPECT_FALSE(parse_mc_cli_strict(3, const_cast<char**>(bad), defaults, &error)
+                   .has_value());
 }
 
 }  // namespace
