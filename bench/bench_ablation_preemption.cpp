@@ -10,9 +10,7 @@ int main(int argc, char** argv) {
   const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_preemption");
   bench::header("Ablation", "Quota reservation vs preemptive scheduling (Kalos)");
 
-  auto profile = trace::kalos_profile();
-  profile.cpu_jobs = 0;
-  const auto jobs = trace::TraceSynthesizer(profile).generate();
+  const auto jobs = world::synthesize_trace(world::kalos_scenario());
   const double total_gpu_time = trace::total_gpu_time(jobs);
 
   struct Policy {

@@ -9,9 +9,7 @@ int main(int argc, char** argv) {
   const bench::BenchCli obs_cli = bench::parse_cli(argc, argv, "bench_ablation_reservation");
   bench::header("Ablation", "Pretraining reservation fraction sweep (Seren, 1/8 scale)");
 
-  auto profile = trace::scaled(trace::seren_profile(), 8.0);
-  profile.cpu_jobs = 0;
-  const auto jobs = trace::TraceSynthesizer(profile).generate();
+  const auto jobs = world::synthesize_trace(world::seren_scenario());
 
   common::Table table({"Reservation", "pretrain delay med", "pretrain delay p95",
                        "eval delay med", "SFT delay med", "unstarted",

@@ -87,9 +87,9 @@ void BM_TraceSynthesis(benchmark::State& state) {
 BENCHMARK(BM_TraceSynthesis);
 
 void BM_SixMonthReplay(benchmark::State& state) {
-  auto profile = trace::scaled(trace::seren_profile(), 64.0);
-  profile.cpu_jobs = 0;
-  const auto jobs = trace::TraceSynthesizer(profile).generate();
+  world::ScenarioSpec scenario = world::seren_scenario();
+  scenario.scale = 64.0;
+  const auto jobs = world::synthesize_trace(scenario);
   for (auto _ : state) {
     sched::SchedulerReplay replay(cluster::seren_spec(),
                                   sched::seren_scheduler_config());

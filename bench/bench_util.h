@@ -129,17 +129,18 @@ inline common::Series cdf_series_linear(const std::string& name,
   return s;
 }
 
-// The six-month replays shared by the characterization benches. Seren runs
-// at 1/8 job scale (distributions unchanged); Kalos at full scale.
+// The six-month replays shared by the characterization benches, resolved
+// from the world scenario presets (Seren 1/8 job scale, Kalos full) so the
+// benches, tests and acme::world all replay the same assemblies.
 inline const core::SixMonthReplay& seren_replay() {
   static const core::SixMonthReplay replay =
-      core::run_six_month_replay(core::seren_setup(), 8.0);
+      core::run_scenario_replay(world::seren_scenario());
   return replay;
 }
 
 inline const core::SixMonthReplay& kalos_replay() {
   static const core::SixMonthReplay replay =
-      core::run_six_month_replay(core::kalos_setup(), 1.0);
+      core::run_scenario_replay(world::kalos_scenario());
   return replay;
 }
 

@@ -1,22 +1,27 @@
 #include "core/experiments.h"
 
+#include "common/check.h"
 #include "trace/analysis.h"
+#include "world/scenario.h"
 
 namespace acme::core {
 
-ClusterSetup seren_setup() {
-  return {trace::seren_profile(), cluster::seren_spec(),
-          sched::seren_scheduler_config()};
+ClusterSetup setup_for(const world::ScenarioSpec& scenario) {
+  world::ClusterInputs inputs = world::cluster_inputs(scenario);
+  return {std::move(inputs.profile), inputs.spec, inputs.sched_config};
 }
 
-ClusterSetup kalos_setup() {
-  return {trace::kalos_profile(), cluster::kalos_spec(),
-          sched::kalos_scheduler_config()};
-}
+ClusterSetup seren_setup() { return setup_for(world::seren_scenario()); }
+
+ClusterSetup kalos_setup() { return setup_for(world::kalos_scenario()); }
 
 SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
                                     double sample_interval, std::uint64_t seed) {
-  auto profile = scale > 1.0 ? trace::scaled(setup.profile, scale) : setup.profile;
+  ACME_CHECK_MSG(scale > 0, "replay scale must be positive");
+  // scale >= 1 divides the six-month job volume; (0, 1) is the fraction kept
+  // (0.125 is the same trace as 8.0).
+  const double divisor = scale >= 1.0 ? scale : 1.0 / scale;
+  auto profile = divisor > 1.0 ? trace::scaled(setup.profile, divisor) : setup.profile;
   profile.cpu_jobs = 0;  // CPU jobs do not touch the GPU scheduler
   trace::SynthesizerOptions options;
   options.seed = seed;
@@ -32,6 +37,11 @@ SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
   }
   out.busy_fraction = total > 0 ? busy / total : 0;
   return out;
+}
+
+SixMonthReplay run_scenario_replay(const world::ScenarioSpec& scenario) {
+  return run_six_month_replay(setup_for(scenario), scenario.scale,
+                              scenario.sample_interval_seconds, scenario.seed);
 }
 
 mc::ReplicaRun<SixMonthReplay> run_six_month_replay_mc(

@@ -10,6 +10,7 @@
 #include "telemetry/fleet_sampler.h"
 #include "trace/synthesizer.h"
 #include "trace/workload_profile.h"
+#include "world/scenario.h"
 
 namespace acme::core {
 
@@ -19,6 +20,9 @@ struct ClusterSetup {
   sched::SchedulerConfig sched_config;
 };
 
+// The scenario presets are the single source of cluster assemblies; these
+// resolve one into the classic setup triple.
+ClusterSetup setup_for(const world::ScenarioSpec& scenario);
 ClusterSetup seren_setup();
 ClusterSetup kalos_setup();
 
@@ -30,9 +34,15 @@ struct SixMonthReplay {
 // Synthesizes the six-month trace (optionally downscaled in job count for
 // speed — distributions are unchanged) and replays it through the cluster
 // scheduler. `sample_interval` controls the occupancy timeline resolution.
+// `scale` must be positive: values >= 1 divide the job volume, values in
+// (0, 1) are the fraction of the trace kept (0.125 == 8.0).
 SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale = 1.0,
                                     double sample_interval = 900.0,
                                     std::uint64_t seed = 42);
+
+// Scenario-driven replay: setup, scale, sample interval and seed all come
+// from the spec (what the bench helpers share with acme::world).
+SixMonthReplay run_scenario_replay(const world::ScenarioSpec& scenario);
 
 // Monte Carlo replication of the six-month replay: N independent replicas,
 // each with its own trace synthesis seed (drawn from the replica's forked

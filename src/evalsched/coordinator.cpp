@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <set>
 
 #include "common/check.h"
@@ -111,51 +112,131 @@ std::vector<TrialCoordinator::Trial> TrialCoordinator::plan(
   return trials;
 }
 
-EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
-  ACME_OBS_SPAN_ARG("evalsched", "run", "datasets", std::to_string(suite.size()));
+// All sweep state lives on the heap and is kept alive by the engine events
+// that reference it, so launch() can return while trials are still queued on
+// a shared spine.
+struct TrialCoordinator::Sweep : std::enable_shared_from_this<Sweep> {
+  EvalConfig config;
+  std::vector<Trial> trials;
+  sim::Engine& engine;
+  storage::StorageNetwork& net;
+  std::function<void(const EvalReport&)> on_done;
+
   EvalReport report;
-  sim::Engine engine;
-  storage::StorageNetwork net(engine, config_.storage);
-
-  const int total_gpus = config_.nodes * config_.gpus_per_node;
-  auto trials = plan(suite);
-  report.trials = static_cast<int>(trials.size());
-
+  double start = 0;  // engine time at launch; makespan is relative to it
   std::deque<std::size_t> queue;
-  for (std::size_t i = 0; i < trials.size(); ++i) queue.push_back(i);
-
-  std::vector<bool> gpu_busy(static_cast<std::size_t>(total_gpus), false);
-  std::vector<bool> node_model_ready(static_cast<std::size_t>(config_.nodes),
-                                     !config_.decouple_loading);
-  double last_completion = 0;
-
+  std::vector<bool> gpu_busy;
+  std::vector<bool> node_model_ready;
+  double last_completion = 0;  // engine-absolute
   // Finite CPU pool for decoupled metric jobs: a multiset of busy-until
   // times, one per slot; a metric task takes the earliest-free slot (FIFO).
   std::multiset<double> cpu_slots;
-  for (int i = 0; i < config_.metric_cpu_slots; ++i) cpu_slots.insert(0.0);
-  auto run_metric_on_cpu = [&](double ready, double duration) {
+  int active_trials = 0;
+  int pending_precursors = 0;
+  bool finished = false;
+
+  Sweep(EvalConfig cfg, std::vector<Trial> plan, sim::Engine& eng,
+        storage::StorageNetwork& network,
+        std::function<void(const EvalReport&)> done)
+      : config(cfg),
+        trials(std::move(plan)),
+        engine(eng),
+        net(network),
+        on_done(std::move(done)) {}
+
+  int total_gpus() const { return config.nodes * config.gpus_per_node; }
+
+  double run_metric_on_cpu(double ready, double duration) {
     if (cpu_slots.empty()) return ready + duration;  // unlimited pool
     auto slot = cpu_slots.begin();
-    const double start = std::max(ready, *slot);
+    const double begin = std::max(ready, *slot);
     cpu_slots.erase(slot);
-    cpu_slots.insert(start + duration);
-    return start + duration;
-  };
+    cpu_slots.insert(begin + duration);
+    return begin + duration;
+  }
 
   // Stage bookkeeping for the humaneval trial (Fig 13).
-  auto note_stage = [&](const Trial& trial, const std::string& stage, double start,
-                        double dur) {
+  void note_stage(const Trial& trial, const std::string& stage, double at,
+                  double dur) {
     for (const auto& d : trial.datasets)
       if (d.name == "humaneval")
-        report.humaneval_timeline.push_back({stage, start, dur});
-  };
+        report.humaneval_timeline.push_back({stage, at, dur});
+  }
 
-  // Trial execution as a chain of engine events per GPU.
-  std::function<void()> dispatch;  // forward declaration for recursion
+  void maybe_finish() {
+    if (finished || active_trials > 0 || pending_precursors > 0 ||
+        !queue.empty())
+      return;
+    finished = true;
+    report.makespan = std::max(last_completion, engine.now()) - start;
+    std::sort(
+        report.humaneval_timeline.begin(), report.humaneval_timeline.end(),
+        [](const StageSpan& a, const StageSpan& b) { return a.start < b.start; });
+    if (on_done) on_done(report);
+  }
 
-  auto run_trial = [&](std::size_t trial_idx, int gpu) {
+  void dispatch() {
+    for (int g = 0; g < total_gpus() && !queue.empty(); ++g) {
+      if (gpu_busy[static_cast<std::size_t>(g)]) continue;
+      const int node = g / config.gpus_per_node;
+      if (!node_model_ready[static_cast<std::size_t>(node)]) continue;
+      const std::size_t trial_idx = queue.front();
+      queue.pop_front();
+      gpu_busy[static_cast<std::size_t>(g)] = true;
+      ++active_trials;
+      run_trial(trial_idx, g);
+    }
+  }
+
+  void after_load(std::size_t trial_idx, int gpu, double t0, double load_done) {
+    auto self = shared_from_this();
+    const Trial& tr = trials[trial_idx];
+    note_stage(tr, "load", t0 + config.trial_startup_seconds,
+               load_done - t0 - config.trial_startup_seconds);
+    double t = load_done;
+    double infer_total = 0;
+    for (const auto& d : tr.datasets) {
+      const double preproc =
+          config.cache_tokenized
+              ? std::min(d.preprocess_seconds, config.cached_preprocess_seconds)
+              : d.preprocess_seconds;
+      note_stage(tr, "preprocess", t, preproc);
+      t += preproc;
+      note_stage(tr, "inference", t, d.inference_seconds);
+      t += d.inference_seconds;
+      infer_total += d.inference_seconds;
+      if (config.decouple_metric) {
+        // Output dumped to files; a CPU job scores it off the GPU.
+        const double metric_done = run_metric_on_cpu(t, d.metric_cpu_seconds);
+        last_completion = std::max(last_completion, metric_done);
+      } else {
+        note_stage(tr, "metric", t, d.metric_cpu_seconds);
+        t += d.metric_cpu_seconds;
+      }
+    }
+    report.gpu_busy_seconds += infer_total;
+    report.gpu_held_seconds += t - t0;
+    last_completion = std::max(last_completion, t);
+    engine.schedule_at(t, [self, trial_idx, gpu, t0, t] {
+      if (obs::enabled()) {
+        obs::tracer().async_end("evalsched", "trial", trial_idx);
+        static obs::Histogram& held = obs::metrics().histogram(
+            "acme_evalsched_trial_gpu_seconds",
+            "Simulated GPU hold time per evaluation trial",
+            obs::Histogram::exponential_buckets(60.0, 2.0, 10));
+        held.observe(t - t0);
+      }
+      self->gpu_busy[static_cast<std::size_t>(gpu)] = false;
+      --self->active_trials;
+      self->dispatch();
+      self->maybe_finish();
+    });
+  }
+
+  void run_trial(std::size_t trial_idx, int gpu) {
+    auto self = shared_from_this();
     const Trial& trial = trials[trial_idx];
-    const int node = gpu / config_.gpus_per_node;
+    const int node = gpu / config.gpus_per_node;
     const double t0 = engine.now();
     if (obs::enabled()) {
       // Async span keyed by trial index: lifecycle from dispatch to GPU free.
@@ -167,97 +248,76 @@ EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
           "acme_evalsched_trials_total", "Evaluation trials dispatched to GPUs");
       started.inc();
     }
-    note_stage(trial, "startup", t0, config_.trial_startup_seconds);
+    note_stage(trial, "startup", t0, config.trial_startup_seconds);
 
-    auto after_load = [&, trial_idx, gpu, t0](double load_done) {
-      const Trial& tr = trials[trial_idx];
-      note_stage(tr, "load", t0 + config_.trial_startup_seconds,
-                 load_done - t0 - config_.trial_startup_seconds);
-      double t = load_done;
-      double infer_total = 0;
-      double metric_on_gpu = 0;
-      for (const auto& d : tr.datasets) {
-        const double preproc =
-            config_.cache_tokenized
-                ? std::min(d.preprocess_seconds, config_.cached_preprocess_seconds)
-                : d.preprocess_seconds;
-        note_stage(tr, "preprocess", t, preproc);
-        t += preproc;
-        note_stage(tr, "inference", t, d.inference_seconds);
-        t += d.inference_seconds;
-        infer_total += d.inference_seconds;
-        if (config_.decouple_metric) {
-          // Output dumped to files; a CPU job scores it off the GPU.
-          const double metric_done = run_metric_on_cpu(t, d.metric_cpu_seconds);
-          last_completion = std::max(last_completion, metric_done);
-        } else {
-          note_stage(tr, "metric", t, d.metric_cpu_seconds);
-          t += d.metric_cpu_seconds;
-          metric_on_gpu += d.metric_cpu_seconds;
-        }
-      }
-      report.gpu_busy_seconds += infer_total;
-      report.gpu_held_seconds += t - t0;
-      last_completion = std::max(last_completion, t);
-      engine.schedule_at(t, [&, trial_idx, gpu, t0, t] {
-        if (obs::enabled()) {
-          obs::tracer().async_end("evalsched", "trial", trial_idx);
-          static obs::Histogram& held = obs::metrics().histogram(
-              "acme_evalsched_trial_gpu_seconds",
-              "Simulated GPU hold time per evaluation trial",
-              obs::Histogram::exponential_buckets(60.0, 2.0, 10));
-          held.observe(t - t0);
-        }
-        gpu_busy[static_cast<std::size_t>(gpu)] = false;
-        dispatch();
-      });
-    };
-
-    const double start_after_startup = t0 + config_.trial_startup_seconds;
-    if (config_.decouple_loading) {
+    const double start_after_startup = t0 + config.trial_startup_seconds;
+    if (config.decouple_loading) {
       // Model already staged in node shared memory; read over PCIe.
-      const double load = config_.model_bytes / config_.pcie_bytes_per_sec;
+      const double load = config.model_bytes / config.pcie_bytes_per_sec;
       engine.schedule_at(start_after_startup + load,
-                         [after_load, start_after_startup, load] {
-                           after_load(start_after_startup + load);
+                         [self, trial_idx, gpu, t0, start_after_startup, load] {
+                           self->after_load(trial_idx, gpu, t0,
+                                            start_after_startup + load);
                          });
     } else {
       // Contended pull from remote storage.
-      engine.schedule_at(start_after_startup, [&, node, after_load] {
-        net.start_flow(node, config_.model_bytes,
-                       [&, after_load] { after_load(engine.now()); });
+      engine.schedule_at(start_after_startup, [self, trial_idx, gpu, t0, node] {
+        self->net.start_flow(node, self->config.model_bytes,
+                             [self, trial_idx, gpu, t0] {
+                               self->after_load(trial_idx, gpu, t0,
+                                                self->engine.now());
+                             });
       });
     }
-  };
-
-  dispatch = [&] {
-    for (int g = 0; g < total_gpus && !queue.empty(); ++g) {
-      if (gpu_busy[static_cast<std::size_t>(g)]) continue;
-      const int node = g / config_.gpus_per_node;
-      if (!node_model_ready[static_cast<std::size_t>(node)]) continue;
-      const std::size_t trial_idx = queue.front();
-      queue.pop_front();
-      gpu_busy[static_cast<std::size_t>(g)] = true;
-      run_trial(trial_idx, g);
-    }
-  };
-
-  if (config_.decouple_loading) {
-    // Precursor jobs: one model pull per node into /dev/shm.
-    for (int n = 0; n < config_.nodes; ++n) {
-      net.start_flow(n, config_.model_bytes, [&, n] {
-        node_model_ready[static_cast<std::size_t>(n)] = true;
-        dispatch();
-      });
-    }
-  } else {
-    engine.schedule_at(0.0, [&] { dispatch(); });
   }
 
+  void begin() {
+    auto self = shared_from_this();
+    start = engine.now();
+    report.trials = static_cast<int>(trials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) queue.push_back(i);
+    gpu_busy.assign(static_cast<std::size_t>(total_gpus()), false);
+    node_model_ready.assign(static_cast<std::size_t>(config.nodes),
+                            !config.decouple_loading);
+    for (int i = 0; i < config.metric_cpu_slots; ++i) cpu_slots.insert(start);
+
+    if (config.decouple_loading) {
+      // Precursor jobs: one model pull per node into /dev/shm.
+      pending_precursors = config.nodes;
+      for (int n = 0; n < config.nodes; ++n) {
+        net.start_flow(n, config.model_bytes, [self, n] {
+          self->node_model_ready[static_cast<std::size_t>(n)] = true;
+          --self->pending_precursors;
+          self->dispatch();
+          self->maybe_finish();
+        });
+      }
+    } else {
+      engine.schedule_after(0.0, [self] {
+        self->dispatch();
+        self->maybe_finish();  // covers an empty suite
+      });
+    }
+  }
+};
+
+void TrialCoordinator::launch(sim::Engine& engine, storage::StorageNetwork& net,
+                              const std::vector<Dataset>& suite,
+                              std::function<void(const EvalReport&)> on_done) {
+  ACME_OBS_SPAN_ARG("evalsched", "launch", "datasets",
+                    std::to_string(suite.size()));
+  auto sweep = std::make_shared<Sweep>(config_, plan(suite), engine, net,
+                                       std::move(on_done));
+  sweep->begin();
+}
+
+EvalReport TrialCoordinator::run(const std::vector<Dataset>& suite) {
+  ACME_OBS_SPAN_ARG("evalsched", "run", "datasets", std::to_string(suite.size()));
+  sim::Engine engine;
+  storage::StorageNetwork net(engine, config_.storage);
+  EvalReport report;
+  launch(engine, net, suite, [&report](const EvalReport& r) { report = r; });
   engine.run();
-  report.makespan = std::max(last_completion, engine.now());
-  std::sort(report.humaneval_timeline.begin(), report.humaneval_timeline.end(),
-            [](const StageSpan& a, const StageSpan& b) { return a.start < b.start; });
   return report;
 }
 

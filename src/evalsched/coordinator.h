@@ -11,8 +11,13 @@
 // scored by CPU jobs, releasing the GPU immediately; (3) prior-based elastic
 // scheduling — datasets are bundled into trials using known runtimes (LPT
 // order, long-metric sets first) to balance GPUs and amortize startup.
+//
+// The sweep runs on an injected sim::Engine + StorageNetwork (launch()), so
+// evaluation events can interleave with the rest of an integrated world run;
+// run() keeps the legacy single-silo behaviour on a private engine.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,7 +63,8 @@ struct EvalReport {
     return gpu_held_seconds > 0 ? 1.0 - gpu_busy_seconds / gpu_held_seconds : 0;
   }
   int trials = 0;
-  // Stage timeline of the humaneval dataset's trial (Fig 13).
+  // Stage timeline of the humaneval dataset's trial (Fig 13). Times are
+  // engine-absolute; on a fresh engine they start at zero.
   std::vector<StageSpan> humaneval_timeline;
 };
 
@@ -67,8 +73,18 @@ class TrialCoordinator {
   explicit TrialCoordinator(EvalConfig config);
 
   // Runs the evaluation sweep over the standard 63-dataset suite (or a
-  // custom list) and reports the makespan.
+  // custom list) on a private engine and reports the makespan.
   EvalReport run(const std::vector<Dataset>& suite = dataset_suite());
+
+  // Spine-injected sweep: schedules every trial on the caller's engine
+  // (starting at engine.now()) and its storage network, then returns without
+  // pumping the engine. `on_done` fires as an engine event when the last
+  // trial (and its decoupled metric jobs) drained; the report's makespan is
+  // relative to the launch time. Other subsystems' events interleave freely
+  // — model-loading flows contend with whatever else uses `net`.
+  void launch(sim::Engine& engine, storage::StorageNetwork& net,
+              const std::vector<Dataset>& suite,
+              std::function<void(const EvalReport&)> on_done);
 
   static EvalConfig baseline_config(int nodes);
   static EvalConfig coordinator_config(int nodes);
@@ -79,6 +95,7 @@ class TrialCoordinator {
     double gpu_estimate = 0;     // prior runtime used for packing
     double metric_estimate = 0;
   };
+  struct Sweep;  // heap-held state shared by the sweep's engine events
   std::vector<Trial> plan(const std::vector<Dataset>& suite) const;
 
   EvalConfig config_;

@@ -23,6 +23,13 @@ obs::Counter& preemptions_counter() {
   return c;
 }
 
+obs::Counter& kills_counter() {
+  static obs::Counter& c = obs::metrics().counter(
+      "acme_sched_failure_kills_total",
+      "Running jobs killed mid-replay by injected failures");
+  return c;
+}
+
 obs::Histogram& queue_depth_histogram() {
   static obs::Histogram& h = obs::metrics().histogram(
       "acme_sched_queue_depth", "Total queued jobs sampled at each dispatch pass",
@@ -55,8 +62,21 @@ cluster::ClusterSpec SchedulerReplay::partition_spec(const cluster::ClusterSpec&
 
 SchedulerReplay::SchedulerReplay(const cluster::ClusterSpec& spec,
                                  SchedulerConfig config)
+    : SchedulerReplay(std::make_unique<sim::Engine>(), spec, config) {}
+
+SchedulerReplay::SchedulerReplay(std::unique_ptr<sim::Engine> owned,
+                                 const cluster::ClusterSpec& spec,
+                                 SchedulerConfig config)
+    : SchedulerReplay(*owned, spec, config) {
+  owned_engine_ = std::move(owned);
+}
+
+SchedulerReplay::SchedulerReplay(sim::Engine& engine,
+                                 const cluster::ClusterSpec& spec,
+                                 SchedulerConfig config)
     : spec_(spec),
       config_(config),
+      engine_(&engine),
       reserved_(partition_spec(
           spec, static_cast<int>(
                     std::lround(config.pretrain_reservation * spec.node_count)))),
@@ -84,7 +104,14 @@ SchedulerReplay::QueueClass SchedulerReplay::classify(trace::WorkloadType type) 
 
 ReplayResult SchedulerReplay::replay(const trace::Trace& input,
                                      double sample_interval) {
-  ACME_OBS_SPAN_ARG("sched", "replay", "jobs", std::to_string(input.size()));
+  begin_replay(input, sample_interval);
+  engine_->run();
+  return finish_replay();
+}
+
+void SchedulerReplay::begin_replay(const trace::Trace& input,
+                                   double sample_interval) {
+  ACME_OBS_SPAN_ARG("sched", "begin_replay", "jobs", std::to_string(input.size()));
   jobs_ = input;
   placements_.assign(jobs_.size(), {});
   completion_.assign(jobs_.size(), {});
@@ -95,50 +122,66 @@ ReplayResult SchedulerReplay::replay(const trace::Trace& input,
   waiting_since_.assign(jobs_.size(), 0.0);
   running_best_effort_.clear();
   running_pretrain_.clear();
-  ReplayResult result;
-  result_ = &result;
+  result_storage_ = ReplayResult{};
+  result_ = &result_storage_;
+  replay_start_ = engine_->now();
+  pending_submissions_ = 0;
 
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const auto& job = jobs_[i];
     if (!job.is_gpu_job()) continue;  // CPU jobs bypass the GPU scheduler
     ACME_CHECK_MSG(job.gpus <= reserved_.total_gpus() + shared_.total_gpus(),
                    "job demands more GPUs than the cluster has");
-    engine_.schedule_at(job.submit_time, [this, i] { on_submit(i); });
+    ++pending_submissions_;
+    engine_->schedule_at(replay_start_ + job.submit_time,
+                         [this, i] { on_submit(i); });
   }
 
   if (sample_interval > 0) {
-    engine_.schedule_at(0.0, [this, sample_interval, &result] {
-      sample_occupancy(sample_interval, &result);
+    engine_->schedule_at(replay_start_, [this, sample_interval] {
+      sample_occupancy(sample_interval);
     });
   }
+}
 
-  engine_.run();
+ReplayResult SchedulerReplay::finish_replay() {
+  ACME_CHECK_MSG(result_ != nullptr, "finish_replay without begin_replay");
+  ReplayResult result = std::move(result_storage_);
+  result_storage_ = ReplayResult{};
   result_ = nullptr;
-  result.makespan = engine_.now();
+  result.makespan = engine_->now() - replay_start_;
   result.unstarted = queues_[0].size() + queues_[1].size() + queues_[2].size();
   result.jobs = std::move(jobs_);
   jobs_.clear();
+  for (auto& queue : queues_) queue.clear();
   return result;
 }
 
-void SchedulerReplay::sample_occupancy(double interval, ReplayResult* result) {
+bool SchedulerReplay::drained() const {
+  return pending_submissions_ == 0 && running_jobs_ == 0 &&
+         queues_[0].empty() && queues_[1].empty() && queues_[2].empty();
+}
+
+void SchedulerReplay::sample_occupancy(double interval) {
   ReplayResult::OccupancySample s;
-  s.time = engine_.now();
+  s.time = engine_->now() - replay_start_;
   s.total_gpus = reserved_.total_gpus() + shared_.total_gpus();
   s.busy_gpus = s.total_gpus - reserved_.free_gpus_including_cordoned() -
                 shared_.free_gpus_including_cordoned();
   s.running_jobs = running_jobs_;
   s.queued_jobs =
       static_cast<int>(queues_[0].size() + queues_[1].size() + queues_[2].size());
-  result->occupancy.push_back(s);
-  // Re-arm while any job activity remains.
-  if (engine_.pending() > 0)
-    engine_.schedule_after(
-        interval, [this, interval, result] { sample_occupancy(interval, result); });
+  result_->occupancy.push_back(s);
+  // Re-arm while any activity remains on the spine.
+  if (engine_->pending() > 0)
+    engine_->schedule_after(interval,
+                            [this, interval] { sample_occupancy(interval); });
 }
 
 void SchedulerReplay::on_submit(std::size_t index) {
-  waiting_since_[index] = engine_.now();
+  ACME_CHECK(pending_submissions_ > 0);
+  --pending_submissions_;
+  waiting_since_[index] = engine_->now();
   queues_[static_cast<int>(classify(jobs_[index].type))].push_back(index);
   try_dispatch();
 }
@@ -175,10 +218,10 @@ bool SchedulerReplay::try_start(std::size_t index) {
   placements_[index] = std::move(placement);
   if (cls == QueueClass::kEvaluation) eval_gpus_in_use_ += job.gpus;
   if (!delay_recorded_[index]) {  // keep the FIRST start for delay accounting
-    job.queue_delay = engine_.now() - job.submit_time;
+    job.queue_delay = engine_->now() - replay_start_ - job.submit_time;
     delay_recorded_[index] = true;
   }
-  started_at_[index] = engine_.now();
+  started_at_[index] = engine_->now();
   if (obs::enabled()) placements_counter().inc();
   ++running_jobs_;
   (cls == QueueClass::kPretrain ? running_pretrain_ : running_best_effort_)
@@ -187,14 +230,15 @@ bool SchedulerReplay::try_start(std::size_t index) {
       std::max(0.0, job.duration - progress_done_[index]) + extra_overhead_[index];
   extra_overhead_[index] = 0.0;  // the tax is paid once per restart
   completion_[index] =
-      engine_.schedule_after(remaining, [this, index] { on_complete(index); });
+      engine_->schedule_after(remaining, [this, index] { on_complete(index); });
   return true;
 }
 
-void SchedulerReplay::evict(std::size_t index, double rollback_cap) {
+void SchedulerReplay::evict(std::size_t index, double rollback_cap,
+                            double overhead_seconds, bool failure_kill) {
   auto& job = jobs_[index];
   const QueueClass cls = classify(job.type);
-  engine_.cancel(completion_[index]);
+  engine_->cancel(completion_[index]);
   completion_[index] = {};
   (placements_[index].on_reserved ? reserved_ : shared_)
       .release(placements_[index].alloc);
@@ -207,17 +251,33 @@ void SchedulerReplay::evict(std::size_t index, double rollback_cap) {
     ACME_CHECK(eval_gpus_in_use_ >= 0);
   }
   --running_jobs_;
-  const double elapsed = engine_.now() - started_at_[index];
+  const double elapsed = engine_->now() - started_at_[index];
   const double lost = std::min(elapsed, rollback_cap);
   progress_done_[index] += elapsed - lost;
   if (result_ != nullptr) {
-    ++result_->preemptions;
-    result_->wasted_gpu_seconds += static_cast<double>(job.gpus) * lost;
+    if (failure_kill) {
+      ++result_->failure_kills;
+      result_->failure_lost_gpu_seconds += static_cast<double>(job.gpus) * lost;
+      result_->failure_restart_seconds += overhead_seconds;
+    } else {
+      ++result_->preemptions;
+      result_->wasted_gpu_seconds += static_cast<double>(job.gpus) * lost;
+    }
   }
-  extra_overhead_[index] += config_.preemption_overhead_seconds;
-  waiting_since_[index] = engine_.now();
+  extra_overhead_[index] += overhead_seconds;
+  waiting_since_[index] = engine_->now();
   queues_[static_cast<int>(cls)].push_back(index);
-  if (obs::enabled()) preemptions_counter().inc();
+  if (obs::enabled()) (failure_kill ? kills_counter() : preemptions_counter()).inc();
+}
+
+void SchedulerReplay::kill_job(std::size_t index, double rollback_cap_seconds,
+                               double restart_overhead_seconds) {
+  ACME_CHECK_MSG(!placements_[index].alloc.empty(), "kill_job on a job not running");
+  evict(index, rollback_cap_seconds, restart_overhead_seconds,
+        /*failure_kill=*/true);
+  // The freed nodes go back into the pool immediately; queued work (including
+  // the victim, once its recovery stall is priced in) competes for them.
+  try_dispatch();
 }
 
 bool SchedulerReplay::preempt_for(int gpus) {
@@ -226,8 +286,8 @@ bool SchedulerReplay::preempt_for(int gpus) {
   while (!shared_.can_allocate(gpus) && !running_best_effort_.empty()) {
     // Youngest victim first: least progress discarded. Best-effort jobs have
     // no checkpoints — everything since their start is lost.
-    evict(running_best_effort_.back(),
-          std::numeric_limits<double>::infinity());
+    evict(running_best_effort_.back(), std::numeric_limits<double>::infinity(),
+          config_.preemption_overhead_seconds, /*failure_kill=*/false);
   }
   return shared_.can_allocate(gpus);
 }
@@ -237,13 +297,14 @@ void SchedulerReplay::preempt_pretraining_if_starved() {
   for (auto* queue : {&queues_[1], &queues_[2]}) {
     if (queue->empty()) continue;
     const std::size_t head = queue->front();
-    if (engine_.now() - waiting_since_[head] < config_.fairness_wait_seconds)
+    if (engine_->now() - waiting_since_[head] < config_.fairness_wait_seconds)
       continue;
     // Evict the youngest pretraining victims until the starved head fits,
     // then start it immediately — before the evicted (higher-priority)
     // pretraining job can re-claim the freed nodes.
     while (!running_pretrain_.empty() && !shared_.can_allocate(jobs_[head].gpus)) {
-      evict(running_pretrain_.back(), config_.pretrain_rollback_cap_seconds);
+      evict(running_pretrain_.back(), config_.pretrain_rollback_cap_seconds,
+            config_.preemption_overhead_seconds, /*failure_kill=*/false);
     }
     if (try_start(head)) queue->pop_front();
   }

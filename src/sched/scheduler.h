@@ -13,10 +13,17 @@
 //
 // Replaying a synthesized trace through this scheduler fills in each job's
 // queue_delay and produces a cluster occupancy timeline for Fig 7.
+//
+// The replay runs on an injected sim::Engine so it can share the event spine
+// with failure injection, recovery and evaluation (acme::world). The legacy
+// constructor keeps a private engine for single-silo callers. Integrated
+// drivers use begin_replay()/finish_replay() and pump the engine themselves;
+// replay() remains the one-call path.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/state.h"
@@ -79,20 +86,70 @@ struct ReplayResult {
   // Preemptive-baseline accounting.
   int preemptions = 0;
   double wasted_gpu_seconds = 0;  // progress discarded by evictions
+  // Failure-injection accounting (kill_job calls from acme::world).
+  int failure_kills = 0;
+  double failure_lost_gpu_seconds = 0;     // progress rolled back by kills
+  double failure_restart_seconds = 0;      // recovery stalls charged to victims
 };
 
 class SchedulerReplay {
  public:
+  // Legacy single-silo constructor: owns a private engine.
   SchedulerReplay(const cluster::ClusterSpec& spec, SchedulerConfig config = {});
+  // Spine-injected constructor: replays on the caller's engine so scheduler
+  // events interleave with every other subsystem's.
+  SchedulerReplay(sim::Engine& engine, const cluster::ClusterSpec& spec,
+                  SchedulerConfig config = {});
 
-  // Replays the trace; GPU jobs only (CPU jobs pass through with zero delay).
+  // Replays the trace start-to-drain on the scheduler's engine; GPU jobs only
+  // (CPU jobs pass through with zero delay). Equivalent to begin_replay() +
+  // engine().run() + finish_replay().
   ReplayResult replay(const trace::Trace& input, double sample_interval = 0);
 
+  // Integrated-spine protocol: begin_replay() schedules every submission and
+  // the occupancy sampler (relative to engine().now()) but does not pump the
+  // engine; the caller runs the engine — interleaving its own events — and
+  // collects the result with finish_replay() once the engine drained.
+  void begin_replay(const trace::Trace& input, double sample_interval = 0);
+  ReplayResult finish_replay();
+
+  sim::Engine& engine() { return *engine_; }
+
+  // --- Mid-replay introspection and control (valid between begin_replay and
+  // finish_replay; used by acme::world for live failure injection). ---
+
+  // All submissions arrived, every queue is empty and nothing is running.
+  bool drained() const;
+  // Live view of the accumulating result (counters only; makespan and the
+  // queue cleanup happen in finish_replay).
+  const ReplayResult& partial_result() const { return *result_; }
+  int running_jobs() const { return running_jobs_; }
+  // Indices (into the active trace) of running pretraining jobs, oldest
+  // first.
+  const std::vector<std::size_t>& running_pretrain_jobs() const {
+    return running_pretrain_;
+  }
+  const trace::JobRecord& active_job(std::size_t index) const {
+    return jobs_[index];
+  }
+  // Kills a running job mid-replay (a failure took its nodes down): releases
+  // its GPUs, rolls back up to `rollback_cap_seconds` of progress (its last
+  // checkpoint bounds the loss), charges `restart_overhead_seconds` of
+  // recovery stall on its next start, and re-enqueues it at the back of its
+  // class queue. Accounted separately from scheduler-policy preemptions.
+  void kill_job(std::size_t index, double rollback_cap_seconds,
+                double restart_overhead_seconds);
+
  private:
+  // Ownership-transfer step of the legacy constructor: keeps the private
+  // engine alive for the object's lifetime, exception-safely.
+  SchedulerReplay(std::unique_ptr<sim::Engine> owned,
+                  const cluster::ClusterSpec& spec, SchedulerConfig config);
+
   enum class QueueClass { kPretrain = 0, kNormal = 1, kEvaluation = 2 };
   static QueueClass classify(trace::WorkloadType type);
 
-  void sample_occupancy(double interval, ReplayResult* result);
+  void sample_occupancy(double interval);
   void on_submit(std::size_t index);
   void try_dispatch();
   bool try_start(std::size_t index);
@@ -101,15 +158,19 @@ class SchedulerReplay {
   // the shared partition; returns false if even a full eviction cannot help.
   bool preempt_for(int gpus);
   // Evicts one job (releasing its resources, accounting lost work, and
-  // re-queueing it with the restart tax). `rollback_cap` bounds the loss for
-  // checkpointed (pretraining) victims; infinity means start from scratch.
-  void evict(std::size_t index, double rollback_cap);
+  // re-queueing it with the restart tax `overhead_seconds`). `rollback_cap`
+  // bounds the loss for checkpointed (pretraining) victims; infinity means
+  // start from scratch. `failure_kill` routes the accounting to the
+  // failure-injection counters instead of the preemption ones.
+  void evict(std::size_t index, double rollback_cap, double overhead_seconds,
+             bool failure_kill);
   // Fairness pass: starved best-effort heads may evict pretraining victims.
   void preempt_pretraining_if_starved();
 
   cluster::ClusterSpec spec_;
   SchedulerConfig config_;
-  sim::Engine engine_;
+  std::unique_ptr<sim::Engine> owned_engine_;  // legacy constructor only
+  sim::Engine* engine_ = nullptr;
   // Reserved partition (pretraining only) and shared partition (everyone).
   cluster::ClusterState reserved_;
   cluster::ClusterState shared_;
@@ -128,7 +189,10 @@ class SchedulerReplay {
   std::vector<double> waiting_since_;    // first enqueue time (fairness clock)
   std::vector<std::size_t> running_best_effort_;  // newest last
   std::vector<std::size_t> running_pretrain_;     // newest last
+  ReplayResult result_storage_;
   ReplayResult* result_ = nullptr;
+  double replay_start_ = 0;            // engine time at begin_replay
+  std::size_t pending_submissions_ = 0;
   std::deque<std::size_t> queues_[3];
   int eval_gpus_in_use_ = 0;
   int eval_cap_ = 0;

@@ -31,10 +31,20 @@ void observe_dispatch(std::uint64_t fired, std::size_t pending) {
 EventHandle Engine::schedule_at(Time when, std::function<void()> fn) {
   ACME_CHECK_MSG(when >= now_, "cannot schedule events in the past");
   ACME_CHECK(fn != nullptr);
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(fn));
-  return EventHandle(seq);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_.back().generation = 1;
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push(Entry{when, next_seq_++, slot, s.generation});
+  ++live_;
+  return EventHandle(slot, s.generation);
 }
 
 EventHandle Engine::schedule_after(Time delay, std::function<void()> fn) {
@@ -42,28 +52,33 @@ EventHandle Engine::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Engine::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.generation;  // invalidates outstanding handles and stale heap entries
+  free_slots_.push_back(slot);
+  --live_;
+}
+
 bool Engine::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  auto it = callbacks_.find(handle.seq_);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(handle.seq_);
+  if (!handle.valid() || handle.slot_ >= slots_.size()) return false;
+  if (slots_[handle.slot_].generation != handle.generation_) return false;
+  retire(handle.slot_);
   return true;
 }
 
 bool Engine::step(Time horizon) {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
-    if (cancelled_.erase(top.seq) > 0) {
-      heap_.pop();
+    if (slots_[top.slot].generation != top.generation) {
+      heap_.pop();  // cancelled: the slot moved on before this entry surfaced
       continue;
     }
     if (top.time > horizon) return false;
     heap_.pop();
-    auto it = callbacks_.find(top.seq);
-    ACME_CHECK_MSG(it != callbacks_.end(), "event lost its callback");
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
+    auto fn = std::move(slots_[top.slot].fn);
+    ACME_CHECK_MSG(fn != nullptr, "event lost its callback");
+    retire(top.slot);
     now_ = top.time;
     ++fired_;
     if (obs::enabled()) observe_dispatch(fired_, pending());

@@ -4,13 +4,22 @@
 // order so that ties are broken deterministically by insertion order. Events
 // are cancellable (needed by the scheduler when a job is killed while its
 // completion event is pending) and may schedule further events while firing.
+//
+// The engine is the shared spine of every integrated run (acme::world): all
+// subsystems accept an Engine& instead of constructing their own, so failure,
+// recovery, scheduling and evaluation events interleave on one clock.
+//
+// Per-event bookkeeping is a generation-tagged slot vector: a handle is a
+// (slot, generation) pair, the slot array owns the callback, and the heap
+// entry carries the same pair. Cancellation bumps the slot generation, so a
+// stale heap entry or handle is detected with one array load — no hash
+// lookups on the hot path, and handles stay O(1)-cancellable and safe to use
+// after the event fired (double-cancel / cancel-after-fire return false).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace acme::sim {
@@ -20,16 +29,19 @@ using Time = double;  // seconds since simulation start
 class Engine;
 
 // Opaque handle for cancelling a scheduled event. Default-constructed handles
-// are inert.
+// are inert. A handle never dangles: once its event fired or was cancelled,
+// the slot generation moved on and every further cancel() is a cheap no-op.
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return seq_ != 0; }
+  bool valid() const { return generation_ != 0; }
 
  private:
   friend class Engine;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t generation)
+      : slot_(slot), generation_(generation) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;  // 0 = inert; live slots start at 1
 };
 
 class Engine {
@@ -58,28 +70,43 @@ class Engine {
   // beyond `horizon`.
   bool step(Time horizon);
 
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  // Exact count of live (scheduled, not yet fired or cancelled) events;
+  // maintained as a counter, so accuracy does not depend on how many
+  // cancelled entries still sit in the heap.
+  std::size_t pending() const { return live_; }
   std::uint64_t events_fired() const { return fired_; }
 
  private:
   struct Entry {
     Time time;
-    std::uint64_t seq;
+    std::uint64_t seq;       // global insertion order, breaks time ties
+    std::uint32_t slot;
+    std::uint32_t generation;
     // Ordered as a min-heap on (time, seq).
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
+  // One callback slot, reused across events. The generation increments every
+  // time the slot retires (fire or cancel), invalidating outstanding handles
+  // and heap entries that still reference the old occupancy.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 0;
+  };
+
+  // Retires a slot: drops the callback, bumps the generation and recycles the
+  // index. Callers own the fn move-out when they need to run it first.
+  void retire(std::uint32_t slot);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
+  std::size_t live_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  // Callbacks keyed by sequence number; kept out of the heap so cancellation
-  // is O(1) without heap surgery.
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace acme::sim

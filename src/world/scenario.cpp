@@ -1,0 +1,296 @@
+#include "world/scenario.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.h"
+#include "trace/synthesizer.h"
+
+namespace acme::world {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Shortest representation that round-trips a double (1e9 stays "1e+09", 0.125
+// stays "0.125"); keeps scenario files diffable and the round-trip exact.
+std::string number(double v) {
+  // Integral values print as plain integers (900, not 9e+02).
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::stod(buf) == v) break;
+  }
+  return buf;
+}
+
+// Minimal strict parser for the flat JSON objects to_json emits: string,
+// number and boolean values only, no nesting.
+struct FlatParser {
+  const std::string& text;
+  std::size_t i = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    error = message + " (at byte " + std::to_string(i) + ")";
+    return false;
+  }
+  void skip_ws() {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (i >= text.size() || text[i] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++i;
+    return true;
+  }
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return fail("expected string");
+    ++i;
+    out->clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') {
+        ++i;
+        if (i >= text.size()) return fail("dangling escape");
+      }
+      out->push_back(text[i++]);
+    }
+    if (i >= text.size()) return fail("unterminated string");
+    ++i;
+    return true;
+  }
+  // Raw token for a scalar value; *is_string reports which kind it was.
+  bool parse_scalar(std::string* raw, bool* is_string) {
+    skip_ws();
+    if (i < text.size() && text[i] == '"') {
+      *is_string = true;
+      return parse_string(raw);
+    }
+    *is_string = false;
+    raw->clear();
+    while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      raw->push_back(text[i++]);
+    if (raw->empty()) return fail("expected value");
+    return true;
+  }
+};
+
+bool parse_double(const std::string& raw, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(raw, &used);
+    return used == raw.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& raw, std::uint64_t* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stoull(raw, &used);
+    return used == raw.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ScenarioSpec> by_name;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* init = new Registry;
+    for (const ScenarioSpec& preset : {seren_scenario(), kalos_scenario()})
+      init->by_name[preset.name] = preset;
+    return init;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+double ScenarioSpec::trace_divisor() const {
+  ACME_CHECK_MSG(scale > 0, "scenario scale must be positive");
+  return scale >= 1.0 ? scale : 1.0 / scale;
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::ostringstream out;
+  out << "{\"name\":\"" << escape(name) << "\""
+      << ",\"cluster\":\"" << escape(cluster) << "\""
+      << ",\"scale\":" << number(scale)
+      << ",\"sample_interval_seconds\":" << number(sample_interval_seconds)
+      << ",\"seed\":" << seed
+      << ",\"inject_failures\":" << (inject_failures ? "true" : "false")
+      << ",\"failure_interval_scale\":" << number(failure_interval_scale)
+      << ",\"auto_recovery\":" << (auto_recovery ? "true" : "false")
+      << ",\"ckpt_interval_seconds\":" << number(ckpt_interval_seconds)
+      << ",\"async_ckpt\":" << (async_ckpt ? "true" : "false")
+      << ",\"fleet_samples\":" << fleet_samples << "}";
+  return out.str();
+}
+
+std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
+                                               std::string* error) {
+  const auto bail = [&](const std::string& message) -> std::optional<ScenarioSpec> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  FlatParser p{json, 0, {}};
+  if (!p.expect('{')) return bail(p.error);
+  ScenarioSpec spec;
+  p.skip_ws();
+  bool first = true;
+  while (true) {
+    p.skip_ws();
+    if (p.i < json.size() && json[p.i] == '}') {
+      ++p.i;
+      break;
+    }
+    if (!first && !p.expect(',')) return bail(p.error);
+    first = false;
+    std::string key, raw;
+    bool is_string = false;
+    if (!p.parse_string(&key)) return bail(p.error);
+    if (!p.expect(':')) return bail(p.error);
+    if (!p.parse_scalar(&raw, &is_string)) return bail(p.error);
+
+    const auto want_string = [&](std::string* field) {
+      if (!is_string) return false;
+      *field = raw;
+      return true;
+    };
+    const auto want_double = [&](double* field) {
+      return !is_string && parse_double(raw, field);
+    };
+    const auto want_bool = [&](bool* field) {
+      if (is_string || (raw != "true" && raw != "false")) return false;
+      *field = raw == "true";
+      return true;
+    };
+    const auto want_u64 = [&](std::uint64_t* field) {
+      return !is_string && parse_u64(raw, field);
+    };
+
+    bool ok;
+    if (key == "name") ok = want_string(&spec.name);
+    else if (key == "cluster") ok = want_string(&spec.cluster);
+    else if (key == "scale") ok = want_double(&spec.scale);
+    else if (key == "sample_interval_seconds")
+      ok = want_double(&spec.sample_interval_seconds);
+    else if (key == "seed") ok = want_u64(&spec.seed);
+    else if (key == "inject_failures") ok = want_bool(&spec.inject_failures);
+    else if (key == "failure_interval_scale")
+      ok = want_double(&spec.failure_interval_scale);
+    else if (key == "auto_recovery") ok = want_bool(&spec.auto_recovery);
+    else if (key == "ckpt_interval_seconds")
+      ok = want_double(&spec.ckpt_interval_seconds);
+    else if (key == "async_ckpt") ok = want_bool(&spec.async_ckpt);
+    else if (key == "fleet_samples") {
+      std::uint64_t n = 0;
+      ok = want_u64(&n);
+      spec.fleet_samples = static_cast<std::size_t>(n);
+    } else {
+      return bail("unknown scenario key \"" + key + "\"");
+    }
+    if (!ok) return bail("bad value for \"" + key + "\": " + raw);
+  }
+  p.skip_ws();
+  if (p.i != json.size()) return bail("trailing garbage after scenario object");
+  if (spec.cluster != "seren" && spec.cluster != "kalos")
+    return bail("cluster must be \"seren\" or \"kalos\", got \"" +
+                spec.cluster + "\"");
+  if (!(spec.scale > 0)) return bail("scale must be positive");
+  if (!(spec.failure_interval_scale > 0))
+    return bail("failure_interval_scale must be positive");
+  if (!(spec.ckpt_interval_seconds > 0))
+    return bail("ckpt_interval_seconds must be positive");
+  if (spec.sample_interval_seconds < 0)
+    return bail("sample_interval_seconds must be >= 0");
+  return spec;
+}
+
+ScenarioSpec seren_scenario() {
+  ScenarioSpec spec;
+  spec.name = "seren";
+  spec.cluster = "seren";
+  spec.scale = 8.0;  // the characterization benches' usual 1/8 trace
+  return spec;
+}
+
+ScenarioSpec kalos_scenario() {
+  ScenarioSpec spec;
+  spec.name = "kalos";
+  spec.cluster = "kalos";
+  spec.scale = 1.0;
+  return spec;
+}
+
+void register_scenario(const ScenarioSpec& spec) {
+  ACME_CHECK_MSG(!spec.name.empty(), "scenario needs a name");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.by_name[spec.name] = spec;
+}
+
+std::optional<ScenarioSpec> find_scenario(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it == r.by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> scenario_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.by_name.size());
+  for (const auto& [name, spec] : r.by_name) names.push_back(name);
+  return names;
+}
+
+ClusterInputs cluster_inputs(const ScenarioSpec& spec) {
+  ACME_CHECK_MSG(spec.cluster == "seren" || spec.cluster == "kalos",
+                 "unknown cluster in scenario");
+  if (spec.kalos())
+    return {trace::kalos_profile(), cluster::kalos_spec(),
+            sched::kalos_scheduler_config(), comm::kalos_fabric()};
+  return {trace::seren_profile(), cluster::seren_spec(),
+          sched::seren_scheduler_config(), comm::seren_fabric()};
+}
+
+trace::Trace synthesize_trace(const ScenarioSpec& spec) {
+  ClusterInputs inputs = cluster_inputs(spec);
+  const double divisor = spec.trace_divisor();
+  trace::ClusterWorkloadProfile profile =
+      divisor > 1.0 ? trace::scaled(std::move(inputs.profile), divisor)
+                    : std::move(inputs.profile);
+  profile.cpu_jobs = 0;  // CPU jobs never touch the GPU scheduler
+  trace::SynthesizerOptions options;
+  options.seed = spec.seed;
+  return trace::TraceSynthesizer(std::move(profile), options).generate();
+}
+
+}  // namespace acme::world

@@ -1,0 +1,88 @@
+// Declarative end-to-end scenario description for acme::world.
+//
+// A ScenarioSpec names everything an integrated run needs — which cluster,
+// how much of the six-month trace, whether failures fire live, how recovery
+// is priced — as plain data. Specs round-trip through a flat JSON object, so
+// scenario files can drive the bench harness, and a process-wide registry
+// lets benches/tests refer to scenarios by name. The seren/kalos presets are
+// the same assemblies core::seren_setup()/kalos_setup() hand out; keeping
+// them here (below core in the target graph) is what lets core, the bench
+// helpers and the world driver share one definition instead of three.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/spec.h"
+#include "comm/topology.h"
+#include "sched/scheduler.h"
+#include "trace/job.h"
+#include "trace/workload_profile.h"
+
+namespace acme::world {
+
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::string cluster = "seren";  // "seren" | "kalos"
+  // Trace scale: values >= 1 divide the six-month job volume (8 = 1/8 of the
+  // trace), values in (0, 1) are the fraction kept (0.125 is the same 1/8).
+  // 1.0 replays the full trace.
+  double scale = 1.0;
+  double sample_interval_seconds = 900.0;  // occupancy timeline resolution
+  std::uint64_t seed = 42;
+  // Live failure injection (paper §5, Table 3) against running pretraining
+  // jobs; failure_interval_scale stretches the sampled inter-failure times
+  // (2.0 = failures half as often).
+  bool inject_failures = true;
+  double failure_interval_scale = 1.0;
+  // Recovery pricing. With auto_recovery the §6.1 pipeline is charged:
+  // log-based diagnosis, a two-round localization for hardware faults, NCCL
+  // bring-up at the victim's world size, checkpoint reload. Without it the
+  // victim pays the manual on-call TTR sampled from Table 3.
+  bool auto_recovery = true;
+  double ckpt_interval_seconds = 30.0 * 60.0;  // bounds rollback lost-work
+  bool async_ckpt = true;  // async persist lag extends the rollback window
+  // Fleet telemetry observations sampled from the replay's occupancy.
+  std::size_t fleet_samples = 20000;
+
+  bool kalos() const { return cluster == "kalos"; }
+  // Normalized trace divisor: scale >= 1 verbatim, (0,1) inverted.
+  double trace_divisor() const;
+
+  std::string to_json() const;
+};
+
+// Parses a flat JSON object written by to_json (unknown keys are an error —
+// the same strictness as common::FlagSet). Returns nullopt and fills *error
+// on malformed input.
+std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
+                                               std::string* error = nullptr);
+
+// Presets: the two Acme clusters at their usual bench scales (Seren 1/8 of
+// the six-month trace, Kalos full).
+ScenarioSpec seren_scenario();
+ScenarioSpec kalos_scenario();
+
+// Named-scenario registry. The presets are always resolvable; registering a
+// spec under an existing name replaces it.
+void register_scenario(const ScenarioSpec& spec);
+std::optional<ScenarioSpec> find_scenario(const std::string& name);
+std::vector<std::string> scenario_names();
+
+// The cluster-model inputs a spec resolves to: full-scale workload profile,
+// hardware spec, scheduler policy, and the fabric used to price recovery.
+struct ClusterInputs {
+  trace::ClusterWorkloadProfile profile;
+  cluster::ClusterSpec spec;
+  sched::SchedulerConfig sched_config;
+  comm::FabricConfig fabric;
+};
+ClusterInputs cluster_inputs(const ScenarioSpec& spec);
+
+// The scaled GPU-only job stream the spec's world replays (CPU jobs never
+// touch the GPU scheduler).
+trace::Trace synthesize_trace(const ScenarioSpec& spec);
+
+}  // namespace acme::world

@@ -1,0 +1,194 @@
+#include "world/world.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "ckpt/timing.h"
+#include "comm/collective.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "failure/injector.h"
+#include "obs/obs.h"
+#include "parallel/model_math.h"
+#include "trace/analysis.h"
+
+namespace acme::world {
+
+namespace {
+
+// Sharded-state size of the victim's model, keyed off the synthesizer's
+// model tags; unknown tags fall back to the 7B sizing.
+double params_for_tag(const std::string& tag) {
+  if (tag == "llm-123b") return parallel::llm_123b().params();
+  if (tag == "llm-104b") return parallel::llm_104b().params();
+  return parallel::llm_7b().params();
+}
+
+void observe_failure(double stall_seconds, double lost_gpu_seconds) {
+  static obs::Counter& failures = obs::metrics().counter(
+      "acme_world_failures_total", "Failures injected into the world replay");
+  static obs::Histogram& stalls = obs::metrics().histogram(
+      "acme_world_recovery_stall_seconds",
+      "Per-failure recovery stall charged to the victim",
+      obs::Histogram::exponential_buckets(16.0, 2.0, 12));
+  static obs::Histogram& lost = obs::metrics().histogram(
+      "acme_world_lost_work_gpu_seconds",
+      "Per-failure GPU-seconds rolled back to the last checkpoint",
+      obs::Histogram::exponential_buckets(1024.0, 4.0, 12));
+  failures.inc();
+  stalls.observe(stall_seconds);
+  lost.observe(lost_gpu_seconds);
+}
+
+}  // namespace
+
+World::World(ScenarioSpec spec)
+    : spec_(std::move(spec)), inputs_(cluster_inputs(spec_)) {}
+
+WorldReport World::run() {
+  ACME_OBS_SPAN_ARG("world", "run", "scenario", spec_.name);
+  WorldReport report;
+
+  const trace::Trace jobs = synthesize_trace(spec_);
+  sched::SchedulerReplay sched(engine_, inputs_.spec, inputs_.sched_config);
+  sched.begin_replay(jobs, spec_.sample_interval_seconds);
+
+  // Failure machinery: reason/TTF/TTR sampling off the Table 3 fits, stalls
+  // priced by the collective model and the checkpoint timing model.
+  failure::FailureInjector injector(spec_.seed);
+  common::Rng failure_rng = common::Rng(spec_.seed).fork("world-failures");
+  comm::CollectiveModel fabric(inputs_.fabric);
+  ckpt::CheckpointTimingModel ckpt_timing;
+  const int gpus_per_node = std::max(1, inputs_.spec.node.gpus);
+  // Reason-mix hint for the sampler: the largest pretraining campaign in the
+  // trace (failure demand concentrates on the big jobs, §5.1).
+  int campaign_gpus = 256;
+  for (const auto& job : jobs)
+    if (job.type == trace::WorkloadType::kPretrain)
+      campaign_gpus = std::max(campaign_gpus, job.gpus);
+
+  // The failure chain: one self-re-arming engine event. Each firing kills a
+  // running pretraining job (if any), prices its recovery, and schedules the
+  // next failure after a freshly sampled TTF. The chain stops when the
+  // scheduler drained — by then the engine holds no other events, so the
+  // replay terminates. Locals below outlive every event because engine_.run()
+  // returns only after the last one fired.
+  std::function<void()> fire_failure;
+  const auto arm_next = [&]() {
+    if (sched.drained()) return;
+    const failure::FailureEvent next =
+        injector.sample_pretrain_failure(campaign_gpus, failure_rng);
+    engine_.schedule_after(next.ttf_seconds * spec_.failure_interval_scale,
+                           fire_failure);
+  };
+  fire_failure = [&]() {
+    const auto& running = sched.running_pretrain_jobs();
+    if (running.empty()) {
+      // The fault hit a node no pretraining job occupied; nothing to kill.
+      ++report.failures_no_victim;
+      arm_next();
+      return;
+    }
+    const failure::FailureEvent event =
+        injector.sample_pretrain_failure(campaign_gpus, failure_rng);
+    const std::size_t victim = running[static_cast<std::size_t>(
+        failure_rng.uniform_int(0, static_cast<std::int64_t>(running.size()) - 1))];
+    const trace::JobRecord& job = sched.active_job(victim);
+    const double params = params_for_tag(job.model_tag);
+    const comm::World victim_world{job.gpus, 0, 0, 1};
+
+    // Recovery stall (§6.1): diagnosis, localization for hardware faults,
+    // NCCL bring-up at the victim's world size, checkpoint reload — or the
+    // manual on-call TTR when the automation is off.
+    const double reload =
+        ckpt_timing.async_persist_seconds(params, std::max(job.gpus, 1));
+    double stall = reload;
+    if (spec_.auto_recovery) {
+      stall += 45.0;  // log collection + diagnosis-agent latency
+      if (event.spec != nullptr && event.spec->needs_node_detection) {
+        const int nodes = std::max(1, job.gpus / gpus_per_node);
+        stall += 2 * fabric.probe_round_seconds(nodes);
+        ++report.localizations;
+      }
+      stall += fabric.bringup_seconds(victim_world);
+    } else {
+      stall += event.ttr_seconds;
+      ++report.manual_recoveries;
+    }
+
+    // Rollback window: the checkpoint interval, extended by the async
+    // persist lag (the newest snapshot may not be durable yet).
+    double rollback_cap = spec_.ckpt_interval_seconds;
+    if (spec_.async_ckpt) rollback_cap += reload;
+
+    const double lost_before = sched.partial_result().failure_lost_gpu_seconds;
+    sched.kill_job(victim, rollback_cap, stall);
+    const double lost_now =
+        sched.partial_result().failure_lost_gpu_seconds - lost_before;
+
+    ++report.failures_injected;
+    report.recovery_stall_seconds += stall;
+    report.stall_gpu_seconds += stall * job.gpus;
+    if (event.spec != nullptr &&
+        event.spec->category == failure::FailureCategory::kInfrastructure) {
+      ++report.infra_failures;
+      report.infra_lost_gpu_seconds += lost_now + stall * job.gpus;
+    }
+    if (obs::enabled()) observe_failure(stall, lost_now);
+    arm_next();
+  };
+  if (spec_.inject_failures) arm_next();
+
+  engine_.run();
+  report.replay = sched.finish_replay();
+
+  // Aggregate accounting.
+  report.lost_work_gpu_seconds = report.replay.failure_lost_gpu_seconds;
+  report.makespan_days = report.replay.makespan / common::kDay;
+  double busy = 0, total = 0;
+  for (const auto& s : report.replay.occupancy) {
+    busy += s.busy_gpus;
+    total += s.total_gpus;
+  }
+  report.busy_fraction = total > 0 ? busy / total : 0;
+  report.pretrain_queue_delay =
+      trace::queue_delays_of(report.replay.jobs, trace::WorkloadType::kPretrain);
+  report.eval_queue_delay =
+      trace::queue_delays_of(report.replay.jobs, trace::WorkloadType::kEvaluation);
+
+  double useful_gpu_seconds = 0;
+  for (const auto& job : report.replay.jobs) useful_gpu_seconds += job.gpu_time();
+  const double charged = useful_gpu_seconds + report.lost_work_gpu_seconds +
+                         report.stall_gpu_seconds;
+  report.goodput = charged > 0 ? useful_gpu_seconds / charged : 1.0;
+
+  // Fleet telemetry sampled from what the shared engine actually ran.
+  if (spec_.fleet_samples > 0) {
+    telemetry::FleetSamplerConfig fleet_config;
+    fleet_config.spec = inputs_.spec;
+    fleet_config.busy_fraction = report.busy_fraction;
+    for (const auto& [type, share] : trace::type_shares(report.replay.jobs))
+      if (share.gpu_time_fraction > 0)
+        fleet_config.gputime_mix[type] = share.gpu_time_fraction;
+    telemetry::FleetSampler sampler(std::move(fleet_config));
+    common::Rng fleet_rng = common::Rng(spec_.seed).fork("world-fleet");
+    report.fleet = sampler.sample(spec_.fleet_samples, fleet_rng);
+  }
+  return report;
+}
+
+WorldReport run_world(const ScenarioSpec& spec) { return World(spec).run(); }
+
+mc::ReplicaRun<WorldReport> run_world_mc(const ScenarioSpec& spec,
+                                         const mc::ReplicationOptions& options) {
+  return mc::run_replicas<WorldReport>(
+      options, [&spec](common::Rng& rng, std::size_t) {
+        // Each replica re-seeds the whole scenario (trace synthesis, failure
+        // arrivals, fleet sampling) from its own forked stream.
+        ScenarioSpec replica_spec = spec;
+        replica_spec.seed = rng.next();
+        return World(std::move(replica_spec)).run();
+      });
+}
+
+}  // namespace acme::world

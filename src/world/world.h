@@ -1,0 +1,90 @@
+// The integrated world: one discrete-event spine for the whole datacenter.
+//
+// World composes what the single-subsystem entry points exercise in
+// isolation — cluster spec + synthesized six-month trace + quota scheduler +
+// live failure injection (paper Table 3) + recovery pricing (§6.1: diagnose,
+// two-round localize, NCCL bring-up, checkpoint reload) + fleet telemetry —
+// on ONE shared sim::Engine. Failures fire as engine events against whatever
+// pretraining job is actually running at that instant; the victim loses up
+// to a checkpoint interval of progress, pays the recovery stall, and
+// re-enters the scheduler queues, where its resubmission contends with (and
+// delays) queued evaluation batches. That failure -> recovery -> queue
+// interaction is the paper's §5/§6.1 story and is invisible to any
+// single-silo replay.
+//
+// Determinism contract: a World run is a pure function of its ScenarioSpec.
+// All randomness forks off Rng(spec.seed) with fixed labels ("world-failures",
+// "world-fleet"; trace synthesis uses spec.seed directly), and the engine
+// fires same-timestamp events in insertion order, with insertions ordered by
+// the fixed composition sequence (scheduler submissions + occupancy sampler
+// at begin_replay, then the failure chain). Repeated runs — and runs inside
+// run_world_mc at any thread count — produce byte-identical reports and obs
+// snapshots (see DESIGN.md §9).
+#pragma once
+
+#include "common/stats.h"
+#include "mc/replication.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "telemetry/fleet_sampler.h"
+#include "world/scenario.h"
+
+namespace acme::world {
+
+struct WorldReport {
+  sched::ReplayResult replay;
+  double busy_fraction = 0;  // time-averaged GPU occupancy
+  double makespan_days = 0;
+
+  // Failure/recovery accounting.
+  int failures_injected = 0;     // failure events that killed a running job
+  int failures_no_victim = 0;    // fired while no pretraining was running
+  int localizations = 0;         // two-round localizations (hardware faults)
+  int manual_recoveries = 0;     // on-call TTR path (auto_recovery off)
+  double recovery_stall_seconds = 0;  // total restart stall charged
+  double lost_work_gpu_seconds = 0;   // progress rolled back (ckpt-bounded)
+  double stall_gpu_seconds = 0;       // victim GPUs idled by recovery stalls
+  // Infrastructure slice of the injected failures (paper §5.2: 11% of
+  // failures, 82% of failure GPU time).
+  int infra_failures = 0;
+  double infra_lost_gpu_seconds = 0;
+
+  // Queue delays per class, the observable end of the failure -> recovery ->
+  // queue interaction (a killed pretraining job's resubmission delays queued
+  // evaluation trials).
+  common::SampleStats pretrain_queue_delay;
+  common::SampleStats eval_queue_delay;
+
+  // Goodput: useful GPU-seconds over useful + lost + recovery-stalled, the
+  // §6.1 framing ("wasted time caused by failures" vs delivered training).
+  double goodput = 1.0;
+
+  telemetry::FleetMetrics fleet;  // sampled from the replay occupancy
+};
+
+class World {
+ public:
+  explicit World(ScenarioSpec spec);
+
+  // Runs the scenario start-to-drain on the world's engine.
+  WorldReport run();
+
+  const ScenarioSpec& spec() const { return spec_; }
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  ScenarioSpec spec_;
+  ClusterInputs inputs_;
+  sim::Engine engine_;
+};
+
+// One-call convenience.
+WorldReport run_world(const ScenarioSpec& spec);
+
+// Monte Carlo replication: replica i re-seeds the scenario from its forked
+// Rng stream and runs a private World; bit-identical per replica regardless
+// of thread count.
+mc::ReplicaRun<WorldReport> run_world_mc(const ScenarioSpec& spec,
+                                         const mc::ReplicationOptions& options);
+
+}  // namespace acme::world

@@ -62,6 +62,47 @@ TEST(Determinism, SnapshotIsIndependentOfMcThreadCount) {
   EXPECT_EQ(serial.digest, pooled.digest);
 }
 
+// Same contract for the integrated world: a scenario run — trace synthesis,
+// shared-engine replay, live failure injection, recovery pricing, fleet
+// sampling — leaves byte-identical registry bytes across repeats and across
+// mc worker-pool widths.
+Snapshot world_snapshot(std::size_t threads) {
+  obs::reset();
+  obs::set_enabled(true);
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 2000;
+  mc::ReplicationOptions options;
+  options.replicas = 4;
+  options.threads = threads;
+  options.seed = 20241;
+  const auto run = world::run_world_mc(spec, options);
+  EXPECT_EQ(run.results.size(), 4u);
+  for (const auto& report : run.results) EXPECT_GT(report.failures_injected, 0);
+  Snapshot snap;
+  snap.prom = obs::metrics().prometheus_text();
+  snap.json = obs::metrics().json_snapshot();
+  snap.digest = common::fnv1a(snap.prom);
+  obs::set_enabled(false);
+  obs::reset();
+  return snap;
+}
+
+TEST(Determinism, WorldRunsAreByteIdenticalAcrossRepeatsAndThreads) {
+  const Snapshot a = world_snapshot(1);
+  const Snapshot b = world_snapshot(1);
+  const Snapshot pooled = world_snapshot(4);
+  EXPECT_EQ(a.prom, b.prom);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.prom, pooled.prom)
+      << "world registry bytes depend on worker-pool width";
+  EXPECT_EQ(a.json, pooled.json);
+  EXPECT_EQ(a.digest, pooled.digest);
+  // The failure chain actually exercised the injection counters.
+  EXPECT_NE(a.prom.find("acme_world_failures_total"), std::string::npos);
+  EXPECT_NE(a.prom.find("acme_sched_failure_kills_total"), std::string::npos);
+}
+
 TEST(Determinism, SnapshotReflectsSimulatedWork) {
   const Snapshot snap = replay_snapshot(2);
   // The instrumented subsystems must actually have fired during the replay.

@@ -237,5 +237,91 @@ TEST(Engine, CancelFromInsideAnEvent) {
   EXPECT_FALSE(victim_fired);
 }
 
+TEST(Engine, DoubleCancelSecondCallFails) {
+  Engine e;
+  bool fired = false;
+  auto h = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));  // slot already retired, generation moved on
+  EXPECT_FALSE(e.cancel(h));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, StaleHandleCannotCancelRecycledSlot) {
+  Engine e;
+  auto first = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(first));
+  // The freed slot is recycled for the next event with a bumped generation;
+  // the stale handle must not be able to touch the new occupant.
+  bool fired = false;
+  auto second = e.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_FALSE(e.cancel(first));
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(e.cancel(second));
+}
+
+TEST(Engine, HandleInvalidationAcrossManyRecycles) {
+  Engine e;
+  auto stale = e.schedule_at(1.0, [] {});
+  ASSERT_TRUE(e.cancel(stale));
+  // Drive the slot through many schedule/fire cycles: the stale handle stays
+  // dead no matter how often its slot is reused.
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_at(static_cast<double>(i + 1), [&] { ++fired; });
+    e.run();
+    EXPECT_FALSE(e.cancel(stale));
+  }
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Engine, PendingStaysExactUnderMassCancellation) {
+  Engine e;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i)
+    handles.push_back(e.schedule_at(static_cast<double>(i), [] {}));
+  EXPECT_EQ(e.pending(), 1000u);
+  // Cancel every other event; the cancelled heap entries linger internally
+  // but pending() must count live events only.
+  for (std::size_t i = 0; i < handles.size(); i += 2)
+    EXPECT_TRUE(e.cancel(handles[i]));
+  EXPECT_EQ(e.pending(), 500u);
+  std::size_t fired = e.run();
+  EXPECT_EQ(fired, 500u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ReentrantScheduleDuringStepIsCancellable) {
+  Engine e;
+  bool inner_fired = false;
+  EventHandle inner;
+  e.schedule_at(1.0, [&] {
+    inner = e.schedule_after(1.0, [&] { inner_fired = true; });
+  });
+  EXPECT_TRUE(e.step(10.0));  // fires the outer event, arming the inner one
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_TRUE(e.cancel(inner));
+  e.run();
+  EXPECT_FALSE(inner_fired);
+}
+
+TEST(Engine, SlotsAreRecycledNotLeaked) {
+  // Schedule/fire far more events than live at once: the slot vector stays
+  // small because retirements feed the free list.
+  Engine e;
+  std::function<void()> chain;
+  int remaining = 10000;
+  chain = [&] {
+    if (--remaining > 0) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace acme::sim

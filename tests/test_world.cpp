@@ -1,0 +1,233 @@
+// acme::world integration: scenario round-trips, the shared-engine
+// composition, and the failure -> recovery -> queue interaction that only an
+// integrated replay can show.
+#include <gtest/gtest.h>
+
+#include "core/acme.h"
+
+namespace acme {
+namespace {
+
+world::ScenarioSpec fast_seren(bool failures) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.name = failures ? "fast-seren" : "fast-seren-quiet";
+  spec.scale = 40.0;  // ~4.5 trace days: fast but plenty of failures
+  spec.inject_failures = failures;
+  spec.fleet_samples = 2000;
+  return spec;
+}
+
+const world::WorldReport& quiet_report() {
+  static const world::WorldReport report = world::run_world(fast_seren(false));
+  return report;
+}
+
+const world::WorldReport& failing_report() {
+  static const world::WorldReport report = world::run_world(fast_seren(true));
+  return report;
+}
+
+TEST(Scenario, JsonRoundTrip) {
+  world::ScenarioSpec spec = world::kalos_scenario();
+  spec.name = "rt";
+  spec.scale = 0.125;
+  spec.seed = 1234567;
+  spec.inject_failures = false;
+  spec.failure_interval_scale = 2.5;
+  spec.ckpt_interval_seconds = 1234.5;
+  spec.fleet_samples = 77;
+  std::string error;
+  auto parsed = world::scenario_from_json(spec.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, spec.name);
+  EXPECT_EQ(parsed->cluster, spec.cluster);
+  EXPECT_EQ(parsed->scale, spec.scale);
+  EXPECT_EQ(parsed->sample_interval_seconds, spec.sample_interval_seconds);
+  EXPECT_EQ(parsed->seed, spec.seed);
+  EXPECT_EQ(parsed->inject_failures, spec.inject_failures);
+  EXPECT_EQ(parsed->failure_interval_scale, spec.failure_interval_scale);
+  EXPECT_EQ(parsed->auto_recovery, spec.auto_recovery);
+  EXPECT_EQ(parsed->ckpt_interval_seconds, spec.ckpt_interval_seconds);
+  EXPECT_EQ(parsed->async_ckpt, spec.async_ckpt);
+  EXPECT_EQ(parsed->fleet_samples, spec.fleet_samples);
+  EXPECT_EQ(parsed->to_json(), spec.to_json());
+}
+
+TEST(Scenario, ParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":8,\"typo\":1}", &error));
+  EXPECT_NE(error.find("typo"), std::string::npos);
+  EXPECT_FALSE(world::scenario_from_json("{\"cluster\":\"mars\"}", &error));
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":-1}", &error));
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":\"8\"}", &error));
+  EXPECT_FALSE(world::scenario_from_json("{}trailing", &error));
+  EXPECT_FALSE(world::scenario_from_json("not json", &error));
+  EXPECT_TRUE(world::scenario_from_json("{}", &error).has_value());
+}
+
+TEST(Scenario, RegistryServesPresetsAndCustomSpecs) {
+  auto seren = world::find_scenario("seren");
+  ASSERT_TRUE(seren.has_value());
+  EXPECT_EQ(seren->cluster, "seren");
+  EXPECT_EQ(seren->scale, 8.0);
+  ASSERT_TRUE(world::find_scenario("kalos").has_value());
+  EXPECT_FALSE(world::find_scenario("nonesuch").has_value());
+
+  world::ScenarioSpec custom = world::kalos_scenario();
+  custom.name = "kalos-quiet";
+  custom.inject_failures = false;
+  world::register_scenario(custom);
+  auto found = world::find_scenario("kalos-quiet");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_FALSE(found->inject_failures);
+  const auto names = world::scenario_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "kalos-quiet"), names.end());
+}
+
+TEST(Scenario, FractionalScaleMatchesDivisorForm) {
+  // 0.125 of the trace and 1/8-scale are the same replay.
+  const auto setup = core::seren_setup();
+  const auto divisor = core::run_six_month_replay(setup, 40.0, 900.0, 7);
+  const auto fraction = core::run_six_month_replay(setup, 0.025, 900.0, 7);
+  ASSERT_EQ(divisor.replay.jobs.size(), fraction.replay.jobs.size());
+  EXPECT_EQ(divisor.replay.makespan, fraction.replay.makespan);
+  EXPECT_EQ(divisor.busy_fraction, fraction.busy_fraction);
+}
+
+TEST(Scenario, NonPositiveScaleRejected) {
+  const auto setup = core::seren_setup();
+  EXPECT_THROW(core::run_six_month_replay(setup, 0.0), common::CheckError);
+  EXPECT_THROW(core::run_six_month_replay(setup, -2.0), common::CheckError);
+}
+
+TEST(World, IntegratedRunInjectsAndRecovers) {
+  const auto& report = failing_report();
+  EXPECT_EQ(report.replay.unstarted, 0u);
+  EXPECT_GT(report.failures_injected, 0);
+  EXPECT_EQ(report.replay.failure_kills, report.failures_injected);
+  EXPECT_GT(report.lost_work_gpu_seconds, 0.0);
+  EXPECT_GT(report.recovery_stall_seconds, 0.0);
+  EXPECT_GT(report.goodput, 0.5);
+  EXPECT_LT(report.goodput, 1.0);
+  EXPECT_GT(report.busy_fraction, 0.3);
+  // Fleet telemetry came from the same replay's occupancy.
+  EXPECT_EQ(report.fleet.gpu_util.count(), 2000u);
+}
+
+TEST(World, QuietRunIsCleanBaseline) {
+  const auto& report = quiet_report();
+  EXPECT_EQ(report.failures_injected, 0);
+  EXPECT_EQ(report.replay.failure_kills, 0);
+  EXPECT_EQ(report.lost_work_gpu_seconds, 0.0);
+  EXPECT_EQ(report.goodput, 1.0);
+}
+
+TEST(World, FailuresStretchTheReplay) {
+  // Killed jobs re-run lost work and pay recovery stalls on the same
+  // engine, so the integrated makespan can only grow.
+  EXPECT_GT(failing_report().replay.makespan, quiet_report().replay.makespan);
+}
+
+// The acceptance scenario, pinned down deterministically at the scheduler
+// layer: a pretraining campaign holds most of the cluster while an
+// evaluation batch queues behind it. A mid-run failure (kill_job on the
+// shared spine) rolls the campaign back and stalls it through recovery —
+// and the queued evaluation trials start measurably later than in the
+// failure-free run of the identical trace.
+TEST(World, KilledPretrainDelaysQueuedEvaluations) {
+  const cluster::ClusterSpec spec = cluster::seren_spec();
+  sched::SchedulerConfig config;
+  // Thin reservation: the campaign overflows onto the shared partition,
+  // where the evaluation batch must wait behind it.
+  config.pretrain_reservation = 0.05;
+  config.eval_cap_fraction = 1.0;
+  trace::Trace input;
+  trace::JobRecord campaign;
+  campaign.type = trace::WorkloadType::kPretrain;
+  campaign.gpus = 2048;
+  campaign.submit_time = 0;
+  campaign.duration = 10000;
+  campaign.model_tag = "llm-123b";
+  input.push_back(campaign);
+  for (int i = 0; i < 8; ++i) {
+    trace::JobRecord eval;
+    eval.type = trace::WorkloadType::kEvaluation;
+    eval.gpus = 512;  // more than the 240 GPUs the campaign leaves free
+    eval.submit_time = 100;
+    eval.duration = 300;
+    input.push_back(eval);
+  }
+
+  const auto eval_delay_mean = [](const sched::ReplayResult& result) {
+    common::SampleStats stats;
+    for (const auto& job : result.jobs)
+      if (job.type == trace::WorkloadType::kEvaluation)
+        stats.add(job.queue_delay);
+    return stats.mean();
+  };
+
+  sim::Engine clean_engine;
+  sched::SchedulerReplay clean(clean_engine, spec, config);
+  const auto clean_result = clean.replay(input);
+
+  sim::Engine faulty_engine;
+  sched::SchedulerReplay faulty(faulty_engine, spec, config);
+  faulty.begin_replay(input);
+  faulty_engine.schedule_at(5000.0, [&faulty] {
+    ASSERT_EQ(faulty.running_pretrain_jobs().size(), 1u);
+    const std::size_t victim = faulty.running_pretrain_jobs().front();
+    EXPECT_EQ(faulty.active_job(victim).model_tag, "llm-123b");
+    faulty.kill_job(victim, /*rollback_cap_seconds=*/1800,
+                    /*restart_overhead_seconds=*/600);
+  });
+  faulty_engine.run();
+  const auto faulty_result = faulty.finish_replay();
+
+  EXPECT_EQ(faulty_result.failure_kills, 1);
+  // Rollback loses min(progress, cap) * gpus of work.
+  EXPECT_NEAR(faulty_result.failure_lost_gpu_seconds, 1800.0 * 2048, 1.0);
+  EXPECT_NEAR(faulty_result.failure_restart_seconds, 600.0, 1e-9);
+  // The campaign re-runs 1800 s of lost work plus the 600 s stall, and every
+  // queued evaluation trial inherits that delay through the shared queues.
+  EXPECT_GT(eval_delay_mean(faulty_result), eval_delay_mean(clean_result) + 2000);
+  EXPECT_GT(faulty_result.makespan, clean_result.makespan + 2000);
+}
+
+// The evaluation coordinator on an injected spine must reproduce its legacy
+// private-engine run when nothing else shares the engine.
+TEST(World, CoordinatorLaunchMatchesLegacyRun) {
+  const auto config = evalsched::TrialCoordinator::coordinator_config(2);
+  evalsched::TrialCoordinator coordinator(config);
+  const auto legacy = coordinator.run();
+
+  sim::Engine engine;
+  storage::StorageNetwork net(engine, config.storage);
+  evalsched::EvalReport launched;
+  bool done = false;
+  coordinator.launch(engine, net, evalsched::dataset_suite(),
+                     [&](const evalsched::EvalReport& report) {
+                       launched = report;
+                       done = true;
+                     });
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_DOUBLE_EQ(launched.makespan, legacy.makespan);
+  EXPECT_DOUBLE_EQ(launched.gpu_busy_seconds, legacy.gpu_busy_seconds);
+  EXPECT_EQ(launched.trials, legacy.trials);
+}
+
+TEST(World, McReplicasAreIndependent)  {
+  mc::ReplicationOptions options;
+  options.replicas = 2;
+  options.threads = 1;
+  world::ScenarioSpec spec = fast_seren(true);
+  spec.scale = 80.0;
+  const auto run = world::run_world_mc(spec, options);
+  ASSERT_EQ(run.results.size(), 2u);
+  // Different replica seeds produce different traces.
+  EXPECT_NE(run.results[0].replay.makespan, run.results[1].replay.makespan);
+  for (const auto& report : run.results) EXPECT_EQ(report.replay.unstarted, 0u);
+}
+
+}  // namespace
+}  // namespace acme
