@@ -7,7 +7,8 @@
 namespace acme::cluster {
 
 ClusterState::ClusterState(const ClusterSpec& spec) : spec_(spec) {
-  buckets_.resize(static_cast<std::size_t>(spec.node.gpus) + 1);
+  buckets_.assign(static_cast<std::size_t>(spec.node.gpus) + 1,
+                  common::IndexBitSet(static_cast<std::size_t>(spec.node_count)));
   nodes_.reserve(static_cast<std::size_t>(spec.node_count));
   for (int i = 0; i < spec.node_count; ++i) {
     NodeState n;
@@ -24,11 +25,15 @@ ClusterState::ClusterState(const ClusterSpec& spec) : spec_(spec) {
 }
 
 void ClusterState::bucket_insert(const NodeState& n) {
-  if (!n.cordoned) buckets_[static_cast<std::size_t>(n.gpus_free)].insert(n.id);
+  if (!n.cordoned)
+    buckets_[static_cast<std::size_t>(n.gpus_free)].insert(
+        static_cast<std::size_t>(n.id));
 }
 
 void ClusterState::bucket_erase(const NodeState& n) {
-  if (!n.cordoned) buckets_[static_cast<std::size_t>(n.gpus_free)].erase(n.id);
+  if (!n.cordoned)
+    buckets_[static_cast<std::size_t>(n.gpus_free)].erase(
+        static_cast<std::size_t>(n.id));
 }
 
 bool ClusterState::can_allocate(int gpus) const {
@@ -43,32 +48,43 @@ bool ClusterState::can_allocate(int gpus) const {
 }
 
 std::optional<Allocation> ClusterState::try_allocate(int gpus, int cpus_per_gpu) {
-  ACME_CHECK(gpus > 0);
-  if (!can_allocate(gpus)) return std::nullopt;
   Allocation alloc;
+  if (!try_allocate_into(gpus, cpus_per_gpu, alloc)) return std::nullopt;
+  return alloc;
+}
+
+bool ClusterState::try_allocate_into(int gpus, int cpus_per_gpu,
+                                     Allocation& out) {
+  ACME_CHECK(gpus > 0);
+  out.clear();
+  if (!can_allocate(gpus)) return false;
   const int per_node = spec_.node.gpus;
 
   if (gpus >= per_node) {
     const int full_nodes = gpus / per_node;
     const int remainder = gpus % per_node;
-    auto& empties = buckets_[static_cast<std::size_t>(per_node)];
-    auto it = empties.begin();
-    for (int i = 0; i < full_nodes; ++i, ++it)
-      alloc.slices.push_back({*it, per_node, per_node * cpus_per_gpu});
+    const auto& empties = buckets_[static_cast<std::size_t>(per_node)];
+    // Ascending node id, like the std::set buckets this replaces.
+    std::size_t id = empties.first();
+    for (int i = 0; i < full_nodes; ++i, id = empties.next(id))
+      out.slices.push_back(
+          {static_cast<NodeId>(id), per_node, per_node * cpus_per_gpu});
     if (remainder)
-      alloc.slices.push_back({*it, remainder, remainder * cpus_per_gpu});
+      out.slices.push_back(
+          {static_cast<NodeId>(id), remainder, remainder * cpus_per_gpu});
   } else {
     // Best fit: the fullest node (smallest free count >= gpus).
     for (int k = gpus; k <= per_node; ++k) {
-      auto& bucket = buckets_[static_cast<std::size_t>(k)];
+      const auto& bucket = buckets_[static_cast<std::size_t>(k)];
       if (!bucket.empty()) {
-        alloc.slices.push_back({*bucket.begin(), gpus, gpus * cpus_per_gpu});
+        out.slices.push_back(
+            {static_cast<NodeId>(bucket.first()), gpus, gpus * cpus_per_gpu});
         break;
       }
     }
   }
 
-  for (const auto& s : alloc.slices) {
+  for (const auto& s : out.slices) {
     auto& n = nodes_[static_cast<std::size_t>(s.node)];
     ACME_CHECK(n.gpus_free >= s.gpus);
     bucket_erase(n);
@@ -78,7 +94,7 @@ std::optional<Allocation> ClusterState::try_allocate(int gpus, int cpus_per_gpu)
     if (!n.cordoned) free_gpus_healthy_ -= s.gpus;
     free_gpus_all_ -= s.gpus;
   }
-  return alloc;
+  return true;
 }
 
 void ClusterState::release(const Allocation& alloc) {
@@ -99,6 +115,7 @@ void ClusterState::cordon(NodeId id) {
   if (n.cordoned) return;
   bucket_erase(n);
   n.cordoned = true;
+  ++cordoned_count_;
   free_gpus_healthy_ -= n.gpus_free;
 }
 
@@ -106,20 +123,34 @@ void ClusterState::uncordon(NodeId id) {
   auto& n = nodes_.at(static_cast<std::size_t>(id));
   if (!n.cordoned) return;
   n.cordoned = false;
+  --cordoned_count_;
   bucket_insert(n);
   free_gpus_healthy_ += n.gpus_free;
 }
 
-std::vector<NodeId> ClusterState::cordoned_nodes() const {
-  std::vector<NodeId> out;
+void ClusterState::cordoned_nodes(std::vector<NodeId>& out) const {
+  out.clear();
+  if (cordoned_count_ == 0) return;  // common case: skip the node scan
+  out.reserve(static_cast<std::size_t>(cordoned_count_));
   for (const auto& n : nodes_)
     if (n.cordoned) out.push_back(n.id);
+}
+
+void ClusterState::healthy_idle_nodes(std::vector<NodeId>& out) const {
+  out.clear();
+  buckets_[static_cast<std::size_t>(spec_.node.gpus)].append_to(out);
+}
+
+std::vector<NodeId> ClusterState::cordoned_nodes() const {
+  std::vector<NodeId> out;
+  cordoned_nodes(out);
   return out;
 }
 
 std::vector<NodeId> ClusterState::healthy_idle_nodes() const {
-  const auto& bucket = buckets_[static_cast<std::size_t>(spec_.node.gpus)];
-  return {bucket.begin(), bucket.end()};
+  std::vector<NodeId> out;
+  healthy_idle_nodes(out);
+  return out;
 }
 
 }  // namespace acme::cluster

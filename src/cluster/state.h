@@ -4,15 +4,19 @@
 //
 // Placement queries are hot (the six-month replay performs millions of
 // dispatch attempts), so nodes are indexed by free-GPU count: capacity checks
-// are O(1) and best-fit/empty-node selection is O(log n).
+// are O(1) and best-fit/empty-node selection walks a word-packed bitmap
+// (common::IndexBitSet) — no allocation per bucket move, unlike the
+// std::set<NodeId> buckets this replaces, while keeping the exact
+// ascending-node-id selection order the deterministic replays pin.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "cluster/spec.h"
+#include "common/index_bitset.h"
+#include "common/small_vec.h"
 
 namespace acme::cluster {
 
@@ -31,14 +35,19 @@ struct NodeState {
   int gpus_used() const { return gpus_total - gpus_free; }
 };
 
-// A placement: which nodes and how many GPUs on each.
+// A placement: which nodes and how many GPUs on each. The two-slice inline
+// capacity covers every sub-node and small-gang job without touching the
+// heap; only large pretraining gangs (3+ nodes, rare relative to the event
+// rate) spill.
 struct Allocation {
   struct Slice {
     NodeId node;
     int gpus;
     int cpus;
   };
-  std::vector<Slice> slices;
+  common::SmallVec<Slice, 2> slices;
+  // Empties the slice list; keeps any spilled capacity for reuse.
+  void clear() { slices.clear(); }
   int total_gpus() const {
     int n = 0;
     for (const auto& s : slices) n += s.gpus;
@@ -72,6 +81,10 @@ class ClusterState {
   // requires); sub-node jobs best-fit onto the fullest node that still has
   // room, keeping whole nodes free for gangs. Returns nullopt on failure.
   std::optional<Allocation> try_allocate(int gpus, int cpus_per_gpu = 12);
+  // In-place variant: refills `out` (cleared first) instead of constructing a
+  // fresh Allocation, so a caller-owned slice buffer keeps its spilled
+  // capacity across restarts. Returns false (out left empty) on failure.
+  bool try_allocate_into(int gpus, int cpus_per_gpu, Allocation& out);
 
   // Releases a previous allocation. Checks double-free.
   void release(const Allocation& alloc);
@@ -79,8 +92,14 @@ class ClusterState {
   void cordon(NodeId id);
   void uncordon(NodeId id);
   bool is_cordoned(NodeId id) const { return node(id).cordoned; }
+  int cordoned_count() const { return cordoned_count_; }
   std::vector<NodeId> cordoned_nodes() const;
   std::vector<NodeId> healthy_idle_nodes() const;
+  // Reuse-friendly variants for per-tick callers (recovery scans every few
+  // simulated minutes): `out` is cleared and refilled, so its capacity
+  // amortizes to zero allocations across ticks.
+  void cordoned_nodes(std::vector<NodeId>& out) const;
+  void healthy_idle_nodes(std::vector<NodeId>& out) const;
 
  private:
   void bucket_insert(const NodeState& n);
@@ -88,11 +107,12 @@ class ClusterState {
 
   ClusterSpec spec_;
   std::vector<NodeState> nodes_;
-  // buckets_[k] = healthy nodes with exactly k free GPUs.
-  std::vector<std::set<NodeId>> buckets_;
+  // buckets_[k] = healthy nodes with exactly k free GPUs, ascending node id.
+  std::vector<common::IndexBitSet> buckets_;
   int total_gpus_ = 0;
   int free_gpus_healthy_ = 0;
   int free_gpus_all_ = 0;
+  int cordoned_count_ = 0;
 };
 
 }  // namespace acme::cluster

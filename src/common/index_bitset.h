@@ -1,0 +1,94 @@
+// Fixed-capacity ordered index set on a word-packed bitmap.
+//
+// ClusterState keys nodes by free-GPU count; every allocate/release moves a
+// node between buckets. With std::set<NodeId> that is a red-black-tree node
+// malloc/free per move — two per placement, millions per replay. IndexBitSet
+// packs membership into u64 words: insert/erase are branch-free bit ops,
+// first()/next() use countr_zero, and iteration is ascending-index order —
+// exactly std::set<int>'s iteration order, which the deterministic placement
+// policy (smallest node id first) and the pinned digests rely on.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace acme::common {
+
+class IndexBitSet {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  IndexBitSet() = default;
+  explicit IndexBitSet(std::size_t capacity) { resize(capacity); }
+
+  // Grows/shrinks capacity; membership of surviving indices is preserved.
+  void resize(std::size_t capacity) {
+    capacity_ = capacity;
+    words_.resize((capacity + 63) / 64, 0);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  bool contains(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  // Idempotent: inserting a member / erasing a non-member is a no-op, so the
+  // count stays exact without caller-side bookkeeping.
+  void insert(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    count_ += ((w & bit) == 0);
+    w |= bit;
+  }
+  void erase(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    count_ -= ((w & bit) != 0);
+    w &= ~bit;
+  }
+
+  void clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+
+  // Smallest member, or npos when empty.
+  std::size_t first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+      if (words_[wi] != 0)
+        return wi * 64 + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    return npos;
+  }
+
+  // Smallest member strictly greater than `i`, or npos.
+  std::size_t next(std::size_t i) const {
+    std::size_t wi = (i + 1) >> 6;
+    if (wi >= words_.size()) return npos;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << ((i + 1) & 63));
+    while (true) {
+      if (w != 0) return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      if (++wi >= words_.size()) return npos;
+      w = words_[wi];
+    }
+  }
+
+  // Appends members in ascending order to `out` (not cleared: callers batch).
+  template <typename Vec>
+  void append_to(Vec& out) const {
+    for (std::size_t i = first(); i != npos; i = next(i))
+      out.push_back(static_cast<typename Vec::value_type>(i));
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t capacity_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace acme::common

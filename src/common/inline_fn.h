@@ -1,0 +1,128 @@
+// Small-buffer move-only callable with NO heap fallback.
+//
+// std::function<void()> heap-allocates once per capture larger than its tiny
+// internal buffer — on the simulation hot path that is one malloc/free pair
+// per scheduled event, millions per six-month replay. InlineFn<N> stores the
+// capture inline and makes "too big" a compile-time error instead of a silent
+// allocation, so the event spine stays allocation-free by construction.
+//
+// Contract:
+//  - move-only (the engine moves callbacks into slots and out to fire them);
+//  - the wrapped callable must fit in N bytes, be alignable within
+//    max_align_t, and be nothrow-move-constructible (checked at compile time
+//    via fits<F>(), so a capture that grows past the budget fails the build
+//    at the schedule_at call site, not at runtime in a replay);
+//  - empty InlineFns (default / nullptr-constructed / moved-from) are falsy;
+//    invoking one is a programming error (ACME_CHECK at the call site).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace acme::common {
+
+template <std::size_t Capacity>
+class InlineFn {
+ public:
+  // True when F can live inline: fits the byte budget, is at most
+  // pointer-aligned (the buffer is not max_align_t-aligned so that an
+  // InlineFn packs tightly next to its owner's bookkeeping — e.g. the
+  // engine's 64-byte event slots), and can be relocated without throwing
+  // (moves happen inside noexcept engine bookkeeping).
+  template <typename F>
+  static constexpr bool fits() {
+    return sizeof(F) <= Capacity && alignof(F) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT: mirrors std::function's nullptr ctor
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& fn) {  // NOLINT: implicit, like std::function
+    emplace(std::forward<F>(fn));
+  }
+
+  // Constructs the callable directly in the inline buffer (dropping any
+  // previous occupant) — the zero-move path used by Engine slots.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(fits<Fn>(),
+                  "capture too large (or over-aligned / throwing-move) for "
+                  "InlineFn's inline buffer; shrink the capture or raise N");
+    reset();
+    ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* self) { (*static_cast<Fn*>(self))(); };
+    // Trivially relocatable captures (the common case: lambdas over PODs and
+    // raw pointers) keep relocate_ null, so moves are a fixed-size memcpy and
+    // destruction is free — no indirect call per event move. Only captures
+    // with real move/destroy semantics (shared_ptr, std::function members)
+    // pay for a manager.
+    if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      relocate_ = [](void* self, void* dst) noexcept {
+        Fn* from = static_cast<Fn*>(self);
+        if (dst != nullptr) ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      };
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  // Drops the held callable (if any); the InlineFn becomes empty.
+  void reset() noexcept {
+    if (relocate_ != nullptr) relocate_(buffer_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+  InlineFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buffer_); }
+
+ private:
+  void move_from(InlineFn& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    if (other.relocate_ != nullptr)
+      other.relocate_(other.buffer_, buffer_);
+    else
+      std::memcpy(buffer_, other.buffer_, Capacity);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  alignas(void*) unsigned char buffer_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  // Moves the capture to `dst` (when non-null) and destroys the source; with
+  // dst == nullptr it is a plain destructor call.
+  void (*relocate_)(void* self, void* dst) noexcept = nullptr;
+};
+
+}  // namespace acme::common

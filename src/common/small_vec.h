@@ -1,0 +1,114 @@
+// Inline-storage vector: the first N elements live inside the object, so the
+// overwhelmingly common small case (an Allocation's one or two node slices, a
+// recovery tick's handful of cordoned nodes) costs zero heap traffic; larger
+// sizes spill to the heap transparently. Only what the hot paths need —
+// push_back / clear / indexing / iteration — deliberately not a full
+// std::vector clone.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace acme::common {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is specialized for POD-ish payloads (slices, ids)");
+
+ public:
+  using value_type = T;
+
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { assign_from(other); }
+  SmallVec(SmallVec&& other) noexcept { steal_from(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      release_heap();
+      assign_from(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~SmallVec() { release_heap(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool inline_storage() const { return heap_ == nullptr; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  // Keeps any heap block around: a cleared SmallVec refills with no new
+  // allocation, which is the whole point of the reuse paths.
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t want) {
+    if (want > capacity_) grow_to(want);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    data()[size_++] = v;
+  }
+
+ private:
+  void grow_to(std::size_t want) {
+    std::size_t cap = capacity_;
+    while (cap < want) cap *= 2;
+    T* block = new T[cap];
+    std::memcpy(static_cast<void*>(block), data(), size_ * sizeof(T));
+    release_heap();
+    heap_ = block;
+    capacity_ = cap;
+  }
+  void release_heap() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = N;
+  }
+  void assign_from(const SmallVec& other) {
+    size_ = 0;
+    reserve(other.size_);
+    std::memcpy(static_cast<void*>(data()), other.data(),
+                other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+  void steal_from(SmallVec& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+    } else {
+      std::memcpy(static_cast<void*>(inline_), other.inline_,
+                  other.size_ * sizeof(T));
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace acme::common

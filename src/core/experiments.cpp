@@ -15,8 +15,10 @@ ClusterSetup seren_setup() { return setup_for(world::seren_scenario()); }
 
 ClusterSetup kalos_setup() { return setup_for(world::kalos_scenario()); }
 
-SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
-                                    double sample_interval, std::uint64_t seed) {
+namespace {
+
+trace::Trace synthesize_replay_trace(const ClusterSetup& setup, double scale,
+                                     std::uint64_t seed) {
   ACME_CHECK_MSG(scale > 0, "replay scale must be positive");
   // scale >= 1 divides the six-month job volume; (0, 1) is the fraction kept
   // (0.125 is the same trace as 8.0).
@@ -25,11 +27,13 @@ SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
   profile.cpu_jobs = 0;  // CPU jobs do not touch the GPU scheduler
   trace::SynthesizerOptions options;
   options.seed = seed;
-  trace::TraceSynthesizer synth(profile, options);
-  sched::SchedulerReplay scheduler(setup.spec, setup.sched_config);
+  return trace::TraceSynthesizer(profile, options).generate();
+}
 
+SixMonthReplay replay_trace(sched::SchedulerReplay& scheduler,
+                            trace::Trace&& jobs, double sample_interval) {
   SixMonthReplay out;
-  out.replay = scheduler.replay(synth.generate(), sample_interval);
+  out.replay = scheduler.replay(std::move(jobs), sample_interval);
   double busy = 0, total = 0;
   for (const auto& s : out.replay.occupancy) {
     busy += s.busy_gpus;
@@ -37,6 +41,15 @@ SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
   }
   out.busy_fraction = total > 0 ? busy / total : 0;
   return out;
+}
+
+}  // namespace
+
+SixMonthReplay run_six_month_replay(const ClusterSetup& setup, double scale,
+                                    double sample_interval, std::uint64_t seed) {
+  sched::SchedulerReplay scheduler(setup.spec, setup.sched_config);
+  return replay_trace(scheduler, synthesize_replay_trace(setup, scale, seed),
+                      sample_interval);
 }
 
 SixMonthReplay run_scenario_replay(const world::ScenarioSpec& scenario) {
@@ -47,11 +60,25 @@ SixMonthReplay run_scenario_replay(const world::ScenarioSpec& scenario) {
 mc::ReplicaRun<SixMonthReplay> run_six_month_replay_mc(
     const ClusterSetup& setup, const mc::ReplicationOptions& options,
     double scale, double sample_interval) {
-  return mc::run_replicas<SixMonthReplay>(
-      options, [&setup, scale, sample_interval](common::Rng& rng, std::size_t) {
+  // The scheduler (with its engine's event storage, per-job runtime table
+  // and link arenas — all sized to the 1M-record trace) is reused across the
+  // replicas each worker runs; replay() restarts the private clock, so
+  // results stay bit-identical to fresh-instance execution.
+  struct Scratch {
+    std::unique_ptr<sched::SchedulerReplay> sched;
+  };
+  return mc::run_replicas_scratch<SixMonthReplay, Scratch>(
+      options,
+      [&setup, scale, sample_interval](common::Rng& rng, std::size_t,
+                                       Scratch& scratch) {
         // Each replica resynthesizes the trace from a seed drawn off its own
-        // forked stream, then replays it through a private scheduler+engine.
-        return run_six_month_replay(setup, scale, sample_interval, rng.next());
+        // forked stream.
+        if (!scratch.sched)
+          scratch.sched = std::make_unique<sched::SchedulerReplay>(
+              setup.spec, setup.sched_config);
+        return replay_trace(*scratch.sched,
+                            synthesize_replay_trace(setup, scale, rng.next()),
+                            sample_interval);
       });
 }
 

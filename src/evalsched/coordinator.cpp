@@ -217,14 +217,14 @@ struct TrialCoordinator::Sweep : std::enable_shared_from_this<Sweep> {
     report.gpu_busy_seconds += infer_total;
     report.gpu_held_seconds += t - t0;
     last_completion = std::max(last_completion, t);
-    engine.schedule_at(t, [self, trial_idx, gpu, t0, t] {
+    engine.schedule_at(t, [self, trial_idx, gpu, t0] {
       if (obs::enabled()) {
         obs::tracer().async_end("evalsched", "trial", trial_idx);
         static obs::Histogram& held = obs::metrics().histogram(
             "acme_evalsched_trial_gpu_seconds",
             "Simulated GPU hold time per evaluation trial",
             obs::Histogram::exponential_buckets(60.0, 2.0, 10));
-        held.observe(t - t0);
+        held.observe(self->engine.now() - t0);  // fires at the trial's end time
       }
       self->gpu_busy[static_cast<std::size_t>(gpu)] = false;
       --self->active_trials;
@@ -236,7 +236,6 @@ struct TrialCoordinator::Sweep : std::enable_shared_from_this<Sweep> {
   void run_trial(std::size_t trial_idx, int gpu) {
     auto self = shared_from_this();
     const Trial& trial = trials[trial_idx];
-    const int node = gpu / config.gpus_per_node;
     const double t0 = engine.now();
     if (obs::enabled()) {
       // Async span keyed by trial index: lifecycle from dispatch to GPU free.
@@ -255,13 +254,15 @@ struct TrialCoordinator::Sweep : std::enable_shared_from_this<Sweep> {
       // Model already staged in node shared memory; read over PCIe.
       const double load = config.model_bytes / config.pcie_bytes_per_sec;
       engine.schedule_at(start_after_startup + load,
-                         [self, trial_idx, gpu, t0, start_after_startup, load] {
+                         [self, trial_idx, gpu, t0] {
+                           // Fires exactly when the PCIe load finished.
                            self->after_load(trial_idx, gpu, t0,
-                                            start_after_startup + load);
+                                            self->engine.now());
                          });
     } else {
       // Contended pull from remote storage.
-      engine.schedule_at(start_after_startup, [self, trial_idx, gpu, t0, node] {
+      engine.schedule_at(start_after_startup, [self, trial_idx, gpu, t0] {
+        const int node = gpu / self->config.gpus_per_node;
         self->net.start_flow(node, self->config.model_bytes,
                              [self, trial_idx, gpu, t0] {
                                self->after_load(trial_idx, gpu, t0,

@@ -104,34 +104,68 @@ SchedulerReplay::QueueClass SchedulerReplay::classify(trace::WorkloadType type) 
 
 ReplayResult SchedulerReplay::replay(const trace::Trace& input,
                                      double sample_interval) {
+  // A reused single-silo instance restarts its private clock at zero: the
+  // results are bit-identical to a fresh instance (same float arithmetic)
+  // and the engine's event storage is recycled instead of regrown.
+  if (owned_engine_) owned_engine_->reset();
   begin_replay(input, sample_interval);
+  engine_->run();
+  return finish_replay();
+}
+
+ReplayResult SchedulerReplay::replay(trace::Trace&& input,
+                                     double sample_interval) {
+  if (owned_engine_) owned_engine_->reset();
+  begin_replay(std::move(input), sample_interval);
   engine_->run();
   return finish_replay();
 }
 
 void SchedulerReplay::begin_replay(const trace::Trace& input,
                                    double sample_interval) {
-  ACME_OBS_SPAN_ARG("sched", "begin_replay", "jobs", std::to_string(input.size()));
   jobs_ = input;
-  placements_.assign(jobs_.size(), {});
-  completion_.assign(jobs_.size(), {});
-  started_at_.assign(jobs_.size(), 0.0);
-  extra_overhead_.assign(jobs_.size(), 0.0);
-  delay_recorded_.assign(jobs_.size(), false);
-  progress_done_.assign(jobs_.size(), 0.0);
-  waiting_since_.assign(jobs_.size(), 0.0);
-  running_best_effort_.clear();
-  running_pretrain_.clear();
+  arm_replay(sample_interval);
+}
+
+void SchedulerReplay::begin_replay(trace::Trace&& input,
+                                   double sample_interval) {
+  jobs_ = std::move(input);
+  arm_replay(sample_interval);
+}
+
+void SchedulerReplay::arm_replay(double sample_interval) {
+  ACME_OBS_SPAN_ARG("sched", "begin_replay", "jobs", std::to_string(jobs_.size()));
+  rt_.assign(jobs_.size(), JobRt{});
+  queue_links_.assign(jobs_.size());
+  pool_links_.assign(jobs_.size());
+  for (auto& queue : queues_) queue = common::IndexList{};
+  for (auto& pool : running_pools_) pool = common::IndexList{};
   result_storage_ = ReplayResult{};
   result_ = &result_storage_;
   replay_start_ = engine_->now();
   pending_submissions_ = 0;
+  capacity_freed_ = true;
+  // Every submission is posted up front, and each *running* job keeps one
+  // completion event live. A running GPU job holds at least one GPU, so the
+  // pending-event peak is bounded by jobs + total GPUs (+ the sampler).
+  // Reserving the full bound keeps the 64-byte callback slots from ever
+  // being move-relocated by vector doubling mid-replay.
+  engine_->reserve(jobs_.size() +
+                   static_cast<std::size_t>(std::max(
+                       0, reserved_.total_gpus() + shared_.total_gpus())) +
+                   2);
 
+  const int per_node = std::max(1, spec_.node.gpus);
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const auto& job = jobs_[i];
     if (!job.is_gpu_job()) continue;  // CPU jobs bypass the GPU scheduler
     ACME_CHECK_MSG(job.gpus <= reserved_.total_gpus() + shared_.total_gpus(),
                    "job demands more GPUs than the cluster has");
+    // Gangs wider than the slice buffer's inline capacity would spill on
+    // first start; paying the spill here keeps the event loop allocation-free.
+    if (job.gpus > 2 * per_node)
+      rt_[i].alloc.slices.reserve(
+          static_cast<std::size_t>((job.gpus + per_node - 1) / per_node));
     ++pending_submissions_;
     engine_->schedule_at(replay_start_ + job.submit_time,
                          [this, i] { on_submit(i); });
@@ -153,7 +187,8 @@ ReplayResult SchedulerReplay::finish_replay() {
   result.unstarted = queues_[0].size() + queues_[1].size() + queues_[2].size();
   result.jobs = std::move(jobs_);
   jobs_.clear();
-  for (auto& queue : queues_) queue.clear();
+  // Stale links are harmless: arm_replay reassigns both arenas.
+  for (auto& queue : queues_) queue = common::IndexList{};
   return result;
 }
 
@@ -181,55 +216,76 @@ void SchedulerReplay::sample_occupancy(double interval) {
 void SchedulerReplay::on_submit(std::size_t index) {
   ACME_CHECK(pending_submissions_ > 0);
   --pending_submissions_;
-  waiting_since_[index] = engine_->now();
-  queues_[static_cast<int>(classify(jobs_[index].type))].push_back(index);
+  rt_[index].waiting_since = engine_->now();
+  auto& queue = queues_[static_cast<int>(classify(jobs_[index].type))];
+  const std::size_t ahead = queue.size();
+  queue.push_back(queue_links_, static_cast<std::uint32_t>(index));
+  // Coalesced dispatch: when nothing freed capacity since the last full scan,
+  // every already-queued job would fail try_start again (allocation failure
+  // is monotone while capacity only shrinks, and the eval cap's in-use total
+  // only grows between frees), so the arrival itself is the only fresh
+  // candidate — and only if it sits within the backfill window, exactly as
+  // the full scan would reach it after `ahead` older failures. Preemption
+  // modes always rescan: their try_start has eviction side effects.
+  if (!capacity_freed_ && !config_.allow_preemption &&
+      !config_.preempt_pretraining_for_fairness) {
+    if (obs::enabled()) {
+      queue_depth_histogram().observe(static_cast<double>(
+          queues_[0].size() + queues_[1].size() + queues_[2].size()));
+    }
+    if (ahead <= config_.backfill_depth && try_start(index))
+      queue.erase(queue_links_, static_cast<std::uint32_t>(index));
+    return;
+  }
   try_dispatch();
 }
 
 bool SchedulerReplay::try_start(std::size_t index) {
   auto& job = jobs_[index];
+  auto& rt = rt_[index];
   const QueueClass cls = classify(job.type);
   if (cls == QueueClass::kEvaluation && eval_gpus_in_use_ + job.gpus > eval_cap_ &&
       eval_gpus_in_use_ > 0)  // cap, with starvation escape
     return false;
 
-  Placement placement;
   if (cls == QueueClass::kPretrain) {
     // Pretraining prefers its reservation, spilling to the shared partition
     // only when the reservation is exhausted; in preemptive mode it may
-    // evict best-effort work instead.
-    if (auto alloc = reserved_.try_allocate(job.gpus, config_.cpus_per_gpu)) {
-      placement = {*alloc, true};
-    } else if (auto spill = shared_.try_allocate(job.gpus, config_.cpus_per_gpu)) {
-      placement = {*spill, false};
+    // evict best-effort work instead. The in-place allocations refill
+    // rt.alloc's own slice buffer, so restarts never touch the heap.
+    if (reserved_.try_allocate_into(job.gpus, config_.cpus_per_gpu, rt.alloc)) {
+      rt.on_reserved = true;
+    } else if (shared_.try_allocate_into(job.gpus, config_.cpus_per_gpu,
+                                         rt.alloc)) {
+      rt.on_reserved = false;
     } else if (config_.allow_preemption && preempt_for(job.gpus)) {
-      auto freed = shared_.try_allocate(job.gpus, config_.cpus_per_gpu);
-      ACME_CHECK_MSG(freed.has_value(), "preemption freed too little");
-      placement = {*freed, false};
+      ACME_CHECK_MSG(shared_.try_allocate_into(job.gpus, config_.cpus_per_gpu,
+                                               rt.alloc),
+                     "preemption freed too little");
+      rt.on_reserved = false;
     } else {
       return false;
     }
   } else {
-    auto alloc = shared_.try_allocate(job.gpus, config_.cpus_per_gpu);
-    if (!alloc) return false;
-    placement = {*alloc, false};
+    if (!shared_.try_allocate_into(job.gpus, config_.cpus_per_gpu, rt.alloc))
+      return false;
+    rt.on_reserved = false;
   }
 
-  placements_[index] = std::move(placement);
   if (cls == QueueClass::kEvaluation) eval_gpus_in_use_ += job.gpus;
-  if (!delay_recorded_[index]) {  // keep the FIRST start for delay accounting
+  if (!rt.delay_recorded) {  // keep the FIRST start for delay accounting
     job.queue_delay = engine_->now() - replay_start_ - job.submit_time;
-    delay_recorded_[index] = true;
+    rt.delay_recorded = true;
   }
-  started_at_[index] = engine_->now();
+  rt.started_at = engine_->now();
   if (obs::enabled()) placements_counter().inc();
   ++running_jobs_;
-  (cls == QueueClass::kPretrain ? running_pretrain_ : running_best_effort_)
-      .push_back(index);
+  running_pools_[cls == QueueClass::kPretrain ? kPoolPretrain : kPoolBestEffort]
+      .push_back(pool_links_, static_cast<std::uint32_t>(index));
   const double remaining =
-      std::max(0.0, job.duration - progress_done_[index]) + extra_overhead_[index];
-  extra_overhead_[index] = 0.0;  // the tax is paid once per restart
-  completion_[index] =
+      std::max(0.0, job.duration - rt.progress_done) + rt.extra_overhead;
+  rt.extra_overhead = 0.0;  // the tax is paid once per restart
+  rt.completion =
       engine_->schedule_after(remaining, [this, index] { on_complete(index); });
   return true;
 }
@@ -237,23 +293,24 @@ bool SchedulerReplay::try_start(std::size_t index) {
 void SchedulerReplay::evict(std::size_t index, double rollback_cap,
                             double overhead_seconds, bool failure_kill) {
   auto& job = jobs_[index];
+  auto& rt = rt_[index];
   const QueueClass cls = classify(job.type);
-  engine_->cancel(completion_[index]);
-  completion_[index] = {};
-  (placements_[index].on_reserved ? reserved_ : shared_)
-      .release(placements_[index].alloc);
-  placements_[index] = {};
-  auto& pool =
-      cls == QueueClass::kPretrain ? running_pretrain_ : running_best_effort_;
-  pool.erase(std::remove(pool.begin(), pool.end(), index), pool.end());
+  engine_->cancel(rt.completion);
+  rt.completion = {};
+  (rt.on_reserved ? reserved_ : shared_).release(rt.alloc);
+  rt.alloc.clear();
+  rt.on_reserved = false;
+  capacity_freed_ = true;
+  running_pools_[cls == QueueClass::kPretrain ? kPoolPretrain : kPoolBestEffort]
+      .erase(pool_links_, static_cast<std::uint32_t>(index));
   if (cls == QueueClass::kEvaluation) {
     eval_gpus_in_use_ -= job.gpus;
     ACME_CHECK(eval_gpus_in_use_ >= 0);
   }
   --running_jobs_;
-  const double elapsed = engine_->now() - started_at_[index];
+  const double elapsed = engine_->now() - rt.started_at;
   const double lost = std::min(elapsed, rollback_cap);
-  progress_done_[index] += elapsed - lost;
+  rt.progress_done += elapsed - lost;
   if (result_ != nullptr) {
     if (failure_kill) {
       ++result_->failure_kills;
@@ -264,15 +321,16 @@ void SchedulerReplay::evict(std::size_t index, double rollback_cap,
       result_->wasted_gpu_seconds += static_cast<double>(job.gpus) * lost;
     }
   }
-  extra_overhead_[index] += overhead_seconds;
-  waiting_since_[index] = engine_->now();
-  queues_[static_cast<int>(cls)].push_back(index);
+  rt.extra_overhead += overhead_seconds;
+  rt.waiting_since = engine_->now();
+  queues_[static_cast<int>(cls)].push_back(queue_links_,
+                                           static_cast<std::uint32_t>(index));
   if (obs::enabled()) (failure_kill ? kills_counter() : preemptions_counter()).inc();
 }
 
 void SchedulerReplay::kill_job(std::size_t index, double rollback_cap_seconds,
                                double restart_overhead_seconds) {
-  ACME_CHECK_MSG(!placements_[index].alloc.empty(), "kill_job on a job not running");
+  ACME_CHECK_MSG(!rt_[index].alloc.empty(), "kill_job on a job not running");
   evict(index, rollback_cap_seconds, restart_overhead_seconds,
         /*failure_kill=*/true);
   // The freed nodes go back into the pool immediately; queued work (including
@@ -283,10 +341,11 @@ void SchedulerReplay::kill_job(std::size_t index, double rollback_cap_seconds,
 bool SchedulerReplay::preempt_for(int gpus) {
   // Feasibility first: even an empty shared partition must fit the gang.
   if (gpus > shared_.total_gpus()) return false;
-  while (!shared_.can_allocate(gpus) && !running_best_effort_.empty()) {
+  auto& pool = running_pools_[kPoolBestEffort];
+  while (!shared_.can_allocate(gpus) && !pool.empty()) {
     // Youngest victim first: least progress discarded. Best-effort jobs have
     // no checkpoints — everything since their start is lost.
-    evict(running_best_effort_.back(), std::numeric_limits<double>::infinity(),
+    evict(pool.back(), std::numeric_limits<double>::infinity(),
           config_.preemption_overhead_seconds, /*failure_kill=*/false);
   }
   return shared_.can_allocate(gpus);
@@ -294,19 +353,20 @@ bool SchedulerReplay::preempt_for(int gpus) {
 
 void SchedulerReplay::preempt_pretraining_if_starved() {
   if (!config_.preempt_pretraining_for_fairness) return;
+  auto& pretrain = running_pools_[kPoolPretrain];
   for (auto* queue : {&queues_[1], &queues_[2]}) {
     if (queue->empty()) continue;
-    const std::size_t head = queue->front();
-    if (engine_->now() - waiting_since_[head] < config_.fairness_wait_seconds)
+    const std::uint32_t head = queue->front();
+    if (engine_->now() - rt_[head].waiting_since < config_.fairness_wait_seconds)
       continue;
     // Evict the youngest pretraining victims until the starved head fits,
     // then start it immediately — before the evicted (higher-priority)
     // pretraining job can re-claim the freed nodes.
-    while (!running_pretrain_.empty() && !shared_.can_allocate(jobs_[head].gpus)) {
-      evict(running_pretrain_.back(), config_.pretrain_rollback_cap_seconds,
+    while (!pretrain.empty() && !shared_.can_allocate(jobs_[head].gpus)) {
+      evict(pretrain.back(), config_.pretrain_rollback_cap_seconds,
             config_.preemption_overhead_seconds, /*failure_kill=*/false);
     }
-    if (try_start(head)) queue->pop_front();
+    if (try_start(head)) queue->erase(queue_links_, head);
   }
 }
 
@@ -316,34 +376,62 @@ void SchedulerReplay::try_dispatch() {
         queues_[0].size() + queues_[1].size() + queues_[2].size()));
   }
   preempt_pretraining_if_starved();
+  // The scan below reflects the capacity that exists right now; until
+  // something frees capacity again, a new arrival can skip straight to its
+  // own try_start (see on_submit). Mid-scan evictions re-set the flag.
+  capacity_freed_ = false;
   // Highest class first. FCFS within a class; a stuck head may be backfilled
-  // past by up to backfill_depth smaller jobs (conservative: they must fit in
-  // currently free resources, which cannot delay the head further under our
-  // no-preemption model).
+  // past by smaller jobs (conservative: they must fit in currently free
+  // resources, which cannot delay the head further under our no-preemption
+  // model). The scan budget is explicit: the head plus backfill_depth
+  // candidates past it may fail before the class scan stops.
   for (auto& queue : queues_) {
-    std::size_t scanned = 0;
-    for (auto it = queue.begin();
-         it != queue.end() && scanned <= config_.backfill_depth;) {
-      if (try_start(*it)) {
-        it = queue.erase(it);
+    std::size_t failures_left = config_.backfill_depth + 1;
+    // Within one class scan, a failure at G GPUs dooms every demand >= G:
+    // bucket feasibility and gang feasibility are monotone in the demand,
+    // the eval cap's in-use total only grows mid-scan, and successful starts
+    // only shrink capacity. Caching the smallest failed demand lets the scan
+    // skip the try_start call (still charging the backfill budget, exactly
+    // as the full attempt would). Pretraining in preemptive mode is exempt:
+    // its try_start can evict its way to success.
+    const bool prunable = &queue != &queues_[0] || !config_.allow_preemption;
+    int min_failed_gpus = std::numeric_limits<int>::max();
+    for (std::uint32_t i = queue.front();
+         i != common::kIndexNpos && failures_left > 0;) {
+      // Once a 1-GPU job has failed, every remaining candidate (demand >= 1)
+      // is doomed too, so the rest of the walk would only drain the budget
+      // without touching any state — stop it outright.
+      if (prunable && min_failed_gpus <= 1) break;
+      // Capture the successor first: it survives both the erase below and
+      // tail appends from evictions inside try_start (victims re-enter
+      // queues at the back; queued entries are never unlinked mid-scan).
+      const std::uint32_t nxt = common::IndexList::next_of(queue_links_, i);
+      const int gpus = jobs_[i].gpus;
+      if (prunable && gpus >= min_failed_gpus) {
+        --failures_left;
+      } else if (try_start(i)) {
+        queue.erase(queue_links_, i);
       } else {
-        ++it;
-        ++scanned;
+        --failures_left;
+        if (prunable) min_failed_gpus = gpus;
       }
+      i = nxt;
     }
   }
 }
 
 void SchedulerReplay::on_complete(std::size_t index) {
   auto& job = jobs_[index];
-  auto& placement = placements_[index];
-  (placement.on_reserved ? reserved_ : shared_).release(placement.alloc);
-  placement = {};
-  completion_[index] = {};
-  auto& pool = classify(job.type) == QueueClass::kPretrain ? running_pretrain_
-                                                           : running_best_effort_;
-  pool.erase(std::remove(pool.begin(), pool.end(), index), pool.end());
-  if (classify(job.type) == QueueClass::kEvaluation) {
+  auto& rt = rt_[index];
+  (rt.on_reserved ? reserved_ : shared_).release(rt.alloc);
+  rt.alloc.clear();
+  rt.on_reserved = false;
+  rt.completion = {};
+  capacity_freed_ = true;
+  const QueueClass cls = classify(job.type);
+  running_pools_[cls == QueueClass::kPretrain ? kPoolPretrain : kPoolBestEffort]
+      .erase(pool_links_, static_cast<std::uint32_t>(index));
+  if (cls == QueueClass::kEvaluation) {
     eval_gpus_in_use_ -= job.gpus;
     ACME_CHECK(eval_gpus_in_use_ >= 0);
   }

@@ -21,12 +21,11 @@
 // replay() remains the one-call path.
 #pragma once
 
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cluster/state.h"
+#include "common/index_list.h"
 #include "sim/engine.h"
 #include "trace/job.h"
 
@@ -103,14 +102,18 @@ class SchedulerReplay {
 
   // Replays the trace start-to-drain on the scheduler's engine; GPU jobs only
   // (CPU jobs pass through with zero delay). Equivalent to begin_replay() +
-  // engine().run() + finish_replay().
+  // engine().run() + finish_replay(). The && overloads adopt the trace
+  // instead of copying it — callers that synthesize a trace just to replay it
+  // (world, experiments, benchmarks) should move it in.
   ReplayResult replay(const trace::Trace& input, double sample_interval = 0);
+  ReplayResult replay(trace::Trace&& input, double sample_interval = 0);
 
   // Integrated-spine protocol: begin_replay() schedules every submission and
   // the occupancy sampler (relative to engine().now()) but does not pump the
   // engine; the caller runs the engine — interleaving its own events — and
   // collects the result with finish_replay() once the engine drained.
   void begin_replay(const trace::Trace& input, double sample_interval = 0);
+  void begin_replay(trace::Trace&& input, double sample_interval = 0);
   ReplayResult finish_replay();
 
   sim::Engine& engine() { return *engine_; }
@@ -125,9 +128,11 @@ class SchedulerReplay {
   const ReplayResult& partial_result() const { return *result_; }
   int running_jobs() const { return running_jobs_; }
   // Indices (into the active trace) of running pretraining jobs, oldest
-  // first.
+  // first. The returned reference is a scratch snapshot rebuilt per call; it
+  // stays valid until the next call but not across kill_job/engine steps.
   const std::vector<std::size_t>& running_pretrain_jobs() const {
-    return running_pretrain_;
+    running_pools_[kPoolPretrain].copy_to(pool_links_, pretrain_scratch_);
+    return pretrain_scratch_;
   }
   const trace::JobRecord& active_job(std::size_t index) const {
     return jobs_[index];
@@ -148,7 +153,11 @@ class SchedulerReplay {
 
   enum class QueueClass { kPretrain = 0, kNormal = 1, kEvaluation = 2 };
   static QueueClass classify(trace::WorkloadType type);
+  static constexpr std::size_t kPoolPretrain = 0;
+  static constexpr std::size_t kPoolBestEffort = 1;
 
+  // Shared tail of begin_replay once jobs_ holds the active trace.
+  void arm_replay(double sample_interval);
   void sample_occupancy(double interval);
   void on_submit(std::size_t index);
   void try_dispatch();
@@ -175,25 +184,38 @@ class SchedulerReplay {
   cluster::ClusterState reserved_;
   cluster::ClusterState shared_;
   trace::Trace jobs_;
-  struct Placement {
-    cluster::Allocation alloc;
+  // Per-job runtime bookkeeping, one cache-friendly record per trace index
+  // (replaces seven parallel vectors; the dispatch hot path touches most of
+  // these fields together).
+  struct JobRt {
+    cluster::Allocation alloc;   // empty() <=> the job is not running
+    sim::EventHandle completion;
+    double started_at = 0.0;
+    double extra_overhead = 0.0;  // restart tax added by evictions
+    double progress_done = 0.0;   // work completed before an eviction
+    double waiting_since = 0.0;   // last enqueue time (fairness clock)
     bool on_reserved = false;
+    bool delay_recorded = false;  // first-start delay already captured
   };
-  std::vector<Placement> placements_;
-  // Per-job runtime bookkeeping for preemption support.
-  std::vector<sim::EventHandle> completion_;
-  std::vector<double> started_at_;
-  std::vector<double> extra_overhead_;  // added on restart after eviction
-  std::vector<bool> delay_recorded_;     // first-start delay already captured
-  std::vector<double> progress_done_;    // work completed before an eviction
-  std::vector<double> waiting_since_;    // first enqueue time (fairness clock)
-  std::vector<std::size_t> running_best_effort_;  // newest last
-  std::vector<std::size_t> running_pretrain_;     // newest last
+  std::vector<JobRt> rt_;
   ReplayResult result_storage_;
   ReplayResult* result_ = nullptr;
   double replay_start_ = 0;            // engine time at begin_replay
   std::size_t pending_submissions_ = 0;
-  std::deque<std::size_t> queues_[3];
+  // Class queues and running pools are intrusive index lists: membership
+  // moves (dispatch, completion, eviction) are O(1) unlinks with zero
+  // allocation. Queues and pools use SEPARATE link arenas because try_start
+  // pushes a job into its running pool while the dispatch scan still holds
+  // the job's queue links (each arena keeps the at-most-one-list invariant).
+  common::IndexLinks queue_links_;
+  common::IndexLinks pool_links_;
+  common::IndexList queues_[3];        // FCFS, insertion order
+  common::IndexList running_pools_[2]; // [kPoolPretrain], [kPoolBestEffort]; newest last
+  mutable std::vector<std::size_t> pretrain_scratch_;
+  // Coalesced dispatch: false means no capacity was freed since the last
+  // full scan, so previously stuck jobs would fail try_start again and a new
+  // submission only needs to probe itself (see on_submit).
+  bool capacity_freed_ = true;
   int eval_gpus_in_use_ = 0;
   int eval_cap_ = 0;
   int running_jobs_ = 0;

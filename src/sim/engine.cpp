@@ -28,9 +28,8 @@ void observe_dispatch(std::uint64_t fired, std::size_t pending) {
 
 }  // namespace
 
-EventHandle Engine::schedule_at(Time when, std::function<void()> fn) {
+EventHandle Engine::acquire(Time when) {
   ACME_CHECK_MSG(when >= now_, "cannot schedule events in the past");
-  ACME_CHECK(fn != nullptr);
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -38,46 +37,68 @@ EventHandle Engine::schedule_at(Time when, std::function<void()> fn) {
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
-    slots_.back().generation = 1;
   }
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  heap_.push(Entry{when, next_seq_++, slot, s.generation});
+  const std::uint32_t seq = next_seq_++;
+  slots_[slot].seq = seq;
+  queue_push(Entry{when, seq, slot});
   ++live_;
-  return EventHandle(slot, s.generation);
+  return EventHandle(slot, seq);
 }
 
-EventHandle Engine::schedule_after(Time delay, std::function<void()> fn) {
-  ACME_CHECK_MSG(delay >= 0, "negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
+void Engine::reserve(std::size_t events) {
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+  sorted_.reserve(events);
+  heap_.reserve(events);
+}
+
+void Engine::reset() {
+  now_ = 0;
+  next_seq_ = 1;
+  fired_ = 0;
+  live_ = 0;
+  sorted_.clear();
+  sorted_head_ = 0;
+  heap_.clear();
+  free_slots_.clear();
+  // Refill the free list descending so acquire() hands out slot 0 first —
+  // the same ids a fresh engine would grow into.
+  for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i-- > 0;) {
+    slots_[i].fn.reset();
+    slots_[i].seq = 0;
+    free_slots_.push_back(i);
+  }
 }
 
 void Engine::retire(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  s.fn = nullptr;
-  ++s.generation;  // invalidates outstanding handles and stale heap entries
+  s.fn.reset();
+  s.seq = 0;  // invalidates outstanding handles and stale heap entries
   free_slots_.push_back(slot);
   --live_;
 }
 
 bool Engine::cancel(EventHandle handle) {
   if (!handle.valid() || handle.slot_ >= slots_.size()) return false;
-  if (slots_[handle.slot_].generation != handle.generation_) return false;
+  if (slots_[handle.slot_].seq != handle.seq_) return false;
   retire(handle.slot_);
   return true;
 }
 
 bool Engine::step(Time horizon) {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    if (slots_[top.slot].generation != top.generation) {
-      heap_.pop();  // cancelled: the slot moved on before this entry surfaced
+  while (!queue_empty()) {
+    bool from_sorted = false;
+    const Entry top = queue_top(from_sorted);
+    if (slots_[top.slot].seq != top.seq) {
+      queue_pop(from_sorted);  // cancelled: the slot moved on already
       continue;
     }
     if (top.time > horizon) return false;
-    heap_.pop();
-    auto fn = std::move(slots_[top.slot].fn);
-    ACME_CHECK_MSG(fn != nullptr, "event lost its callback");
+    queue_pop(from_sorted);
+    // Move the callback out before retiring: the callback may schedule new
+    // events, and a freshly recycled slot must not alias the running closure.
+    EventFn fn = std::move(slots_[top.slot].fn);
+    ACME_CHECK_MSG(fn, "event lost its callback");
     retire(top.slot);
     now_ = top.time;
     ++fired_;

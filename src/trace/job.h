@@ -6,9 +6,25 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace acme::trace {
+
+// Model tags ("llm-7b", "llm-104b", ...) are interned into a global symbol
+// table: JobRecord carries a u32 id instead of a std::string, so traces copy
+// and compare tags as integers and the replay hot path never touches string
+// storage. The common tags are pre-interned with fixed ids (safe to switch
+// on); ad-hoc tags from CSV imports get fresh ids on first sight. The table
+// is append-only and mutex-guarded (trace synthesis runs in MC worker
+// threads); returned name references stay valid for the process lifetime.
+inline constexpr std::uint32_t kModelTagNone = 0;  // ""
+inline constexpr std::uint32_t kModelTag7B = 1;    // "llm-7b"
+inline constexpr std::uint32_t kModelTag104B = 2;  // "llm-104b"
+inline constexpr std::uint32_t kModelTag123B = 3;  // "llm-123b"
+
+std::uint32_t intern_model_tag(std::string_view tag);
+const std::string& model_tag_name(std::uint32_t id);
 
 enum class WorkloadType {
   kPretrain,
@@ -39,7 +55,11 @@ struct JobRecord {
   double submit_time = 0;  // seconds since trace start
   double duration = 0;     // runtime, excluding queuing delay
   double queue_delay = 0;  // filled by scheduler replay
-  std::string model_tag;   // e.g. "llm-123b" for pretraining jobs
+  // Interned tag id, e.g. kModelTag123B for a "llm-123b" pretraining job.
+  std::uint32_t model_tag_id = kModelTagNone;
+
+  const std::string& model_tag() const { return model_tag_name(model_tag_id); }
+  void set_model_tag(std::string_view tag) { model_tag_id = intern_model_tag(tag); }
 
   bool is_gpu_job() const { return gpus > 0; }
   double gpu_time() const { return static_cast<double>(gpus) * duration; }

@@ -90,9 +90,9 @@ Trace TraceSynthesizer::generate() const {
                                                  40 * common::kMinute);
     for (int gpus : profile_.pretrain_campaign_slots) {
       double tc = camp_rng.uniform(0.0, 6 * kHour);  // staggered campaign start
-      const std::string tag = gpus >= 1024 ? "llm-123b"
-                              : gpus >= 256 ? "llm-104b"
-                                            : "llm-7b";
+      const std::uint32_t tag = gpus >= 1024   ? kModelTag123B
+                              : gpus >= 256 ? kModelTag104B
+                                            : kModelTag7B;
       while (tc < horizon) {
         JobRecord job;
         job.id = next_id++;
@@ -107,7 +107,7 @@ Trace TraceSynthesizer::generate() const {
         job.duration = std::min(sample_duration(ptp, job.status, job_rng),
                                 5.0 * kDay);
         job.duration = std::min(job.duration, horizon - tc);
-        job.model_tag = tag;
+        job.model_tag_id = tag;
         out.push_back(job);
         double gap = restart_gap.sample(camp_rng);
         if (job.status == JobStatus::kCanceled && camp_rng.bernoulli(0.15))
@@ -163,7 +163,9 @@ Trace TraceSynthesizer::generate() const {
       job.status = sample_status(tp, job_rng);
       job.duration = sample_duration(tp, job.status, job_rng);
       if (tp.type == WorkloadType::kPretrain)
-        job.model_tag = job.gpus >= 1024 ? "llm-123b" : (job.gpus >= 256 ? "llm-104b" : "llm-7b");
+        job.model_tag_id = job.gpus >= 1024   ? kModelTag123B
+                           : job.gpus >= 256 ? kModelTag104B
+                                             : kModelTag7B;
       out.push_back(job);
     }
   }

@@ -33,7 +33,7 @@ void write_csv(std::ostream& out, const Trace& trace) {
     writer.write_row({std::to_string(j.id), to_string(j.type), to_string(j.status),
                       std::to_string(j.gpus), std::to_string(j.cpus),
                       std::to_string(j.submit_time), std::to_string(j.duration),
-                      std::to_string(j.queue_delay), j.model_tag});
+                      std::to_string(j.queue_delay), j.model_tag()});
   }
 }
 
@@ -53,7 +53,7 @@ Trace read_csv(std::istream& in) {
     j.submit_time = std::stod(row[5]);
     j.duration = std::stod(row[6]);
     j.queue_delay = std::stod(row[7]);
-    j.model_tag = row[8];
+    j.set_model_tag(row[8]);
     trace.push_back(std::move(j));
   }
   return trace;

@@ -18,10 +18,15 @@ namespace {
 
 // Sharded-state size of the victim's model, keyed off the synthesizer's
 // model tags; unknown tags fall back to the 7B sizing.
-double params_for_tag(const std::string& tag) {
-  if (tag == "llm-123b") return parallel::llm_123b().params();
-  if (tag == "llm-104b") return parallel::llm_104b().params();
-  return parallel::llm_7b().params();
+double params_for_tag(std::uint32_t tag_id) {
+  switch (tag_id) {
+    case trace::kModelTag123B:
+      return parallel::llm_123b().params();
+    case trace::kModelTag104B:
+      return parallel::llm_104b().params();
+    default:
+      return parallel::llm_7b().params();
+  }
 }
 
 void observe_failure(double stall_seconds, double lost_gpu_seconds) {
@@ -49,9 +54,17 @@ WorldReport World::run() {
   ACME_OBS_SPAN_ARG("world", "run", "scenario", spec_.name);
   WorldReport report;
 
-  const trace::Trace jobs = synthesize_trace(spec_);
+  trace::Trace jobs = synthesize_trace(spec_);
+  // Reason-mix hint for the sampler: the largest pretraining campaign in the
+  // trace (failure demand concentrates on the big jobs, §5.1). Computed
+  // before the scheduler adopts the trace below.
+  int campaign_gpus = 256;
+  for (const auto& job : jobs)
+    if (job.type == trace::WorkloadType::kPretrain)
+      campaign_gpus = std::max(campaign_gpus, job.gpus);
+
   sched::SchedulerReplay sched(engine_, inputs_.spec, inputs_.sched_config);
-  sched.begin_replay(jobs, spec_.sample_interval_seconds);
+  sched.begin_replay(std::move(jobs), spec_.sample_interval_seconds);
 
   // Failure machinery: reason/TTF/TTR sampling off the Table 3 fits, stalls
   // priced by the collective model and the checkpoint timing model.
@@ -60,12 +73,6 @@ WorldReport World::run() {
   comm::CollectiveModel fabric(inputs_.fabric);
   ckpt::CheckpointTimingModel ckpt_timing;
   const int gpus_per_node = std::max(1, inputs_.spec.node.gpus);
-  // Reason-mix hint for the sampler: the largest pretraining campaign in the
-  // trace (failure demand concentrates on the big jobs, §5.1).
-  int campaign_gpus = 256;
-  for (const auto& job : jobs)
-    if (job.type == trace::WorkloadType::kPretrain)
-      campaign_gpus = std::max(campaign_gpus, job.gpus);
 
   // The failure chain: one self-re-arming engine event. Each firing kills a
   // running pretraining job (if any), prices its recovery, and schedules the
@@ -94,7 +101,7 @@ WorldReport World::run() {
     const std::size_t victim = running[static_cast<std::size_t>(
         failure_rng.uniform_int(0, static_cast<std::int64_t>(running.size()) - 1))];
     const trace::JobRecord& job = sched.active_job(victim);
-    const double params = params_for_tag(job.model_tag);
+    const double params = params_for_tag(job.model_tag_id);
     const comm::World victim_world{job.gpus, 0, 0, 1};
 
     // Recovery stall (§6.1): diagnosis, localization for hardware faults,

@@ -127,6 +127,86 @@ TEST(ClusterState, CordonWhileAllocatedReleasesCorrectly) {
   EXPECT_EQ(state.free_gpus(), 8);
 }
 
+TEST(ClusterState, CordonUncordonRoundTripRestoresBucketsExactly) {
+  // Repeated cordon/uncordon cycles — including while partially allocated —
+  // must leave the free-GPU counters AND the bucket index exactly where they
+  // started: best-fit placement after the round trips picks the same node a
+  // fresh ledger would.
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 4;
+  ClusterState state(spec);
+  auto a = state.try_allocate(6);  // node 0 has 2 free: the best-fit target
+  ASSERT_TRUE(a.has_value());
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (NodeId n = 0; n < 4; ++n) state.cordon(n);
+    EXPECT_EQ(state.free_gpus(), 0);
+    EXPECT_EQ(state.cordoned_count(), 4);
+    EXPECT_EQ(state.empty_healthy_nodes(), 0);
+    EXPECT_FALSE(state.can_allocate(1));
+    for (NodeId n = 3; n >= 0; --n) state.uncordon(n);
+    EXPECT_EQ(state.cordoned_count(), 0);
+    EXPECT_EQ(state.free_gpus(), 4 * 8 - 6);
+    EXPECT_EQ(state.free_gpus_including_cordoned(), 4 * 8 - 6);
+    EXPECT_EQ(state.empty_healthy_nodes(), 3);
+  }
+  // Bucket membership survived the churn: a 2-GPU job best-fits node 0.
+  auto b = state.try_allocate(2);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->slices[0].node, a->slices[0].node);
+  state.release(*a);
+  state.release(*b);
+  EXPECT_EQ(state.free_gpus(), state.total_gpus());
+}
+
+TEST(ClusterState, TryAllocateIntoMatchesTryAllocate) {
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 6;
+  ClusterState by_value(spec);
+  ClusterState in_place(spec);
+  Allocation out;
+  for (const int gpus : {3, 24, 7, 12, 8, 1}) {
+    auto a = by_value.try_allocate(gpus);
+    const bool ok = in_place.try_allocate_into(gpus, 12, out);
+    ASSERT_EQ(a.has_value(), ok) << "gpus=" << gpus;
+    if (!ok) continue;
+    ASSERT_EQ(a->slices.size(), out.slices.size());
+    for (std::size_t i = 0; i < out.slices.size(); ++i) {
+      EXPECT_EQ(a->slices[i].node, out.slices[i].node);
+      EXPECT_EQ(a->slices[i].gpus, out.slices[i].gpus);
+      EXPECT_EQ(a->slices[i].cpus, out.slices[i].cpus);
+    }
+    in_place.release(out);
+    by_value.release(*a);
+  }
+  EXPECT_EQ(in_place.free_gpus(), in_place.total_gpus());
+}
+
+TEST(ClusterState, TryAllocateIntoReusesSpilledSliceBuffer) {
+  // A wide gang spills the Allocation's two-slice inline buffer; after a
+  // release + clear, reallocating into the same object must reuse the spilled
+  // block instead of growing a fresh one — the scheduler's restart path
+  // (evict -> re-place) relies on this to stay allocation-free.
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 6;
+  ClusterState state(spec);
+  Allocation out;
+  ASSERT_TRUE(state.try_allocate_into(40, 12, out));  // 5 whole nodes
+  ASSERT_EQ(out.slices.size(), 5u);
+  EXPECT_FALSE(out.slices.inline_storage());
+  const auto* block = out.slices.data();
+  const std::size_t cap = out.slices.capacity();
+  state.release(out);
+  ASSERT_TRUE(state.try_allocate_into(40, 12, out));
+  EXPECT_EQ(out.slices.data(), block);  // same heap block, no reallocation
+  EXPECT_EQ(out.slices.capacity(), cap);
+  // Failure (only one empty node left) empties the output but keeps its
+  // spilled capacity for the next attempt.
+  Allocation probe = out;
+  ASSERT_FALSE(state.try_allocate_into(16, 12, probe));
+  EXPECT_TRUE(probe.empty());
+  EXPECT_EQ(probe.slices.capacity(), cap);
+}
+
 // Property: a random allocate/release workload never oversubscribes and ends
 // balanced.
 class StatePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

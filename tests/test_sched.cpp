@@ -119,6 +119,48 @@ TEST(Scheduler, BackfillSkipsStuckHead) {
   EXPECT_GT(result.jobs[1].queue_delay, 100.0);
 }
 
+TEST(Scheduler, BackfillDepthZeroPinsFcfs) {
+  // With no backfill window the queue is strict FCFS: the 4-GPU job fits the
+  // free node but must still wait behind the stuck 16-GPU head.
+  auto spec = tiny_cluster(4);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.25;  // shared = 3 nodes
+  config.backfill_depth = 0;
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 200.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kDebug, 16, 1.0, 100.0));
+  jobs.push_back(make_job(3, trace::WorkloadType::kDebug, 4, 2.0, 10.0));
+  auto result = replay.replay(jobs);
+  // Job 3 starts only when job 2 does (t=200, after job 1 frees 2 nodes).
+  EXPECT_NEAR(result.jobs[2].queue_delay, 198.0, 1e-6);
+}
+
+TEST(Scheduler, BackfillBudgetCountsFailuresExactly) {
+  // The scan budget is the head plus backfill_depth failures. Two stuck jobs
+  // ahead: depth 1 exhausts the budget before the small job; depth 2 reaches
+  // it. Distinct widths (16 then 12) keep the second probe un-pruned, so the
+  // budget itself — not monotone pruning — is what stops the scan.
+  for (const int depth : {1, 2}) {
+    auto spec = tiny_cluster(4);
+    SchedulerConfig config;
+    config.pretrain_reservation = 0.25;  // shared = 3 nodes = 24 GPUs
+    config.backfill_depth = depth;
+    SchedulerReplay replay(spec, config);
+    trace::Trace jobs;
+    jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 16, 0.0, 200.0));
+    jobs.push_back(make_job(2, trace::WorkloadType::kDebug, 16, 1.0, 100.0));
+    jobs.push_back(make_job(3, trace::WorkloadType::kDebug, 12, 2.0, 100.0));
+    jobs.push_back(make_job(4, trace::WorkloadType::kDebug, 4, 3.0, 10.0));
+    auto result = replay.replay(jobs);
+    if (depth == 1) {
+      EXPECT_GT(result.jobs[3].queue_delay, 100.0) << "depth=" << depth;
+    } else {
+      EXPECT_NEAR(result.jobs[3].queue_delay, 0.0, 1e-9) << "depth=" << depth;
+    }
+  }
+}
+
 TEST(Scheduler, OversizedBestEffortEventuallyRunsAlone) {
   // A best-effort job bigger than the shared partition's eval cap... the
   // starvation escape lets an over-cap eval run once the class is empty.
@@ -223,6 +265,31 @@ TEST(Preemption, PretrainEvictsBestEffort) {
   // Victims re-run from scratch plus the restart overhead after the gang.
   EXPECT_EQ(result.unstarted, 0u);
   EXPECT_NEAR(result.makespan, 50.0 + 200.0 + 1000.0 + 100.0, 1e-6);
+}
+
+TEST(Preemption, VictimOrderIsYoungestFirst) {
+  // Three identical best-effort jobs start at t=0, 10, 20; the gang needs
+  // exactly one node back. The running pool is FIFO, victims are taken from
+  // the back, so the t=20 job (least progress) must be the one evicted:
+  // wasted GPU time pins the choice — 8 GPUs x 10 s, not x 30 s.
+  auto spec = tiny_cluster(3);
+  SchedulerConfig config;
+  config.pretrain_reservation = 0.0;
+  config.allow_preemption = true;
+  config.preemption_overhead_seconds = 0.0;
+  SchedulerReplay replay(spec, config);
+  trace::Trace jobs;
+  jobs.push_back(make_job(1, trace::WorkloadType::kDebug, 8, 0.0, 1000.0));
+  jobs.push_back(make_job(2, trace::WorkloadType::kDebug, 8, 10.0, 1000.0));
+  jobs.push_back(make_job(3, trace::WorkloadType::kDebug, 8, 20.0, 1000.0));
+  jobs.push_back(make_job(4, trace::WorkloadType::kPretrain, 8, 30.0, 50.0));
+  auto result = replay.replay(jobs);
+  EXPECT_EQ(result.preemptions, 1);
+  EXPECT_NEAR(result.wasted_gpu_seconds, 8 * 10.0, 1e-6);
+  // The victim keeps its original (zero-delay) start for delay accounting.
+  EXPECT_NEAR(result.jobs[2].queue_delay, 0.0, 1e-9);
+  // Victim reruns from scratch after the gang: 30 + 50 + 1000.
+  EXPECT_NEAR(result.makespan, 1080.0, 1e-6);
 }
 
 TEST(Preemption, NoEvictionWhenRoomExists) {

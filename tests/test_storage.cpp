@@ -237,17 +237,18 @@ TEST_P(StorageStress, RandomFlowsAllCompleteWithinCapacity) {
   int completed = 0;
   int launched = 0;
   std::vector<FlowId> cancellable;
+  const auto launch_flow = [&] {
+    const double bytes = rng.uniform(1.0, 200.0);
+    const int node = static_cast<int>(rng.uniform_int(0, 9));
+    total_bytes += bytes;
+    ++launched;
+    const FlowId id = net.start_flow(node, bytes, [&] { ++completed; });
+    if (rng.bernoulli(0.2)) cancellable.push_back(id);
+  };
   // Staggered arrivals over 100 s.
   for (int i = 0; i < 60; ++i) {
     const double at = rng.uniform(0, 100);
-    engine.schedule_at(at, [&, i] {
-      const double bytes = rng.uniform(1.0, 200.0);
-      const int node = static_cast<int>(rng.uniform_int(0, 9));
-      total_bytes += bytes;
-      ++launched;
-      const FlowId id = net.start_flow(node, bytes, [&] { ++completed; });
-      if (rng.bernoulli(0.2)) cancellable.push_back(id);
-    });
+    engine.schedule_at(at, [&launch_flow] { launch_flow(); });
   }
   engine.schedule_at(50.0, [&] {
     for (FlowId id : cancellable) net.cancel(id);

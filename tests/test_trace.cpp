@@ -155,7 +155,7 @@ TEST(Synthesizer, CpuJobsIncludedWhenRequested) {
 TEST(Synthesizer, CampaignJobsCarryModelTags) {
   for (const auto& j : kalos_trace()) {
     if (j.type == WorkloadType::kPretrain) {
-      EXPECT_FALSE(j.model_tag.empty());
+      EXPECT_FALSE(j.model_tag().empty());
       EXPECT_GE(j.gpus, 32);
     }
   }
@@ -176,7 +176,7 @@ TEST(TraceIo, CsvRoundTrip) {
     EXPECT_EQ(back[i].status, trace[i].status);
     EXPECT_EQ(back[i].gpus, trace[i].gpus);
     EXPECT_NEAR(back[i].duration, trace[i].duration, 1e-3);
-    EXPECT_EQ(back[i].model_tag, trace[i].model_tag);
+    EXPECT_EQ(back[i].model_tag_id, trace[i].model_tag_id);
   }
 }
 

@@ -147,7 +147,7 @@ TEST(World, KilledPretrainDelaysQueuedEvaluations) {
   campaign.gpus = 2048;
   campaign.submit_time = 0;
   campaign.duration = 10000;
-  campaign.model_tag = "llm-123b";
+  campaign.set_model_tag("llm-123b");
   input.push_back(campaign);
   for (int i = 0; i < 8; ++i) {
     trace::JobRecord eval;
@@ -176,7 +176,7 @@ TEST(World, KilledPretrainDelaysQueuedEvaluations) {
   faulty_engine.schedule_at(5000.0, [&faulty] {
     ASSERT_EQ(faulty.running_pretrain_jobs().size(), 1u);
     const std::size_t victim = faulty.running_pretrain_jobs().front();
-    EXPECT_EQ(faulty.active_job(victim).model_tag, "llm-123b");
+    EXPECT_EQ(faulty.active_job(victim).model_tag(), "llm-123b");
     faulty.kill_job(victim, /*rollback_cap_seconds=*/1800,
                     /*restart_overhead_seconds=*/600);
   });

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON reports with a tolerance band.
+
+Accepts either format the repo produces:
+  * Google Benchmark ``--benchmark_out`` JSON (a top-level ``benchmarks``
+    list with ``items_per_second`` / ``real_time`` entries), or
+  * the checked-in ``BENCH_<n>.json`` trajectory format (a ``results``
+    mapping of benchmark name -> {"items_per_second": ...} or
+    {"seconds": ...}).
+
+Throughput-style metrics (items/s) regress when they go DOWN; time-style
+metrics (seconds) regress when they go UP. Both are normalized to a ratio
+``current / reference`` in "bigger is better" orientation, and the run fails
+when any shared benchmark's ratio drops below ``1 - tolerance``.
+
+Usage:
+  tools/bench_compare.py reference.json current.json [--tolerance 0.25]
+
+Exit status: 0 when every shared benchmark is within the band, 1 on any
+regression past the band, 2 on usage/parse errors. Benchmarks present in
+only one report are listed but never fail the run (CI boxes differ in what
+they build).
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+
+
+def extract_metrics(doc):
+    """Returns {name: (value, bigger_is_better)} from either JSON schema."""
+    metrics = {}
+    if isinstance(doc, dict) and isinstance(doc.get("benchmarks"), list):
+        # Google Benchmark report. Aggregate rows (repetitions) keep only the
+        # mean so noisy p99-style aggregates don't produce false alarms.
+        for row in doc["benchmarks"]:
+            name = row.get("name", "")
+            if row.get("run_type") == "aggregate" and row.get(
+                    "aggregate_name") != "mean":
+                continue
+            base = name.split("_mean")[0] if name.endswith("_mean") else name
+            if "items_per_second" in row:
+                metrics[base] = (float(row["items_per_second"]), True)
+            elif "real_time" in row:
+                metrics[base] = (float(row["real_time"]), False)
+    elif isinstance(doc, dict) and isinstance(doc.get("results"), dict):
+        # BENCH_<n>.json trajectory format.
+        for name, entry in doc["results"].items():
+            if not isinstance(entry, dict):
+                continue
+            if "items_per_second" in entry:
+                metrics[name] = (float(entry["items_per_second"]), True)
+            elif "seconds" in entry:
+                metrics[name] = (float(entry["seconds"]), False)
+    return metrics
+
+
+def compare(reference, current, tolerance):
+    """Prints a per-benchmark table; returns the list of regressed names."""
+    regressions = []
+    shared = sorted(set(reference) & set(current))
+    if not shared:
+        print("bench_compare: no shared benchmarks between the two reports")
+        return regressions
+    width = max(len(n) for n in shared)
+    floor = 1.0 - tolerance
+    for name in shared:
+        ref_value, bigger_better = reference[name]
+        cur_value, _ = current[name]
+        if ref_value <= 0 or cur_value <= 0:
+            print(f"  {name:<{width}}  skipped (non-positive value)")
+            continue
+        ratio = (cur_value / ref_value) if bigger_better else (ref_value /
+                                                              cur_value)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        unit = "items/s" if bigger_better else "s"
+        print(f"  {name:<{width}}  {ref_value:.6g} -> {cur_value:.6g} {unit}"
+              f"  (x{ratio:.3f})  {verdict}")
+        if ratio < floor:
+            regressions.append(name)
+    for name in sorted(set(reference) ^ set(current)):
+        side = "reference" if name in reference else "current"
+        print(f"  {name:<{width}}  only in {side} report (ignored)")
+    return regressions
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reference", help="baseline JSON report")
+    parser.add_argument("current", help="candidate JSON report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25: "
+        "CI boxes are noisy; the band catches order-of-magnitude breaks, "
+        "not single-digit drift)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    reference = extract_metrics(_load(args.reference))
+    current = extract_metrics(_load(args.current))
+    print(f"bench_compare: {args.reference} vs {args.current} "
+          f"(tolerance {args.tolerance:.0%})")
+    regressions = compare(reference, current, args.tolerance)
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) past the "
+              f"band: {', '.join(regressions)}")
+        return 1
+    print("bench_compare: within the tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
