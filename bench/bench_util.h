@@ -144,4 +144,17 @@ inline const core::SixMonthReplay& kalos_replay() {
   return replay;
 }
 
+// The serve-only Seren preset shared by the serve benches and
+// `bench_world_endtoend --scenario serve-seren`, and the serve::ServeConfig
+// it resolves to (one mapping, world::serve_config, for benches, tests and
+// the world driver alike).
+inline const world::ScenarioSpec& serve_seren_scenario() {
+  static const world::ScenarioSpec spec = world::serve_seren_scenario();
+  return spec;
+}
+
+inline serve::ServeConfig serve_seren_config() {
+  return world::serve_config(serve_seren_scenario());
+}
+
 }  // namespace acme::bench

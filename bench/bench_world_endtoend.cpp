@@ -101,6 +101,27 @@ int main(int argc, char** argv) {
                  common::format_duration(report.pretrain_queue_delay.median())});
   table.add_row({"eval delay median",
                  common::format_duration(report.eval_queue_delay.median())});
+  if (report.served) {
+    const serve::FleetReport& s = report.serve;
+    table.add_row({"serve offered",
+                   std::to_string(s.offered) + " requests (" +
+                       common::Table::num(s.offered_rps(), 1) + " rps)"});
+    table.add_row({"serve completed", std::to_string(s.completed)});
+    table.add_row({"  rejected / failed", std::to_string(s.rejected) + " / " +
+                                              std::to_string(s.failed)});
+    table.add_row({"serve replica kills",
+                   std::to_string(s.replica_kills) + " (" +
+                       std::to_string(s.rewarms) + " re-warmed)"});
+    table.add_row({"serve SLO attainment",
+                   common::Table::pct(s.slo_attainment())});
+    table.add_row({"serve goodput",
+                   common::Table::num(s.goodput_rps(), 1) + " rps"});
+    table.add_row({"serve ttft p50/p99",
+                   common::Table::num(s.ttft_p50, 3) + " / " +
+                       common::Table::num(s.ttft_p99, 3) + " s"});
+    table.add_row({"serve e2e p99",
+                   common::Table::num(s.e2e_p99, 2) + " s"});
+  }
   std::printf("%s", table.render().c_str());
 
   const double lost_total =
@@ -118,6 +139,12 @@ int main(int argc, char** argv) {
                common::Table::num(
                    trace_days > 0 ? report.failures_injected / trace_days : 0, 2) +
                    " kills/trace-day");
+  if (report.served)
+    bench::recap("serve SLO goodput",
+                 "capacity loss shows up as attainment, not just rate",
+                 common::Table::pct(report.serve.slo_attainment()) + " SLO, " +
+                     common::Table::num(report.serve.goodput_rps(), 1) +
+                     " rps goodput");
 
   // Monte Carlo replication: every replica re-seeds trace synthesis, failure
   // arrivals and fleet sampling from its forked stream.
@@ -143,6 +170,21 @@ int main(int argc, char** argv) {
   mc_report.add_metric("failure_kills_per_day", kills_per_day, "1/d");
   mc_report.add_metric("failure_lost_gpu_days", lost_gpu_days, "GPU-d");
   mc_report.add_metric("eval_delay_median", eval_delay_h, "h");
+  if (spec.serving()) {
+    mc::MetricAggregator serve_goodput, serve_slo, serve_ttft_p99;
+    mc::fold_metric(run, [](const world::WorldReport& r) {
+      return r.serve.goodput_rps();
+    }, serve_goodput);
+    mc::fold_metric(run, [](const world::WorldReport& r) {
+      return r.serve.slo_attainment();
+    }, serve_slo);
+    mc::fold_metric(run, [](const world::WorldReport& r) {
+      return r.serve.ttft_p99;
+    }, serve_ttft_p99);
+    mc_report.add_metric("serve_goodput_rps", serve_goodput, "1/s");
+    mc_report.add_metric("serve_slo_attainment", serve_slo);
+    mc_report.add_metric("serve_ttft_p99", serve_ttft_p99, "s");
+  }
   bench::mc_footer(mc_report, cli);
 
   return bench::finish(obs_cli);

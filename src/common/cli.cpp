@@ -19,7 +19,10 @@ bool parse_u64(const std::string& s, std::uint64_t* out) {
   return true;
 }
 
-// Levenshtein distance for "did you mean" suggestions on unknown flags.
+}  // namespace
+
+// Levenshtein distance for "did you mean" suggestions on unknown flags and
+// scenario keys.
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   std::vector<std::size_t> row(b.size() + 1);
   for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
@@ -35,8 +38,6 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   }
   return row[b.size()];
 }
-
-}  // namespace
 
 FlagSet::FlagSet(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}

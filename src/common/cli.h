@@ -14,6 +14,10 @@
 
 namespace acme::common {
 
+// Levenshtein edit distance, the metric behind every "did you mean"
+// suggestion (FlagSet's unknown flags, world's unknown scenario keys).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
 class FlagSet {
  public:
   // `program` is argv[0]; `description` heads the usage text.

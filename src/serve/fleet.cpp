@@ -1,0 +1,403 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/digest.h"
+#include "obs/obs.h"
+
+namespace acme::serve {
+
+namespace {
+
+// Instrumentation handles are cached in function-local statics per the
+// obs::MetricsRegistry contract (registered metrics are never destroyed;
+// reset() zeroes them in place).
+obs::Counter& serve_counter(const char* name, const char* help) {
+  return obs::metrics().counter(name, help);
+}
+
+obs::Histogram& ttft_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "acme_serve_ttft_seconds", "Time to first token",
+      obs::Histogram::exponential_buckets(0.01, 2.0, 14));
+  return h;
+}
+
+obs::Histogram& e2e_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "acme_serve_e2e_seconds", "Request end-to-end latency",
+      obs::Histogram::exponential_buckets(0.05, 2.0, 14));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t FleetReport::digest() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "offered=" << offered << ";completed=" << completed
+     << ";rejected=" << rejected << ";failed=" << failed
+     << ";attained=" << attained << ";prefill=" << prefill_tokens
+     << ";decode=" << decode_tokens << ";steps=" << decode_steps
+     << ";epochs=" << epochs << ";kills=" << replica_kills
+     << ";rewarms=" << rewarms << ";horizon=" << horizon_seconds
+     << ";ttft50=" << ttft_p50 << ";ttft99=" << ttft_p99
+     << ";tpot50=" << tpot_p50 << ";tpot99=" << tpot_p99
+     << ";e2e50=" << e2e_p50 << ";e2e99=" << e2e_p99
+     << ";ttftm=" << ttft_mean << ";e2em=" << e2e_mean
+     << ";occ=" << mean_batch_occupancy << ";queue=" << mean_queue_depth;
+  return common::fnv1a(os.str());
+}
+
+std::string FleetReport::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << "offered " << offered << " ("
+     << offered_rps() << " rps), completed " << completed << ", rejected "
+     << rejected << ", failed " << failed << ", slo "
+     << std::setprecision(1) << 100.0 * slo_attainment() << "%, goodput "
+     << goodput_rps() << " rps, ttft p50/p99 " << std::setprecision(3)
+     << ttft_p50 << "/" << ttft_p99 << " s, e2e p99 " << e2e_p99 << " s";
+  return os.str();
+}
+
+ServeFleet::ServeFleet(sim::Engine& engine, ServeConfig config,
+                       std::uint64_t seed)
+    : engine_(engine),
+      config_(std::move(config)),
+      cost_(config_.model, config_.hw, comm::CollectiveModel(config_.fabric)),
+      arrivals_(config_.traffic, seed),
+      ttft_p50_(0.5),
+      ttft_p99_(0.99),
+      tpot_p50_(0.5),
+      tpot_p99_(0.99),
+      e2e_p50_(0.5),
+      e2e_p99_(0.99) {
+  ACME_CHECK_MSG(config_.replicas > 0, "serve fleet needs replicas");
+  ACME_CHECK_MSG(config_.max_batch > 0, "max_batch must be positive");
+  ACME_CHECK_MSG(config_.queue_cap > 0, "queue_cap must be positive");
+  ACME_CHECK_MSG(config_.max_epoch_steps > 0, "max_epoch_steps must be positive");
+  ACME_CHECK_MSG(config_.horizon_seconds > 0, "horizon must be positive");
+  up_ = config_.replicas;
+  reps_.resize(static_cast<std::size_t>(config_.replicas));
+  for (Replica& rep : reps_) {
+    rep.active.reserve(static_cast<std::size_t>(config_.max_batch));
+    rep.ring.resize(static_cast<std::size_t>(config_.queue_cap));
+  }
+  // Every request in flight or queued owns one pool slot; this bound is the
+  // exact maximum, so the free list never grows past its reservation.
+  const std::size_t slots =
+      static_cast<std::size_t>(config_.replicas) *
+      static_cast<std::size_t>(config_.max_batch + config_.queue_cap);
+  pool_.resize(slots);
+  free_slots_.reserve(slots);
+  for (std::size_t i = slots; i-- > 0;)
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+}
+
+void ServeFleet::start() {
+  // Concurrently pending serve events: one arrival plus one epoch-or-rewarm
+  // per replica. Reserving on top of whatever the caller already scheduled
+  // keeps the steady state free of engine slot growth.
+  engine_.reserve(engine_.pending() + static_cast<std::size_t>(config_.replicas) + 2);
+  queue_last_t_ = engine_.now();
+  const double t0 = engine_.now() + arrivals_.next_interarrival(engine_.now());
+  if (t0 <= config_.horizon_seconds)
+    engine_.schedule_at(t0, [this] { arrival_fire(); });
+}
+
+void ServeFleet::touch_queue_integral() {
+  const double now = engine_.now();
+  queue_integral_ += static_cast<double>(queued_now_) * (now - queue_last_t_);
+  queue_last_t_ = now;
+}
+
+int ServeFleet::pick_replica() const {
+  int best = -1;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (int r = 0; r < static_cast<int>(reps_.size()); ++r) {
+    const Replica& rep = reps_[static_cast<std::size_t>(r)];
+    if (!rep.up) continue;
+    if (rep.ring_count >= rep.ring.size()) continue;
+    const std::size_t load = rep.active.size() + rep.ring_count;
+    if (load < best_load) {
+      best_load = load;
+      best = r;
+    }
+  }
+  return best;
+}
+
+void ServeFleet::arrival_fire() {
+  const double now = engine_.now();
+  last_event_t_ = std::max(last_event_t_, now);
+  const RequestSample s = arrivals_.sample_request();
+  ++offered_;
+  if (obs::enabled())
+    serve_counter("acme_serve_requests_offered_total",
+                  "Requests offered by the arrival process")
+        .inc();
+  // Chain the next arrival before dispatching this one so the event order is
+  // (arrival, dispatch side effects) regardless of queue state.
+  const double next = now + arrivals_.next_interarrival(now);
+  if (next <= config_.horizon_seconds)
+    engine_.schedule_at(next, [this] { arrival_fire(); });
+
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(s.prompt_tokens) +
+      static_cast<std::uint64_t>(s.output_tokens);
+  const int r = pick_replica();
+  if (r < 0 || free_slots_.empty() || need > cost_.kv_capacity_tokens()) {
+    ++rejected_;
+    if (obs::enabled())
+      serve_counter("acme_serve_requests_rejected_total",
+                    "Requests dropped with no replica able to take them")
+          .inc();
+    return;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  Request& req = pool_[slot];
+  req.arrival = now;
+  req.first_token = 0;
+  req.prompt = s.prompt_tokens;
+  req.output = s.output_tokens;
+  req.finish_step = 0;
+  req.span_id = next_span_id_++;
+  if (obs::enabled())
+    obs::tracer().async_begin("serve", "request", req.span_id);
+
+  Replica& rep = reps_[static_cast<std::size_t>(r)];
+  touch_queue_integral();
+  rep.ring[(rep.ring_head + rep.ring_count) % rep.ring.size()] = slot;
+  ++rep.ring_count;
+  ++queued_now_;
+  if (obs::enabled())
+    obs::tracer().counter("serve", "queue_depth",
+                          static_cast<double>(queued_now_));
+  // Idle wakeup: a replica with no epoch pending admits immediately.
+  if (!rep.stepping) plan_epoch(r);
+}
+
+void ServeFleet::plan_epoch(int r) {
+  Replica& rep = reps_[static_cast<std::size_t>(r)];
+  if (!rep.up || rep.stepping) return;
+  const double now = engine_.now();
+
+  // Admit FCFS from the ring while the batch and the KV budget allow. The
+  // reservation is worst-case (prompt + full output), so admitted requests
+  // never outgrow the cache mid-flight; the head of the line blocks until
+  // enough residents complete.
+  double prefill = 0;
+  while (rep.ring_count > 0 &&
+         rep.active.size() < static_cast<std::size_t>(config_.max_batch)) {
+    const std::uint32_t slot = rep.ring[rep.ring_head];
+    Request& req = pool_[slot];
+    const std::uint64_t need = static_cast<std::uint64_t>(req.prompt) +
+                               static_cast<std::uint64_t>(req.output);
+    if (rep.resident_tokens + need > cost_.kv_capacity_tokens()) break;
+    rep.ring_head = (rep.ring_head + 1) % rep.ring.size();
+    --rep.ring_count;
+    touch_queue_integral();
+    --queued_now_;
+    rep.resident_tokens += need;
+    // Prefills of one admission round run back to back before decode
+    // resumes; the first output token of each request emerges from its own
+    // prefill.
+    prefill += cost_.prefill_seconds(static_cast<std::uint64_t>(req.prompt));
+    prefill_tokens_ += static_cast<std::uint64_t>(req.prompt);
+    req.first_token = now + prefill;
+    // output >= 2 always (traffic clamps), so at least one decode step.
+    req.finish_step =
+        rep.steps + static_cast<std::uint64_t>(req.output) - 1;
+    rep.active.push_back(slot);
+  }
+  if (rep.active.empty()) return;  // idle until the next arrival
+
+  // Epoch length: steps until the earliest completion, capped so queued
+  // requests get an admission scan at a bounded cadence.
+  std::uint64_t kmin = std::numeric_limits<std::uint64_t>::max();
+  for (const std::uint32_t slot : rep.active)
+    kmin = std::min(kmin, pool_[slot].finish_step - rep.steps);
+  const std::uint64_t k =
+      std::min<std::uint64_t>(kmin, static_cast<std::uint64_t>(config_.max_epoch_steps));
+  const double step_s = cost_.decode_step_seconds(
+      static_cast<int>(rep.active.size()), rep.resident_tokens);
+  rep.epoch_start = now;
+  rep.epoch_prefill = prefill;
+  rep.epoch_step_seconds = step_s;
+  rep.epoch_base_steps = rep.steps;
+  rep.epoch_end_steps = rep.steps + k;
+  rep.epoch_end_time = now + prefill + static_cast<double>(k) * step_s;
+  rep.stepping = true;
+  rep.epoch = engine_.schedule_at(rep.epoch_end_time,
+                                  [this, r] { epoch_fire(r); });
+}
+
+void ServeFleet::epoch_fire(int r) {
+  Replica& rep = reps_[static_cast<std::size_t>(r)];
+  const double now = engine_.now();
+  last_event_t_ = std::max(last_event_t_, now);
+  rep.stepping = false;
+  const std::uint64_t k = rep.epoch_end_steps - rep.epoch_base_steps;
+  rep.steps = rep.epoch_end_steps;
+  ++epochs_;
+  decode_steps_ += k;
+  decode_tokens_ += k * rep.active.size();
+  batch_integral_ +=
+      static_cast<double>(rep.active.size()) * (now - rep.epoch_start);
+  if (obs::enabled()) {
+    serve_counter("acme_serve_epochs_total", "Batching epochs executed").inc();
+    serve_counter("acme_serve_decode_tokens_total", "Decode tokens generated")
+        .inc(k * rep.active.size());
+  }
+
+  // Settle completions. k never exceeds the distance to the earliest finish,
+  // so finishers land exactly at the epoch boundary; the arithmetic form
+  // stays exact if that invariant is ever relaxed.
+  for (std::size_t i = 0; i < rep.active.size();) {
+    const std::uint32_t slot = rep.active[i];
+    Request& req = pool_[slot];
+    if (req.finish_step <= rep.steps) {
+      const double t =
+          rep.epoch_start + rep.epoch_prefill +
+          static_cast<double>(req.finish_step - rep.epoch_base_steps) *
+              rep.epoch_step_seconds;
+      rep.resident_tokens -= static_cast<std::uint64_t>(req.prompt) +
+                             static_cast<std::uint64_t>(req.output);
+      rep.active[i] = rep.active.back();
+      rep.active.pop_back();
+      complete_request(slot, t);
+    } else {
+      ++i;
+    }
+  }
+  plan_epoch(r);
+}
+
+void ServeFleet::complete_request(std::uint32_t slot, double completion_time) {
+  Request& req = pool_[slot];
+  ++completed_;
+  const double ttft = req.first_token - req.arrival;
+  const double e2e = completion_time - req.arrival;
+  const double tpot = (completion_time - req.first_token) /
+                      static_cast<double>(req.output - 1);
+  ttft_stats_.add(ttft);
+  e2e_stats_.add(e2e);
+  ttft_p50_.add(ttft);
+  ttft_p99_.add(ttft);
+  tpot_p50_.add(tpot);
+  tpot_p99_.add(tpot);
+  e2e_p50_.add(e2e);
+  e2e_p99_.add(e2e);
+  if (ttft <= config_.slo_ttft_seconds && tpot <= config_.slo_tpot_seconds)
+    ++attained_;
+  if (obs::enabled()) {
+    serve_counter("acme_serve_requests_completed_total",
+                  "Requests that generated their full output")
+        .inc();
+    ttft_histogram().observe(ttft);
+    e2e_histogram().observe(e2e);
+    obs::tracer().async_end("serve", "request", req.span_id);
+  }
+  free_slots_.push_back(slot);
+}
+
+void ServeFleet::fail_request(std::uint32_t slot) {
+  ++failed_;
+  if (obs::enabled()) {
+    serve_counter("acme_serve_requests_failed_total",
+                  "Requests lost to replica failures")
+        .inc();
+    obs::tracer().async_end("serve", "request", pool_[slot].span_id);
+  }
+  free_slots_.push_back(slot);
+}
+
+void ServeFleet::kill_replica(int index, double rewarm_seconds) {
+  ACME_CHECK_MSG(index >= 0 && index < static_cast<int>(reps_.size()),
+                 "replica index out of range");
+  ACME_CHECK_MSG(rewarm_seconds >= 0, "negative rewarm time");
+  Replica& rep = reps_[static_cast<std::size_t>(index)];
+  if (!rep.up) return;  // failure landed on an already-dead replica
+  const double now = engine_.now();
+  last_event_t_ = std::max(last_event_t_, now);
+  rep.up = false;
+  --up_;
+  ++kills_;
+  if (obs::enabled())
+    serve_counter("acme_serve_replica_kills_total",
+                  "Replica failures injected")
+        .inc();
+  if (rep.stepping) {
+    engine_.cancel(rep.epoch);
+    rep.stepping = false;
+  }
+  for (const std::uint32_t slot : rep.active) fail_request(slot);
+  rep.active.clear();
+  rep.resident_tokens = 0;
+  touch_queue_integral();
+  while (rep.ring_count > 0) {
+    fail_request(rep.ring[rep.ring_head]);
+    rep.ring_head = (rep.ring_head + 1) % rep.ring.size();
+    --rep.ring_count;
+    --queued_now_;
+  }
+  const int r = index;
+  engine_.schedule_after(rewarm_seconds, [this, r] { rewarm_fire(r); });
+}
+
+void ServeFleet::rewarm_fire(int r) {
+  Replica& rep = reps_[static_cast<std::size_t>(r)];
+  const double now = engine_.now();
+  last_event_t_ = std::max(last_event_t_, now);
+  rep.up = true;
+  ++up_;
+  ++rewarms_;
+  if (obs::enabled())
+    serve_counter("acme_serve_rewarms_total", "Replicas brought back up").inc();
+  // The ring drained at kill time, so this only matters if arrivals raced the
+  // rewarm onto this replica — they cannot (down replicas are unpickable) —
+  // but the call keeps the invariant "an up replica with work is stepping".
+  plan_epoch(r);
+}
+
+FleetReport ServeFleet::report() const {
+  FleetReport rep;
+  rep.offered = offered_;
+  rep.completed = completed_;
+  rep.rejected = rejected_;
+  rep.failed = failed_;
+  rep.attained = attained_;
+  rep.prefill_tokens = prefill_tokens_;
+  rep.decode_tokens = decode_tokens_;
+  rep.decode_steps = decode_steps_;
+  rep.epochs = epochs_;
+  rep.replica_kills = kills_;
+  rep.rewarms = rewarms_;
+  rep.horizon_seconds = config_.horizon_seconds;
+  rep.ttft_p50 = ttft_p50_.value();
+  rep.ttft_p99 = ttft_p99_.value();
+  rep.tpot_p50 = tpot_p50_.value();
+  rep.tpot_p99 = tpot_p99_.value();
+  rep.e2e_p50 = e2e_p50_.value();
+  rep.e2e_p99 = e2e_p99_.value();
+  rep.ttft_mean = ttft_stats_.mean();
+  rep.e2e_mean = e2e_stats_.mean();
+  // Time-weighted means over the span the fleet was actually live (the drain
+  // can outrun the horizon; in a co-located world the engine clock keeps
+  // going long after serving stopped).
+  const double elapsed = std::max(config_.horizon_seconds, last_event_t_);
+  const double queue_final =
+      queue_integral_ +
+      static_cast<double>(queued_now_) * (elapsed - queue_last_t_);
+  rep.mean_queue_depth = queue_final / elapsed;
+  rep.mean_batch_occupancy = batch_integral_ / elapsed;
+  return rep;
+}
+
+}  // namespace acme::serve

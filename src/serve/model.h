@@ -1,0 +1,82 @@
+// Inference replica cost model: KV-cache memory anatomy and prefill/decode
+// phase pricing for a tensor-parallel serving replica (DESIGN.md §11).
+//
+// The serving side reuses the training-side physics instead of inventing new
+// constants: forward FLOPs per token derive from
+// parallel::TransformerConfig::train_flops_per_token() (forward ≈ 1/3 of the
+// train step), resident weights are the 2Ψ fp16 term of
+// parallel::mixed_precision_anatomy (inference carries no gradients or
+// optimizer states), and the tensor-parallel activation all-reduces on the
+// token path are priced by the same comm::CollectiveModel alpha-beta fabric
+// the pretrain models use. The KV cache is what is new: every resident token
+// pins 2 * 2 bytes * layers * hidden of fp16 K/V state, and whatever HBM the
+// weights do not occupy caps how many tokens a replica can hold — the batch
+// ceiling of continuous batching.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/collective.h"
+#include "common/units.h"
+#include "parallel/model_math.h"
+
+namespace acme::serve {
+
+// Hardware of one serving replica: `gpus` tensor-parallel A100-class devices.
+struct ReplicaHardware {
+  int gpus = 8;
+  double gpu_memory_bytes = 80.0 * common::kGB;
+  double peak_flops_per_gpu = 312e12;        // A100 BF16 dense
+  double hbm_bytes_per_second = 2.0e12;      // A100 80GB HBM2e read bandwidth
+  double flops_efficiency = 0.45;            // sustained fraction of peak
+  // Activation workspace + CUDA context reserved per GPU before the KV cache
+  // gets the remainder.
+  double workspace_bytes_per_gpu = 4.0 * common::kGB;
+};
+
+// fp16 K and V for every layer: 2 tensors * 2 bytes * layers * hidden per
+// resident token, across the whole replica (the tensor-parallel shards sum
+// back to this). MoE does not change attention state, so the dense formula
+// applies to every model family the repo knows.
+double kv_bytes_per_token(const parallel::TransformerConfig& cfg);
+
+// Phase pricing for one replica serving `cfg` on `hw`, with tensor-parallel
+// collectives charged against `fabric`. All methods are pure O(1) arithmetic
+// so the serve hot path can call them per batching epoch.
+class ReplicaCostModel {
+ public:
+  ReplicaCostModel(parallel::TransformerConfig cfg, ReplicaHardware hw,
+                   const comm::CollectiveModel& fabric);
+
+  // Resident fp16 weights (the 2Ψ anatomy term), whole replica.
+  double weight_bytes() const { return weight_bytes_; }
+  // Max tokens of KV state the replica can hold after weights + workspace.
+  std::uint64_t kv_capacity_tokens() const { return kv_capacity_tokens_; }
+  double kv_bytes_per_token() const { return kv_per_token_; }
+
+  // Prefill of `prompt_tokens` tokens: compute-bound forward pass plus the
+  // per-layer tensor-parallel all-reduces. Produces the first output token.
+  double prefill_seconds(std::uint64_t prompt_tokens) const;
+
+  // One continuous-batching decode step: every active request advances one
+  // token. Roofline of (weights + resident KV) HBM reads vs batched forward
+  // compute, plus the per-layer all-reduce latency floor that makes small
+  // batches latency-bound.
+  double decode_step_seconds(int batch, std::uint64_t resident_kv_tokens) const;
+
+ private:
+  parallel::TransformerConfig cfg_;
+  ReplicaHardware hw_;
+  double weight_bytes_ = 0;
+  double kv_per_token_ = 0;
+  std::uint64_t kv_capacity_tokens_ = 0;
+  double forward_flops_per_token_ = 0;
+  double replica_flops_ = 0;       // gpus * peak * efficiency
+  double replica_hbm_ = 0;         // gpus * hbm bandwidth
+  // Per-decode-step tensor-parallel collective cost, linearized as
+  // 2 * layers * (alpha + tokens_in_flight * 2 bytes * hidden * beta).
+  double tp_alpha_per_step_ = 0;   // latency floor, all layers
+  double tp_beta_per_token_ = 0;   // marginal seconds per in-flight token
+};
+
+}  // namespace acme::serve

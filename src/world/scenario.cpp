@@ -1,5 +1,6 @@
 #include "world/scenario.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/cli.h"
 #include "trace/synthesizer.h"
 
 namespace acme::world {
@@ -121,11 +123,43 @@ struct Registry {
 Registry& registry() {
   static Registry* r = [] {
     auto* init = new Registry;
-    for (const ScenarioSpec& preset : {seren_scenario(), kalos_scenario()})
+    for (const ScenarioSpec& preset :
+         {seren_scenario(), kalos_scenario(), serve_seren_scenario(),
+          colocated_seren_scenario()})
       init->by_name[preset.name] = preset;
     return init;
   }();
   return *r;
+}
+
+// Every key scenario_from_json accepts, for the "did you mean" suggestion.
+constexpr const char* kScenarioKeys[] = {
+    "name",          "cluster",
+    "scale",         "sample_interval_seconds",
+    "seed",          "inject_failures",
+    "failure_interval_scale", "auto_recovery",
+    "ckpt_interval_seconds",  "async_ckpt",
+    "fleet_samples", "pretrain",
+    "serve_replicas",         "serve_gpus_per_replica",
+    "serve_model",   "serve_rps",
+    "serve_diurnal_amplitude", "serve_burst_multiplier",
+    "serve_burst_fraction",    "serve_duration_seconds",
+    "serve_slo_ttft_seconds",  "serve_slo_tpot_seconds",
+};
+
+std::string unknown_key_message(const std::string& key) {
+  std::string best;
+  std::size_t best_distance = 4;  // suggest only near-misses, like FlagSet
+  for (const char* known : kScenarioKeys) {
+    const std::size_t d = common::edit_distance(key, known);
+    if (d < best_distance) {
+      best_distance = d;
+      best = known;
+    }
+  }
+  std::string message = "unknown scenario key \"" + key + "\"";
+  if (!best.empty()) message += " (did you mean \"" + best + "\"?)";
+  return message;
 }
 
 }  // namespace
@@ -147,7 +181,19 @@ std::string ScenarioSpec::to_json() const {
       << ",\"auto_recovery\":" << (auto_recovery ? "true" : "false")
       << ",\"ckpt_interval_seconds\":" << number(ckpt_interval_seconds)
       << ",\"async_ckpt\":" << (async_ckpt ? "true" : "false")
-      << ",\"fleet_samples\":" << fleet_samples << "}";
+      << ",\"fleet_samples\":" << fleet_samples
+      << ",\"pretrain\":" << (pretrain ? "true" : "false")
+      << ",\"serve_replicas\":" << serve_replicas
+      << ",\"serve_gpus_per_replica\":" << serve_gpus_per_replica
+      << ",\"serve_model\":\"" << escape(serve_model) << "\""
+      << ",\"serve_rps\":" << number(serve_rps)
+      << ",\"serve_diurnal_amplitude\":" << number(serve_diurnal_amplitude)
+      << ",\"serve_burst_multiplier\":" << number(serve_burst_multiplier)
+      << ",\"serve_burst_fraction\":" << number(serve_burst_fraction)
+      << ",\"serve_duration_seconds\":" << number(serve_duration_seconds)
+      << ",\"serve_slo_ttft_seconds\":" << number(serve_slo_ttft_seconds)
+      << ",\"serve_slo_tpot_seconds\":" << number(serve_slo_tpot_seconds)
+      << "}";
   return out.str();
 }
 
@@ -162,6 +208,7 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
   ScenarioSpec spec;
   p.skip_ws();
   bool first = true;
+  std::vector<std::string> seen;
   while (true) {
     p.skip_ws();
     if (p.i < json.size() && json[p.i] == '}') {
@@ -175,6 +222,9 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
     if (!p.parse_string(&key)) return bail(p.error);
     if (!p.expect(':')) return bail(p.error);
     if (!p.parse_scalar(&raw, &is_string)) return bail(p.error);
+    if (std::find(seen.begin(), seen.end(), key) != seen.end())
+      return bail("duplicate scenario key \"" + key + "\"");
+    seen.push_back(key);
 
     const auto want_string = [&](std::string* field) {
       if (!is_string) return false;
@@ -191,6 +241,12 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
     };
     const auto want_u64 = [&](std::uint64_t* field) {
       return !is_string && parse_u64(raw, field);
+    };
+    const auto want_int = [&](int* field) {
+      std::uint64_t n = 0;
+      if (is_string || !parse_u64(raw, &n) || n > 1000000) return false;
+      *field = static_cast<int>(n);
+      return true;
     };
 
     bool ok;
@@ -211,8 +267,26 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
       std::uint64_t n = 0;
       ok = want_u64(&n);
       spec.fleet_samples = static_cast<std::size_t>(n);
-    } else {
-      return bail("unknown scenario key \"" + key + "\"");
+    } else if (key == "pretrain") ok = want_bool(&spec.pretrain);
+    else if (key == "serve_replicas") ok = want_int(&spec.serve_replicas);
+    else if (key == "serve_gpus_per_replica")
+      ok = want_int(&spec.serve_gpus_per_replica);
+    else if (key == "serve_model") ok = want_string(&spec.serve_model);
+    else if (key == "serve_rps") ok = want_double(&spec.serve_rps);
+    else if (key == "serve_diurnal_amplitude")
+      ok = want_double(&spec.serve_diurnal_amplitude);
+    else if (key == "serve_burst_multiplier")
+      ok = want_double(&spec.serve_burst_multiplier);
+    else if (key == "serve_burst_fraction")
+      ok = want_double(&spec.serve_burst_fraction);
+    else if (key == "serve_duration_seconds")
+      ok = want_double(&spec.serve_duration_seconds);
+    else if (key == "serve_slo_ttft_seconds")
+      ok = want_double(&spec.serve_slo_ttft_seconds);
+    else if (key == "serve_slo_tpot_seconds")
+      ok = want_double(&spec.serve_slo_tpot_seconds);
+    else {
+      return bail(unknown_key_message(key));
     }
     if (!ok) return bail("bad value for \"" + key + "\": " + raw);
   }
@@ -228,6 +302,28 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
     return bail("ckpt_interval_seconds must be positive");
   if (spec.sample_interval_seconds < 0)
     return bail("sample_interval_seconds must be >= 0");
+  if (spec.serve_model != "7b" && spec.serve_model != "104b" &&
+      spec.serve_model != "123b" && spec.serve_model != "moe")
+    return bail("serve_model must be one of 7b, 104b, 123b, moe; got \"" +
+                spec.serve_model + "\"");
+  if (!spec.pretrain && !spec.serving())
+    return bail("a serve-only scenario (pretrain=false) needs serve_replicas > 0");
+  if (spec.serving()) {
+    if (spec.serve_gpus_per_replica <= 0)
+      return bail("serve_gpus_per_replica must be positive");
+    if (spec.serve_rps < 0) return bail("serve_rps must be >= 0");
+    if (spec.serve_diurnal_amplitude < 0 || spec.serve_diurnal_amplitude > 1)
+      return bail("serve_diurnal_amplitude must be in [0, 1]");
+    if (spec.serve_burst_multiplier < 1)
+      return bail("serve_burst_multiplier must be >= 1");
+    if (spec.serve_burst_fraction < 0 || spec.serve_burst_fraction >= 1)
+      return bail("serve_burst_fraction must be in [0, 1)");
+    if (!(spec.serve_duration_seconds > 0))
+      return bail("serve_duration_seconds must be positive");
+    if (!(spec.serve_slo_ttft_seconds > 0) ||
+        !(spec.serve_slo_tpot_seconds > 0))
+      return bail("serve SLO targets must be positive");
+  }
   return spec;
 }
 
@@ -244,6 +340,30 @@ ScenarioSpec kalos_scenario() {
   spec.name = "kalos";
   spec.cluster = "kalos";
   spec.scale = 1.0;
+  return spec;
+}
+
+ScenarioSpec serve_seren_scenario() {
+  ScenarioSpec spec;
+  spec.name = "serve-seren";
+  spec.cluster = "seren";
+  spec.pretrain = false;
+  spec.inject_failures = false;  // clean SLO baseline; flip on for Table 3
+  spec.serve_replicas = 16;
+  // ~0.7x fleet capacity at the mean: healthy baseline, but the diurnal
+  // peak in the MMPP burst state pushes past capacity by design.
+  spec.serve_rps = 250.0;
+  return spec;
+}
+
+ScenarioSpec colocated_seren_scenario() {
+  ScenarioSpec spec;
+  spec.name = "colocated-seren";
+  spec.cluster = "seren";
+  spec.scale = 8.0;
+  spec.serve_replicas = 8;
+  spec.serve_rps = 120.0;
+  spec.serve_duration_seconds = 4.0 * 3600.0;
   return spec;
 }
 

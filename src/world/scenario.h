@@ -46,7 +46,25 @@ struct ScenarioSpec {
   bool async_ckpt = true;  // async persist lag extends the rollback window
   // Fleet telemetry observations sampled from the replay's occupancy.
   std::size_t fleet_samples = 20000;
+  // Pretraining replay on/off. A serve-only scenario turns it off and must
+  // then configure a serving fleet.
+  bool pretrain = true;
+  // Inference serving fleet (src/serve): serve_replicas == 0 disables
+  // serving, > 0 stands up that many tensor-parallel replicas next to (or
+  // instead of) the pretraining replay. With inject_failures on, Table 3
+  // failures hit serve replicas in proportion to their share of the fleet.
+  int serve_replicas = 0;
+  int serve_gpus_per_replica = 8;
+  std::string serve_model = "7b";  // "7b" | "104b" | "123b" | "moe"
+  double serve_rps = 100.0;        // long-run offered requests/second
+  double serve_diurnal_amplitude = 0.5;
+  double serve_burst_multiplier = 3.0;
+  double serve_burst_fraction = 0.1;
+  double serve_duration_seconds = 3600.0;  // arrival horizon
+  double serve_slo_ttft_seconds = 2.0;
+  double serve_slo_tpot_seconds = 0.1;
 
+  bool serving() const { return serve_replicas > 0; }
   bool kalos() const { return cluster == "kalos"; }
   // Normalized trace divisor: scale >= 1 verbatim, (0,1) inverted.
   double trace_divisor() const;
@@ -54,16 +72,20 @@ struct ScenarioSpec {
   std::string to_json() const;
 };
 
-// Parses a flat JSON object written by to_json (unknown keys are an error —
-// the same strictness as common::FlagSet). Returns nullopt and fills *error
-// on malformed input.
+// Parses a flat JSON object written by to_json. Unknown keys are an error
+// with a Levenshtein "did you mean" suggestion (the same strictness as
+// common::FlagSet), and duplicate keys are rejected rather than last-write
+// wins. Returns nullopt and fills *error on malformed input.
 std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
                                                std::string* error = nullptr);
 
 // Presets: the two Acme clusters at their usual bench scales (Seren 1/8 of
-// the six-month trace, Kalos full).
+// the six-month trace, Kalos full), a serve-only Seren fleet, and a
+// co-located train+serve Seren world with live failures.
 ScenarioSpec seren_scenario();
 ScenarioSpec kalos_scenario();
+ScenarioSpec serve_seren_scenario();
+ScenarioSpec colocated_seren_scenario();
 
 // Named-scenario registry. The presets are always resolvable; registering a
 // spec under an existing name replaces it.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "ckpt/timing.h"
 #include "comm/collective.h"
@@ -47,6 +48,26 @@ void observe_failure(double stall_seconds, double lost_gpu_seconds) {
 
 }  // namespace
 
+serve::ServeConfig serve_config(const ScenarioSpec& spec) {
+  ACME_CHECK_MSG(spec.serving(), "scenario configures no serving fleet");
+  serve::ServeConfig cfg;
+  cfg.replicas = spec.serve_replicas;
+  cfg.hw.gpus = spec.serve_gpus_per_replica;
+  if (spec.serve_model == "104b") cfg.model = parallel::llm_104b();
+  else if (spec.serve_model == "123b") cfg.model = parallel::llm_123b();
+  else if (spec.serve_model == "moe") cfg.model = parallel::moe_mistral_7b();
+  else cfg.model = parallel::llm_7b();
+  cfg.fabric = spec.kalos() ? comm::kalos_fabric() : comm::seren_fabric();
+  cfg.traffic.mean_rps = spec.serve_rps;
+  cfg.traffic.diurnal_amplitude = spec.serve_diurnal_amplitude;
+  cfg.traffic.burst_multiplier = spec.serve_burst_multiplier;
+  cfg.traffic.burst_fraction = spec.serve_burst_fraction;
+  cfg.slo_ttft_seconds = spec.serve_slo_ttft_seconds;
+  cfg.slo_tpot_seconds = spec.serve_slo_tpot_seconds;
+  cfg.horizon_seconds = spec.serve_duration_seconds;
+  return cfg;
+}
+
 World::World(ScenarioSpec spec)
     : spec_(std::move(spec)), inputs_(cluster_inputs(spec_)) {}
 
@@ -54,17 +75,38 @@ WorldReport World::run() {
   ACME_OBS_SPAN_ARG("world", "run", "scenario", spec_.name);
   WorldReport report;
 
-  trace::Trace jobs = synthesize_trace(spec_);
+  // Serving stands up first so the carve-out below sees its GPU demand; in a
+  // co-located world the fleet takes whole nodes away from the scheduler.
+  cluster::ClusterSpec sched_spec = inputs_.spec;
+  std::optional<serve::ServeFleet> fleet;
+  if (spec_.serving()) {
+    const serve::ServeConfig scfg = serve_config(spec_);
+    if (spec_.pretrain) {
+      const int gpn = std::max(1, inputs_.spec.node.gpus);
+      const int carved_nodes = (scfg.total_gpus() + gpn - 1) / gpn;
+      ACME_CHECK_MSG(carved_nodes < sched_spec.node_count,
+                     "serving fleet does not fit in the cluster");
+      sched_spec.node_count -= carved_nodes;
+    }
+    fleet.emplace(engine_, scfg, spec_.seed);
+  }
+
   // Reason-mix hint for the sampler: the largest pretraining campaign in the
   // trace (failure demand concentrates on the big jobs, §5.1). Computed
   // before the scheduler adopts the trace below.
   int campaign_gpus = 256;
-  for (const auto& job : jobs)
-    if (job.type == trace::WorkloadType::kPretrain)
-      campaign_gpus = std::max(campaign_gpus, job.gpus);
-
-  sched::SchedulerReplay sched(engine_, inputs_.spec, inputs_.sched_config);
-  sched.begin_replay(std::move(jobs), spec_.sample_interval_seconds);
+  std::optional<sched::SchedulerReplay> sched;
+  if (spec_.pretrain) {
+    trace::Trace jobs = synthesize_trace(spec_);
+    for (const auto& job : jobs)
+      if (job.type == trace::WorkloadType::kPretrain)
+        campaign_gpus = std::max(campaign_gpus, job.gpus);
+    sched.emplace(engine_, sched_spec, inputs_.sched_config);
+    sched->begin_replay(std::move(jobs), spec_.sample_interval_seconds);
+  } else if (fleet) {
+    campaign_gpus = std::max(campaign_gpus, fleet->config().total_gpus());
+  }
+  if (fleet) fleet->start();
 
   // Failure machinery: reason/TTF/TTR sampling off the Table 3 fits, stalls
   // priced by the collective model and the checkpoint timing model.
@@ -74,22 +116,73 @@ WorldReport World::run() {
   ckpt::CheckpointTimingModel ckpt_timing;
   const int gpus_per_node = std::max(1, inputs_.spec.node.gpus);
 
+  // Faults split between serving and pretraining by static GPU share; a
+  // serve-only world sends every fault at the fleet.
+  const int serve_gpus = fleet ? fleet->config().total_gpus() : 0;
+  const int sched_gpus = sched ? sched_spec.total_gpus() : 0;
+  const double serve_share =
+      serve_gpus + sched_gpus > 0
+          ? static_cast<double>(serve_gpus) / (serve_gpus + sched_gpus)
+          : 0.0;
+
   // The failure chain: one self-re-arming engine event. Each firing kills a
-  // running pretraining job (if any), prices its recovery, and schedules the
-  // next failure after a freshly sampled TTF. The chain stops when the
-  // scheduler drained — by then the engine holds no other events, so the
-  // replay terminates. Locals below outlive every event because engine_.run()
-  // returns only after the last one fired.
+  // running pretraining job or a serving replica, prices its recovery, and
+  // schedules the next failure after a freshly sampled TTF. The chain stops
+  // when the scheduler drained (or, serve-only, past the arrival horizon) —
+  // by then the engine holds no other events, so the replay terminates.
+  // Locals below outlive every event because engine_.run() returns only
+  // after the last one fired.
   std::function<void()> fire_failure;
   const auto arm_next = [&]() {
-    if (sched.drained()) return;
+    if (sched && sched->drained()) return;
     const failure::FailureEvent next =
         injector.sample_pretrain_failure(campaign_gpus, failure_rng);
-    engine_.schedule_after(next.ttf_seconds * spec_.failure_interval_scale,
-                           fire_failure);
+    const double delay = next.ttf_seconds * spec_.failure_interval_scale;
+    if (!sched && engine_.now() + delay > spec_.serve_duration_seconds) return;
+    engine_.schedule_after(delay, fire_failure);
   };
   fire_failure = [&]() {
-    const auto& running = sched.running_pretrain_jobs();
+    if (fleet && (!sched || failure_rng.uniform() < serve_share)) {
+      const int victim = static_cast<int>(failure_rng.uniform_int(
+          0, static_cast<std::int64_t>(fleet->replicas()) - 1));
+      const failure::FailureEvent event =
+          injector.sample_pretrain_failure(campaign_gpus, failure_rng);
+      if (!fleet->replica_up(victim)) {
+        // The fault landed on a replica already down for re-warm.
+        ++report.failures_no_victim;
+        arm_next();
+        return;
+      }
+      // Re-warm mirrors §6.1 recovery at replica scale: weight reload
+      // (priced like a checkpoint read of the inference state), diagnosis,
+      // two-round localization for hardware faults, NCCL bring-up at the
+      // replica's world size — or the manual on-call TTR.
+      const serve::ServeConfig& scfg = fleet->config();
+      const comm::World replica_world{scfg.hw.gpus, 0, 0, 1};
+      const double reload = ckpt_timing.async_persist_seconds(
+          scfg.model.params(), std::max(scfg.hw.gpus, 1));
+      double rewarm = reload;
+      if (spec_.auto_recovery) {
+        rewarm += 45.0;  // log collection + diagnosis-agent latency
+        if (event.spec != nullptr && event.spec->needs_node_detection) {
+          const int nodes = std::max(1, scfg.hw.gpus / gpus_per_node);
+          rewarm += 2 * fabric.probe_round_seconds(nodes);
+          ++report.localizations;
+        }
+        rewarm += fabric.bringup_seconds(replica_world);
+      } else {
+        rewarm += event.ttr_seconds;
+        ++report.manual_recoveries;
+      }
+      fleet->kill_replica(victim, rewarm);
+      ++report.failures_injected;
+      report.recovery_stall_seconds += rewarm;
+      report.stall_gpu_seconds += rewarm * scfg.hw.gpus;
+      if (obs::enabled()) observe_failure(rewarm, 0.0);
+      arm_next();
+      return;
+    }
+    const auto& running = sched->running_pretrain_jobs();
     if (running.empty()) {
       // The fault hit a node no pretraining job occupied; nothing to kill.
       ++report.failures_no_victim;
@@ -100,7 +193,7 @@ WorldReport World::run() {
         injector.sample_pretrain_failure(campaign_gpus, failure_rng);
     const std::size_t victim = running[static_cast<std::size_t>(
         failure_rng.uniform_int(0, static_cast<std::int64_t>(running.size()) - 1))];
-    const trace::JobRecord& job = sched.active_job(victim);
+    const trace::JobRecord& job = sched->active_job(victim);
     const double params = params_for_tag(job.model_tag_id);
     const comm::World victim_world{job.gpus, 0, 0, 1};
 
@@ -128,10 +221,10 @@ WorldReport World::run() {
     double rollback_cap = spec_.ckpt_interval_seconds;
     if (spec_.async_ckpt) rollback_cap += reload;
 
-    const double lost_before = sched.partial_result().failure_lost_gpu_seconds;
-    sched.kill_job(victim, rollback_cap, stall);
+    const double lost_before = sched->partial_result().failure_lost_gpu_seconds;
+    sched->kill_job(victim, rollback_cap, stall);
     const double lost_now =
-        sched.partial_result().failure_lost_gpu_seconds - lost_before;
+        sched->partial_result().failure_lost_gpu_seconds - lost_before;
 
     ++report.failures_injected;
     report.recovery_stall_seconds += stall;
@@ -147,7 +240,12 @@ WorldReport World::run() {
   if (spec_.inject_failures) arm_next();
 
   engine_.run();
-  report.replay = sched.finish_replay();
+  if (fleet) {
+    report.served = true;
+    report.serve = fleet->report();
+  }
+  if (!sched) return report;  // serve-only world: no replay to aggregate
+  report.replay = sched->finish_replay();
 
   // Aggregate accounting.
   report.lost_work_gpu_seconds = report.replay.failure_lost_gpu_seconds;

@@ -3,8 +3,12 @@
 // World composes what the single-subsystem entry points exercise in
 // isolation — cluster spec + synthesized six-month trace + quota scheduler +
 // live failure injection (paper Table 3) + recovery pricing (§6.1: diagnose,
-// two-round localize, NCCL bring-up, checkpoint reload) + fleet telemetry —
-// on ONE shared sim::Engine. Failures fire as engine events against whatever
+// two-round localize, NCCL bring-up, checkpoint reload) + fleet telemetry +
+// an optional inference serving fleet (src/serve) — on ONE shared
+// sim::Engine. A scenario picks the mix: pretrain-only (the default),
+// serve-only (pretrain=false), or co-located, where the serving replicas
+// carve nodes out of the scheduler's cluster and Table 3 failures land on
+// either side in proportion to its GPU share. Failures fire as engine events against whatever
 // pretraining job is actually running at that instant; the victim loses up
 // to a checkpoint interval of progress, pays the recovery stall, and
 // re-enters the scheduler queues, where its resubmission contends with (and
@@ -25,6 +29,7 @@
 #include "common/stats.h"
 #include "mc/replication.h"
 #include "sched/scheduler.h"
+#include "serve/fleet.h"
 #include "sim/engine.h"
 #include "telemetry/fleet_sampler.h"
 #include "world/scenario.h"
@@ -60,7 +65,18 @@ struct WorldReport {
   double goodput = 1.0;
 
   telemetry::FleetMetrics fleet;  // sampled from the replay occupancy
+
+  // Inference serving (spec.serve_replicas > 0): the fleet's own counters and
+  // latency quantiles. `served` distinguishes "no serving configured" from a
+  // fleet that saw zero traffic.
+  bool served = false;
+  serve::FleetReport serve;
 };
+
+// The serve::ServeConfig a scenario resolves to — the single mapping the
+// world driver, the serve benches and the tests all share. Requires
+// spec.serving().
+serve::ServeConfig serve_config(const ScenarioSpec& spec);
 
 class World {
  public:

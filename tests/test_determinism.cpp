@@ -103,6 +103,64 @@ TEST(Determinism, WorldRunsAreByteIdenticalAcrossRepeatsAndThreads) {
   EXPECT_NE(a.prom.find("acme_sched_failure_kills_total"), std::string::npos);
 }
 
+// And for the serving world: a co-located scenario (serve fleet + pretrain
+// replay + failure routing on one spine) must leave byte-identical registry
+// bytes AND a byte-identical FleetReport digest across repeats, seeds only
+// changing both together, and mc pool widths changing neither.
+struct ServeSnapshot {
+  Snapshot obs;
+  std::uint64_t fleet_digest = 0;
+};
+
+ServeSnapshot serve_snapshot(std::size_t threads, std::uint64_t seed) {
+  obs::reset();
+  obs::set_enabled(true);
+  world::ScenarioSpec spec = world::colocated_seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  spec.serve_replicas = 2;
+  spec.serve_rps = 20.0;
+  spec.serve_duration_seconds = 900.0;
+  mc::ReplicationOptions options;
+  options.replicas = 4;
+  options.threads = threads;
+  options.seed = seed;
+  const auto run = world::run_world_mc(spec, options);
+  EXPECT_EQ(run.results.size(), 4u);
+  ServeSnapshot snap;
+  for (const auto& report : run.results) {
+    EXPECT_TRUE(report.served);
+    EXPECT_GT(report.serve.offered, 0u);
+    // Fold replica digests so any divergence in any replica shows up.
+    snap.fleet_digest ^= report.serve.digest();
+  }
+  snap.obs.prom = obs::metrics().prometheus_text();
+  snap.obs.json = obs::metrics().json_snapshot();
+  snap.obs.digest = common::fnv1a(snap.obs.prom);
+  obs::set_enabled(false);
+  obs::reset();
+  return snap;
+}
+
+TEST(Determinism, ServeWorldIsByteIdenticalAcrossRepeatsAndThreads) {
+  const ServeSnapshot a = serve_snapshot(1, 20242);
+  const ServeSnapshot b = serve_snapshot(1, 20242);
+  const ServeSnapshot pooled = serve_snapshot(4, 20242);
+  const ServeSnapshot reseeded = serve_snapshot(1, 20243);
+  EXPECT_EQ(a.obs.prom, b.obs.prom);
+  EXPECT_EQ(a.obs.json, b.obs.json);
+  EXPECT_EQ(a.fleet_digest, b.fleet_digest);
+  EXPECT_EQ(a.obs.prom, pooled.obs.prom)
+      << "serve registry bytes depend on worker-pool width";
+  EXPECT_EQ(a.fleet_digest, pooled.fleet_digest);
+  EXPECT_NE(a.fleet_digest, reseeded.fleet_digest);
+  EXPECT_NE(a.obs.digest, reseeded.obs.digest);
+  // The serve instrumentation actually fired.
+  EXPECT_NE(a.obs.prom.find("acme_serve_requests_offered_total"),
+            std::string::npos);
+  EXPECT_NE(a.obs.prom.find("acme_serve_epochs_total"), std::string::npos);
+}
+
 TEST(Determinism, SnapshotReflectsSimulatedWork) {
   const Snapshot snap = replay_snapshot(2);
   // The instrumented subsystems must actually have fired during the replay.

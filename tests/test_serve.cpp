@@ -1,0 +1,252 @@
+// acme::serve unit tests: arrival-process statistics, the KV-cache memory
+// anatomy against the parallel-side ground truth, prefill/decode accounting
+// through the continuous-batching spine, and the SLO-goodput edge cases
+// (no traffic, saturation, replica killed mid-batch).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/acme.h"
+
+namespace acme {
+namespace {
+
+serve::ServeConfig small_config() {
+  serve::ServeConfig cfg;
+  cfg.replicas = 2;
+  cfg.traffic.mean_rps = 8.0;
+  cfg.traffic.diurnal_amplitude = 0.25;
+  cfg.traffic.diurnal_period_seconds = 600.0;
+  cfg.traffic.burst_multiplier = 2.0;
+  cfg.traffic.burst_fraction = 0.1;
+  cfg.horizon_seconds = 300.0;
+  return cfg;
+}
+
+serve::FleetReport run_fleet(const serve::ServeConfig& cfg,
+                             std::uint64_t seed) {
+  sim::Engine engine;
+  serve::ServeFleet fleet(engine, cfg, seed);
+  fleet.start();
+  engine.run();
+  return fleet.report();
+}
+
+TEST(Traffic, LongRunMeanMatchesProfile) {
+  // The base-rate normalization must make the long-run mean equal mean_rps
+  // no matter how much diurnal swing or MMPP burstiness shapes the process.
+  serve::TrafficProfile profile;
+  profile.mean_rps = 50.0;
+  profile.diurnal_amplitude = 0.5;
+  profile.diurnal_period_seconds = 3600.0;
+  profile.burst_multiplier = 3.0;
+  profile.burst_fraction = 0.1;
+  serve::ArrivalProcess arrivals(profile, 7);
+  const double horizon = 40000.0;  // many periods, many burst dwells
+  double t = arrivals.next_interarrival(0.0);
+  std::uint64_t count = 0;
+  while (t <= horizon) {
+    ++count;
+    t += arrivals.next_interarrival(t);
+  }
+  const double observed = static_cast<double>(count) / horizon;
+  EXPECT_NEAR(observed, profile.mean_rps, 0.05 * profile.mean_rps);
+}
+
+TEST(Traffic, FlatProfileIsPlainPoisson) {
+  serve::TrafficProfile profile;
+  profile.mean_rps = 20.0;
+  profile.diurnal_amplitude = 0.0;
+  profile.burst_multiplier = 1.0;
+  profile.burst_fraction = 0.0;
+  serve::ArrivalProcess arrivals(profile, 11);
+  const double horizon = 20000.0;
+  double t = arrivals.next_interarrival(0.0);
+  std::uint64_t count = 0;
+  double sum = 0, sum_sq = 0;
+  double prev = 0;
+  while (t <= horizon) {
+    const double gap = t - prev;
+    sum += gap;
+    sum_sq += gap * gap;
+    prev = t;
+    ++count;
+    t += arrivals.next_interarrival(t);
+  }
+  ASSERT_GT(count, 100000u);
+  const double n = static_cast<double>(count);
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  // Exponential interarrivals: variance == mean^2 (CV == 1).
+  EXPECT_NEAR(mean, 1.0 / profile.mean_rps, 0.05 * mean);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(Traffic, NoTrafficNeverArrives) {
+  serve::TrafficProfile profile;
+  profile.mean_rps = 0.0;
+  serve::ArrivalProcess arrivals(profile, 3);
+  EXPECT_TRUE(std::isinf(arrivals.next_interarrival(0.0)));
+}
+
+TEST(Traffic, RequestShapesRespectClamps) {
+  serve::TrafficProfile profile;
+  profile.prompt_tokens_mean = 4.0;  // tiny means stress the clamps
+  profile.output_tokens_mean = 1.0;
+  serve::ArrivalProcess arrivals(profile, 5);
+  for (int i = 0; i < 2000; ++i) {
+    const serve::RequestSample s = arrivals.sample_request();
+    EXPECT_GE(s.prompt_tokens, 1);
+    EXPECT_GE(s.output_tokens, 2);  // first token is prefill's; >= 1 decode
+    EXPECT_LE(s.prompt_tokens, profile.max_tokens);
+    EXPECT_LE(s.output_tokens, profile.max_tokens);
+  }
+}
+
+TEST(ReplicaModel, KvAnatomyMatchesParallelGroundTruth) {
+  // The serving memory model must reuse the training-side anatomy: resident
+  // weights are the fp16 2Psi term, and the KV capacity is exactly what HBM
+  // remains after weights + workspace, divided by the per-token K/V state.
+  const parallel::TransformerConfig model = parallel::llm_7b();
+  serve::ReplicaHardware hw;
+  const comm::CollectiveModel fabric(comm::seren_fabric());
+  const serve::ReplicaCostModel cost(model, hw, fabric);
+
+  EXPECT_DOUBLE_EQ(cost.weight_bytes(),
+                   parallel::mixed_precision_anatomy(model.params()).param_bytes);
+  EXPECT_DOUBLE_EQ(cost.kv_bytes_per_token(),
+                   2.0 * 2.0 * model.layers * model.hidden);
+  const double usable =
+      hw.gpus * (hw.gpu_memory_bytes - hw.workspace_bytes_per_gpu) -
+      cost.weight_bytes();
+  EXPECT_EQ(cost.kv_capacity_tokens(),
+            static_cast<std::uint64_t>(usable / cost.kv_bytes_per_token()));
+  // A 7B on 8x80GB must hold hundreds of thousands of KV tokens.
+  EXPECT_GT(cost.kv_capacity_tokens(), 100000u);
+}
+
+TEST(ReplicaModel, PhasePricingIsMonotone) {
+  const serve::ReplicaCostModel cost(parallel::llm_7b(), {},
+                                     comm::CollectiveModel(comm::seren_fabric()));
+  EXPECT_GT(cost.prefill_seconds(1), 0.0);
+  EXPECT_LT(cost.prefill_seconds(128), cost.prefill_seconds(4096));
+  // More in-flight requests and more resident KV both slow a decode step.
+  EXPECT_LE(cost.decode_step_seconds(1, 1000),
+            cost.decode_step_seconds(64, 1000));
+  EXPECT_LT(cost.decode_step_seconds(8, 1000),
+            cost.decode_step_seconds(8, 400000));
+}
+
+TEST(ServeFleet, TokenAccountingBalances) {
+  const serve::FleetReport r = run_fleet(small_config(), 99);
+  ASSERT_GT(r.offered, 0u);
+  // Every offered request is exactly one of completed / rejected / failed
+  // once the engine drains.
+  EXPECT_EQ(r.offered, r.completed + r.rejected + r.failed);
+  EXPECT_EQ(r.failed, 0u);  // nothing kills replicas in this run
+  ASSERT_GT(r.completed, 0u);
+  // Each completed request contributed >= 1 prompt token and exactly
+  // (output - 1) >= 1 decode tokens; decode work is epoch-coalesced so
+  // steps >= epochs and tokens >= steps (every step advances >= 1 request).
+  EXPECT_GE(r.prefill_tokens, r.completed);
+  EXPECT_GE(r.decode_tokens, r.completed);
+  EXPECT_GE(r.decode_steps, r.epochs);
+  EXPECT_GE(r.decode_tokens, r.decode_steps);
+  // Latency ordering: ttft <= e2e at matching quantiles, p50 <= p99.
+  EXPECT_LE(r.ttft_p50, r.ttft_p99);
+  EXPECT_LE(r.e2e_p50, r.e2e_p99);
+  EXPECT_LE(r.ttft_p50, r.e2e_p50);
+  EXPECT_GT(r.mean_batch_occupancy, 0.0);
+}
+
+TEST(ServeFleet, ZeroTrafficAttainsVacuously) {
+  serve::ServeConfig cfg = small_config();
+  cfg.traffic.mean_rps = 0.0;
+  const serve::FleetReport r = run_fleet(cfg, 1);
+  EXPECT_EQ(r.offered, 0u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_DOUBLE_EQ(r.slo_attainment(), 1.0);  // nothing violated
+  EXPECT_DOUBLE_EQ(r.goodput_rps(), 0.0);
+}
+
+TEST(ServeFleet, LightLoadAttainsSlo) {
+  serve::ServeConfig cfg = small_config();
+  cfg.traffic.mean_rps = 2.0;  // far below two replicas' capacity
+  cfg.traffic.burst_multiplier = 1.0;
+  cfg.traffic.burst_fraction = 0.0;
+  const serve::FleetReport r = run_fleet(cfg, 21);
+  ASSERT_GT(r.offered, 0u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_GE(r.slo_attainment(), 0.99);
+  EXPECT_NEAR(r.goodput_rps(), r.offered_rps(), 0.05 * r.offered_rps());
+}
+
+TEST(ServeFleet, SaturationDegradesGoodputNotJustLatency) {
+  serve::ServeConfig cfg = small_config();
+  cfg.replicas = 1;
+  cfg.traffic.mean_rps = 400.0;  // an order of magnitude past one replica
+  const serve::FleetReport r = run_fleet(cfg, 33);
+  EXPECT_GT(r.rejected, 0u);  // queue cap must engage
+  EXPECT_LT(r.slo_attainment(), 0.5);
+  EXPECT_LT(r.goodput_rps(), r.offered_rps() * 0.5);
+}
+
+TEST(ServeFleet, KillFailsInFlightAndRewarmRestores) {
+  serve::ServeConfig cfg = small_config();
+  cfg.traffic.mean_rps = 30.0;  // keeps both replicas busy
+  sim::Engine engine;
+  serve::ServeFleet fleet(engine, cfg, 77);
+  fleet.start();
+  engine.schedule_at(60.0, [&fleet] {
+    EXPECT_TRUE(fleet.replica_up(0));
+    fleet.kill_replica(0, 120.0);
+    EXPECT_FALSE(fleet.replica_up(0));
+    EXPECT_EQ(fleet.up_replicas(), 1);
+  });
+  engine.schedule_at(120.0, [&fleet] {
+    EXPECT_FALSE(fleet.replica_up(0));  // still re-warming
+  });
+  engine.run();
+  EXPECT_TRUE(fleet.replica_up(0));  // rewarm at t=180 restored it
+  EXPECT_EQ(fleet.up_replicas(), 2);
+  const serve::FleetReport r = fleet.report();
+  EXPECT_EQ(r.replica_kills, 1);
+  EXPECT_EQ(r.rewarms, 1);
+  EXPECT_GT(r.failed, 0u);  // in-flight + queued work died with the replica
+  EXPECT_EQ(r.offered, r.completed + r.rejected + r.failed);
+  EXPECT_GT(r.completed, 0u);  // the surviving replica kept serving
+}
+
+TEST(ServeFleet, OutageRejectsAllTrafficUntilRewarm) {
+  serve::ServeConfig cfg = small_config();
+  cfg.replicas = 1;
+  sim::Engine engine;
+  serve::ServeFleet fleet(engine, cfg, 5);
+  fleet.start();
+  // Down from t=10 past the whole arrival horizon: every arrival after the
+  // kill finds no up replica and bounces. The engine still drains the rewarm
+  // event after arrivals stop, so the fleet ends healthy.
+  engine.schedule_at(10.0, [&fleet, &cfg] {
+    fleet.kill_replica(0, 2.0 * cfg.horizon_seconds);
+    EXPECT_EQ(fleet.up_replicas(), 0);
+  });
+  engine.run();
+  EXPECT_TRUE(fleet.replica_up(0));
+  const serve::FleetReport r = fleet.report();
+  EXPECT_EQ(r.rewarms, 1);
+  EXPECT_GT(r.rejected, 0u);  // no up replica -> every later arrival bounces
+  EXPECT_EQ(r.offered, r.completed + r.rejected + r.failed);
+}
+
+TEST(ServeFleet, DigestIsSeedDeterministic) {
+  const serve::ServeConfig cfg = small_config();
+  const serve::FleetReport a = run_fleet(cfg, 1234);
+  const serve::FleetReport b = run_fleet(cfg, 1234);
+  const serve::FleetReport c = run_fleet(cfg, 4321);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+}  // namespace
+}  // namespace acme

@@ -65,6 +65,110 @@ TEST(Scenario, ParserRejectsMalformedInput) {
   EXPECT_TRUE(world::scenario_from_json("{}", &error).has_value());
 }
 
+TEST(Scenario, ServeFieldsRoundTrip) {
+  world::ScenarioSpec spec = world::serve_seren_scenario();
+  spec.name = "serve-rt";
+  spec.serve_replicas = 12;
+  spec.serve_gpus_per_replica = 4;
+  spec.serve_model = "moe";
+  spec.serve_rps = 123.5;
+  spec.serve_diurnal_amplitude = 0.75;
+  spec.serve_burst_multiplier = 2.5;
+  spec.serve_burst_fraction = 0.2;
+  spec.serve_duration_seconds = 7200.0;
+  spec.serve_slo_ttft_seconds = 1.5;
+  spec.serve_slo_tpot_seconds = 0.05;
+  std::string error;
+  auto parsed = world::scenario_from_json(spec.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->pretrain, spec.pretrain);
+  EXPECT_EQ(parsed->serve_replicas, spec.serve_replicas);
+  EXPECT_EQ(parsed->serve_gpus_per_replica, spec.serve_gpus_per_replica);
+  EXPECT_EQ(parsed->serve_model, spec.serve_model);
+  EXPECT_EQ(parsed->serve_rps, spec.serve_rps);
+  EXPECT_EQ(parsed->serve_diurnal_amplitude, spec.serve_diurnal_amplitude);
+  EXPECT_EQ(parsed->serve_burst_multiplier, spec.serve_burst_multiplier);
+  EXPECT_EQ(parsed->serve_burst_fraction, spec.serve_burst_fraction);
+  EXPECT_EQ(parsed->serve_duration_seconds, spec.serve_duration_seconds);
+  EXPECT_EQ(parsed->serve_slo_ttft_seconds, spec.serve_slo_ttft_seconds);
+  EXPECT_EQ(parsed->serve_slo_tpot_seconds, spec.serve_slo_tpot_seconds);
+  EXPECT_EQ(parsed->to_json(), spec.to_json());
+}
+
+TEST(Scenario, ParserSuggestsNearMissKeys) {
+  std::string error;
+  EXPECT_FALSE(world::scenario_from_json("{\"serve_replica\":4}", &error));
+  EXPECT_NE(error.find("did you mean \"serve_replicas\""), std::string::npos)
+      << error;
+  EXPECT_FALSE(world::scenario_from_json("{\"sacle\":2}", &error));
+  EXPECT_NE(error.find("did you mean \"scale\""), std::string::npos) << error;
+  // Nothing plausible nearby: no suggestion, but still a clear rejection.
+  EXPECT_FALSE(world::scenario_from_json("{\"zzzzzzzzzz\":1}", &error));
+  EXPECT_NE(error.find("unknown scenario key"), std::string::npos);
+  EXPECT_EQ(error.find("did you mean"), std::string::npos) << error;
+}
+
+TEST(Scenario, ParserRejectsDuplicateKeys) {
+  std::string error;
+  EXPECT_FALSE(
+      world::scenario_from_json("{\"scale\":8,\"scale\":9}", &error));
+  EXPECT_NE(error.find("duplicate scenario key \"scale\""), std::string::npos)
+      << error;
+}
+
+TEST(Scenario, ServeValidationRejectsNonsense) {
+  std::string error;
+  // A world with neither pretraining nor serving does nothing.
+  EXPECT_FALSE(world::scenario_from_json("{\"pretrain\":false}", &error));
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":4,\"serve_model\":\"70b\"}", &error));
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":4,\"serve_rps\":-1}", &error));
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":4,\"serve_burst_fraction\":1.0}", &error));
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":4,\"serve_diurnal_amplitude\":1.5}", &error));
+  EXPECT_TRUE(world::scenario_from_json("{\"serve_replicas\":4}", &error)
+                  .has_value())
+      << error;
+}
+
+TEST(World, ServeOnlyRunReportsFleetCounters) {
+  world::ScenarioSpec spec = world::serve_seren_scenario();
+  spec.name = "serve-unit";
+  spec.serve_replicas = 2;
+  spec.serve_rps = 10.0;
+  spec.serve_duration_seconds = 300.0;
+  const world::WorldReport report = world::run_world(spec);
+  ASSERT_TRUE(report.served);
+  EXPECT_GT(report.serve.offered, 0u);
+  EXPECT_EQ(report.serve.offered, report.serve.completed +
+                                      report.serve.rejected +
+                                      report.serve.failed);
+  EXPECT_GT(report.serve.completed, 0u);
+  EXPECT_GT(report.serve.slo_attainment(), 0.9);
+  // No scheduler replay ran: the training-side report stays empty.
+  EXPECT_EQ(report.replay.jobs.size(), 0u);
+  EXPECT_EQ(report.failures_injected, 0);
+}
+
+TEST(World, ColocatedRunServesAndTrainsOnOneSpine) {
+  world::ScenarioSpec spec = world::colocated_seren_scenario();
+  spec.name = "colo-unit";
+  spec.scale = 40.0;  // fast replay tier, same as fast_seren
+  spec.fleet_samples = 500;
+  spec.serve_replicas = 2;
+  spec.serve_rps = 10.0;
+  spec.serve_duration_seconds = 600.0;
+  const world::WorldReport report = world::run_world(spec);
+  ASSERT_TRUE(report.served);
+  EXPECT_GT(report.serve.completed, 0u);
+  // The pretraining campaign ran alongside on the carved-down cluster.
+  EXPECT_GT(report.replay.jobs.size(), 0u);
+  EXPECT_GT(report.replay.makespan, 0.0);
+  EXPECT_GT(report.busy_fraction, 0.0);
+}
+
 TEST(Scenario, RegistryServesPresetsAndCustomSpecs) {
   auto seren = world::find_scenario("seren");
   ASSERT_TRUE(seren.has_value());

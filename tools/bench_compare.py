@@ -19,7 +19,9 @@ Usage:
 Exit status: 0 when every shared benchmark is within the band, 1 on any
 regression past the band, 2 on usage/parse errors. Benchmarks present in
 only one report are listed but never fail the run (CI boxes differ in what
-they build).
+they build) — unless ``--require-baseline`` is set, in which case every
+benchmark in the reference must also appear in the candidate: a renamed or
+silently-dropped benchmark then fails loudly instead of being "ignored".
 """
 
 import argparse
@@ -103,6 +105,11 @@ def main(argv):
         help="allowed fractional slowdown before failing (default 0.25: "
         "CI boxes are noisy; the band catches order-of-magnitude breaks, "
         "not single-digit drift)")
+    parser.add_argument(
+        "--require-baseline",
+        action="store_true",
+        help="fail (exit 2) when any benchmark in the reference report is "
+        "missing from the candidate, instead of listing it as ignored")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -111,6 +118,14 @@ def main(argv):
     current = extract_metrics(_load(args.current))
     print(f"bench_compare: {args.reference} vs {args.current} "
           f"(tolerance {args.tolerance:.0%})")
+    if args.require_baseline:
+        missing = sorted(set(reference) - set(current))
+        if missing:
+            print("bench_compare: candidate report is missing baseline "
+                  f"benchmark(s): {', '.join(missing)}")
+            print("bench_compare: (was the benchmark renamed, or did its "
+                  "--json emission break?)")
+            return 2
     regressions = compare(reference, current, args.tolerance)
     if regressions:
         print(f"bench_compare: {len(regressions)} regression(s) past the "
