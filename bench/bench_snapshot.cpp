@@ -1,0 +1,189 @@
+// Snapshot overhead: what save+restore costs against the run it freezes.
+//
+// The snapshot subsystem only earns its keep if pausing a world is cheap
+// relative to simulating it: the fast-forward workflow (save once, branch N
+// futures) assumes save+restore is noise next to the replay. The yardstick
+// is the repo's canonical seren end-to-end benchmark workload — the same
+// `--replicas 4 --threads 1` Monte Carlo set bench_world_endtoend has
+// reported as "seren end-to-end" since BENCH_5.json — timed here by the
+// same binary that times the round-trip, so the gate compares numbers from
+// one process on one machine. Each repetition also replays the
+// interrupted-at-midpoint world to completion and asserts digest equality
+// with the uninterrupted run, so a perf win that breaks determinism can't
+// sneak through. One untimed warm-up round-trip precedes the measured reps
+// (allocator pages and CRC tables are process-lifetime state; see the
+// BENCH_6.json note on cold first runs).
+//
+// Gate: median save+restore < 5% of the median end-to-end workload wall
+// time (exit 1 past the gate).
+//
+// Flags: --scenario NAME --scale S --reps N --replicas R --json out.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "bench_util.h"
+#include "mc/replication.h"
+#include "snap/format.h"
+
+using namespace acme;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+constexpr double kForever = std::numeric_limits<double>::infinity();
+
+// One save + restore at the straight run's midpoint. Returns the wall
+// seconds spent inside save/finish/restore only (the simulated work on
+// either side is the same replay either way) and leaves the resumed world
+// in `resumed` for the digest check.
+double snapshot_roundtrip(const world::ScenarioSpec& spec, double mid,
+                          std::size_t* out_bytes, world::World& resumed) {
+  world::World a(spec);
+  a.run_until(mid);
+  auto t0 = std::chrono::steady_clock::now();
+  snap::SnapshotWriter w;
+  a.save(w);
+  std::string bytes = w.finish();
+  double overhead = seconds_since(t0);
+  *out_bytes = bytes.size();
+  t0 = std::chrono::steady_clock::now();
+  snap::SnapshotReader r(std::move(bytes));
+  resumed.restore(r);
+  overhead += seconds_since(t0);
+  return overhead;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "seren";
+  double scale = 0;  // 0 = the preset's own scale
+  std::uint64_t reps = 3;
+  std::uint64_t replicas = 4;
+  std::string json_path;
+
+  common::FlagSet flags("bench_snapshot");
+  flags.add("--scenario", &scenario, "registered scenario to replay");
+  flags.add("--scale", &scale, "override the preset's trace scale (0 = keep)");
+  flags.add("--reps", &reps, "repetitions; the median is reported");
+  flags.add("--replicas", &replicas,
+            "MC replicas in the end-to-end yardstick workload (the "
+            "bench_world_endtoend canonical row uses 4)");
+  flags.add("--json", &json_path,
+            "write a BENCH-format results JSON for tools/bench_compare.py");
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "bench_snapshot: %s\n%s", error.c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    return 0;
+  }
+  if (reps == 0) reps = 1;
+  if (replicas == 0) replicas = 1;
+  const auto preset = world::find_scenario(scenario);
+  if (!preset) {
+    std::fprintf(stderr, "bench_snapshot: unknown scenario \"%s\"\n",
+                 scenario.c_str());
+    return 2;
+  }
+  world::ScenarioSpec spec = *preset;
+  if (scale > 0) spec.scale = scale;
+
+  mc::ReplicationOptions mc_options;
+  mc_options.replicas = static_cast<std::size_t>(replicas);
+  mc_options.threads = 1;
+  mc_options.stream_label = "world";
+
+  bench::header("Snapshot", "World save/restore overhead vs the replay");
+  std::printf("scenario %s, scale %.3g, %llu repetitions, %llu-replica "
+              "end-to-end yardstick\n",
+              spec.name.c_str(), spec.scale,
+              static_cast<unsigned long long>(reps),
+              static_cast<unsigned long long>(replicas));
+
+  // Reference run: oracle digest + the midpoint every round-trip freezes at.
+  const world::WorldReport straight = world::run_world(spec);
+  const double mid = straight.replay.makespan * 0.5;
+
+  // Warm-up round-trip, untimed (first-touch pages, CRC dispatch, malloc
+  // arena growth are process-lifetime costs the steady state never repays).
+  {
+    std::size_t bytes = 0;
+    world::World warm(spec);
+    snapshot_roundtrip(spec, mid, &bytes, warm);
+  }
+
+  std::vector<double> endtoend_walls, roundtrip_walls;
+  std::size_t snapshot_bytes = 0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    world::run_world_mc(spec, mc_options);
+    endtoend_walls.push_back(seconds_since(t0));
+
+    world::World resumed(spec);
+    roundtrip_walls.push_back(
+        snapshot_roundtrip(spec, mid, &snapshot_bytes, resumed));
+    resumed.run_until(kForever);
+    if (resumed.finish().digest() != straight.digest()) {
+      std::fprintf(stderr,
+                   "bench_snapshot: digest divergence on rep %llu — the "
+                   "snapshot path is not byte-identical\n",
+                   static_cast<unsigned long long>(rep));
+      return 1;
+    }
+  }
+
+  const double endtoend_s = median(endtoend_walls);
+  const double roundtrip_s = median(roundtrip_walls);
+  const double ratio = endtoend_s > 0 ? roundtrip_s / endtoend_s : 0;
+
+  common::Table table({"metric", "value"});
+  table.add_row({"end-to-end workload (median)",
+                 common::Table::num(endtoend_s * 1e3, 1) + " ms"});
+  table.add_row({"save+restore (median)",
+                 common::Table::num(roundtrip_s * 1e3, 2) + " ms"});
+  table.add_row({"snapshot size",
+                 common::Table::num(snapshot_bytes / 1024.0, 1) + " KiB"});
+  table.add_row({"overhead ratio", common::Table::pct(ratio)});
+  std::printf("%s", table.render().c_str());
+  bench::recap("snapshot round-trip overhead",
+               "< 5% of the seren end-to-end workload",
+               common::Table::pct(ratio));
+  std::printf("  digests: straight == save/restore/resume on all %llu reps\n",
+              static_cast<unsigned long long>(reps));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"results\": {\n"
+        << "    \"BM_SnapshotRoundTrip\": { \"seconds\": " << roundtrip_s
+        << " },\n"
+        << "    \"BM_SnapshotRoundTrip/seren_endtoend\": { \"seconds\": "
+        << endtoend_s << " }\n  }\n}\n";
+    std::printf("[json] results written to %s\n", json_path.c_str());
+  }
+
+  if (ratio >= 0.05) {
+    std::fprintf(stderr,
+                 "bench_snapshot: save+restore is %.1f%% of the end-to-end "
+                 "workload (gate: < 5%%)\n",
+                 ratio * 100);
+    return 1;
+  }
+  return 0;
+}

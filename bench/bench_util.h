@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,67 @@ inline common::Series cdf_series_linear(const std::string& name,
   s.xs = common::lin_space(lo, hi, points);
   s.ys = stats.cdf_curve(s.xs);
   return s;
+}
+
+// Snapshot / fast-forward flags for the world benches (DESIGN.md §12):
+//   --snapshot-at T      pause the canonical single run at simulated time T
+//                        seconds, save the world, then run on to the end
+//   --snapshot-out FILE  where --snapshot-at writes the snapshot
+//   --restore FILE       skip the warm-up entirely: restore FILE (the
+//                        scenario comes from the snapshot itself) and run
+//                        the remaining timeline to completion
+struct SnapshotCli {
+  double snapshot_at = -1.0;
+  std::string snapshot_out;
+  std::string restore_path;
+
+  bool saving() const { return snapshot_at >= 0 || !snapshot_out.empty(); }
+  bool restoring() const { return !restore_path.empty(); }
+};
+
+inline void add_snapshot_flags(common::FlagSet& flags, SnapshotCli& cli) {
+  flags.add("--snapshot-at", &cli.snapshot_at,
+            "save the single-run world at this simulated time (seconds)");
+  flags.add("--snapshot-out", &cli.snapshot_out,
+            "file the --snapshot-at snapshot is written to");
+  flags.add("--restore", &cli.restore_path,
+            "restore a world snapshot file and run it to completion");
+}
+
+// Returns a non-empty reason when the snapshot flag combination is invalid.
+inline std::string snapshot_cli_error(const SnapshotCli& cli) {
+  if (cli.saving() && (cli.snapshot_at < 0 || cli.snapshot_out.empty()))
+    return "--snapshot-at and --snapshot-out must be given together";
+  if (cli.saving() && cli.restoring())
+    return "--restore cannot be combined with --snapshot-at/--snapshot-out";
+  return "";
+}
+
+// The canonical single run, honoring the snapshot flags: plain run_world
+// when neither side is active, save-at-T-then-continue for --snapshot-at,
+// restore-then-finish for --restore. The returned report is byte-identical
+// to the uninterrupted run in all three modes (test_determinism pins this).
+inline world::WorldReport run_world_snapshot_aware(
+    const world::ScenarioSpec& spec, const SnapshotCli& cli) {
+  constexpr double kForever = std::numeric_limits<double>::infinity();
+  if (cli.restoring()) {
+    world::World w(spec);
+    w.restore_file(cli.restore_path);
+    std::printf("[snap] restored %s; resuming to completion\n",
+                cli.restore_path.c_str());
+    w.run_until(kForever);
+    return w.finish();
+  }
+  if (cli.saving()) {
+    world::World w(spec);
+    w.run_until(cli.snapshot_at);
+    w.save_file(cli.snapshot_out);
+    std::printf("[snap] world saved to %s at t=%.0f s; continuing\n",
+                cli.snapshot_out.c_str(), cli.snapshot_at);
+    w.run_until(kForever);
+    return w.finish();
+  }
+  return world::run_world(spec);
 }
 
 // The six-month replays shared by the characterization benches, resolved

@@ -7,6 +7,7 @@
 // replication re-seeds the full scenario per replica.
 // Flags: --scenario NAME|FILE.json --replicas N --threads K --seed S
 //        --json out.json --trace-out t.json --metrics-out m.prom
+//        --snapshot-at T --snapshot-out snap.bin | --restore snap.bin
 #include <fstream>
 #include <sstream>
 
@@ -58,6 +59,8 @@ int main(int argc, char** argv) {
             "registered scenario name or path to a ScenarioSpec JSON file");
   obs_cli.mc.options = defaults;
   mc::add_mc_flags(flags, obs_cli.mc);
+  bench::SnapshotCli snap_cli;
+  bench::add_snapshot_flags(flags, snap_cli);
   std::string error;
   if (!flags.parse(argc, argv, &error)) {
     std::fprintf(stderr, "bench_world_endtoend: %s\n%s", error.c_str(),
@@ -68,17 +71,30 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.usage().c_str());
     return 0;
   }
+  const std::string snap_error = bench::snapshot_cli_error(snap_cli);
+  if (!snap_error.empty()) {
+    std::fprintf(stderr, "bench_world_endtoend: %s\n%s", snap_error.c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
   if (obs_cli.mc.options.replicas == 0) obs_cli.mc.options.replicas = 1;
   if (!obs_cli.trace_path.empty() || !obs_cli.metrics_path.empty())
     obs::set_enabled(true);
   const mc::McCli& cli = obs_cli.mc;
 
-  const world::ScenarioSpec spec = resolve_scenario(scenario_arg);
+  // With --restore, the snapshot itself is the source of truth for the
+  // scenario: the spec is recovered from its "world.spec" section.
+  const world::ScenarioSpec spec = snap_cli.restoring()
+                                       ? world::snapshot_spec(snap_cli.restore_path)
+                                       : resolve_scenario(scenario_arg);
   bench::header("World", "Integrated end-to-end replay on one event spine");
   std::printf("scenario: %s\n\n", spec.to_json().c_str());
 
-  // Canonical single run at the scenario's own seed.
-  const world::WorldReport report = world::run_world(spec);
+  // Canonical single run at the scenario's own seed (snapshot-aware: the
+  // digest is identical whether the run is straight, paused-and-saved, or
+  // resumed from a file).
+  const world::WorldReport report =
+      bench::run_world_snapshot_aware(spec, snap_cli);
   const double trace_days = report.replay.makespan / common::kDay;
   common::Table table({"metric", "value"});
   table.add_row({"makespan", common::format_duration(report.replay.makespan)});

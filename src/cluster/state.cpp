@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "snap/format.h"
 
 namespace acme::cluster {
 
@@ -151,6 +152,43 @@ std::vector<NodeId> ClusterState::healthy_idle_nodes() const {
   std::vector<NodeId> out;
   healthy_idle_nodes(out);
   return out;
+}
+
+void ClusterState::save(snap::SnapshotWriter& w) const {
+  w.begin_section("cluster.state");
+  w.write_u64(static_cast<std::uint64_t>(nodes_.size()));
+  for (const NodeState& n : nodes_) {
+    w.write_i64(n.gpus_free);
+    w.write_i64(n.cpus_free);
+    w.write_f64(n.host_mem_free_gb);
+    w.write_bool(n.cordoned);
+  }
+  w.end_section();
+}
+
+void ClusterState::restore(snap::SnapshotReader& r) {
+  r.enter_section("cluster.state");
+  const std::uint64_t count = r.read_u64();
+  ACME_CHECK_MSG(count == nodes_.size(),
+                 "cluster snapshot node count does not match the spec this "
+                 "state was constructed from");
+  for (auto& bucket : buckets_) bucket.clear();
+  free_gpus_healthy_ = 0;
+  free_gpus_all_ = 0;
+  cordoned_count_ = 0;
+  for (NodeState& n : nodes_) {
+    n.gpus_free = static_cast<int>(r.read_i64());
+    n.cpus_free = static_cast<int>(r.read_i64());
+    n.host_mem_free_gb = r.read_f64();
+    n.cordoned = r.read_bool();
+    ACME_CHECK_MSG(n.gpus_free >= 0 && n.gpus_free <= n.gpus_total,
+                   "cluster snapshot free-GPU count out of range");
+    bucket_insert(n);  // skips cordoned nodes, like the constructor
+    if (!n.cordoned) free_gpus_healthy_ += n.gpus_free;
+    free_gpus_all_ += n.gpus_free;
+    if (n.cordoned) ++cordoned_count_;
+  }
+  r.leave_section();
 }
 
 }  // namespace acme::cluster

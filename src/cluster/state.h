@@ -18,6 +18,11 @@
 #include "common/index_bitset.h"
 #include "common/small_vec.h"
 
+namespace acme::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace acme::snap
+
 namespace acme::cluster {
 
 using NodeId = int;
@@ -100,6 +105,14 @@ class ClusterState {
   // amortizes to zero allocations across ticks.
   void cordoned_nodes(std::vector<NodeId>& out) const;
   void healthy_idle_nodes(std::vector<NodeId>& out) const;
+
+  // Snapshot support (acme::snap): serializes only the mutable per-node
+  // occupancy (free counts, cordon flags). restore() requires *this to be
+  // freshly constructed from the same ClusterSpec — totals are spec-derived
+  // — and rebuilds the free-GPU buckets and aggregate counters from the
+  // restored node states.
+  void save(snap::SnapshotWriter& w) const;
+  void restore(snap::SnapshotReader& r);
 
  private:
   void bucket_insert(const NodeState& n);

@@ -12,6 +12,15 @@
 
 namespace acme::common {
 
+// Full generator state, exposed as a POD so snapshot code (acme::snap) can
+// persist and reinstate a stream mid-sequence without this header depending
+// on the snapshot format. `words` is the xoshiro256** state; `seed_material`
+// is the original seed the fork() labels hash against.
+struct RngState {
+  std::uint64_t words[4] = {0, 0, 0, 0};
+  std::uint64_t seed_material = 0;
+};
+
 // xoshiro256** by Blackman & Vigna. Small, fast, and high quality; we avoid
 // std::mt19937_64 because its state is large and its seeding is awkward for
 // derived streams.
@@ -26,6 +35,16 @@ class Rng {
   // Derives an independent child stream from this generator's seed material
   // and a label. The parent's state is not advanced.
   [[nodiscard]] Rng fork(std::string_view label) const;
+
+  // Snapshot support: the exact mid-stream state, restorable bit-for-bit.
+  RngState state() const {
+    return RngState{{state_[0], state_[1], state_[2], state_[3]},
+                    seed_material_};
+  }
+  void set_state(const RngState& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    seed_material_ = s.seed_material;
+  }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,22 @@ class StreamingStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
+
+  // Snapshot support (acme::snap): the full accumulator state as a POD, so a
+  // restored accumulator continues the stream bit-identically.
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0, m2 = 0, min = 0, max = 0, sum = 0;
+  };
+  State state() const { return State{n_, mean_, m2_, min_, max_, sum_}; }
+  void set_state(const State& s) {
+    n_ = static_cast<std::size_t>(s.n);
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+    sum_ = s.sum;
+  }
 
  private:
   std::size_t n_ = 0;

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace acme::mc {
 
 P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {}
+
+void P2Quantile::set_state(const State& s) {
+  ACME_CHECK_MSG(s.q == q_, "P2Quantile restore into a sketch with a "
+                            "different configured quantile");
+  count_ = static_cast<std::size_t>(s.count);
+  heights_ = s.heights;
+  positions_ = s.positions;
+  desired_ = s.desired;
+  increment_ = s.increment;
+}
 
 void P2Quantile::add(double x) {
   if (count_ < 5) {

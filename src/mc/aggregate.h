@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/stats.h"
@@ -29,6 +30,22 @@ class P2Quantile {
   double quantile() const { return q_; }
   // Current estimate; exact while count() <= 5.
   double value() const;
+
+  // Snapshot support (acme::snap): the full marker state as a POD, so a
+  // restored sketch continues the stream bit-identically. `q` must match the
+  // sketch's configured quantile — checked on set_state.
+  struct State {
+    double q = 0;
+    std::uint64_t count = 0;
+    std::array<double, 5> heights{};
+    std::array<double, 5> positions{};
+    std::array<double, 5> desired{};
+    std::array<double, 5> increment{};
+  };
+  State state() const {
+    return State{q_, count_, heights_, positions_, desired_, increment_};
+  }
+  void set_state(const State& s);
 
  private:
   double parabolic(int i, double d) const;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <type_traits>
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "snap/format.h"
 
 namespace acme::sched {
 
@@ -167,12 +169,14 @@ void SchedulerReplay::arm_replay(double sample_interval) {
       rt_[i].alloc.slices.reserve(
           static_cast<std::size_t>((job.gpus + per_node - 1) / per_node));
     ++pending_submissions_;
-    engine_->schedule_at(replay_start_ + job.submit_time,
-                         [this, i] { on_submit(i); });
+    rt_[i].submit = engine_->schedule_at(replay_start_ + job.submit_time,
+                                         [this, i] { on_submit(i); });
   }
 
+  sample_interval_ = sample_interval;
+  sample_event_ = {};
   if (sample_interval > 0) {
-    engine_->schedule_at(replay_start_, [this, sample_interval] {
+    sample_event_ = engine_->schedule_at(replay_start_, [this, sample_interval] {
       sample_occupancy(sample_interval);
     });
   }
@@ -198,6 +202,7 @@ bool SchedulerReplay::drained() const {
 }
 
 void SchedulerReplay::sample_occupancy(double interval) {
+  sample_event_ = {};
   ReplayResult::OccupancySample s;
   s.time = engine_->now() - replay_start_;
   s.total_gpus = reserved_.total_gpus() + shared_.total_gpus();
@@ -209,13 +214,14 @@ void SchedulerReplay::sample_occupancy(double interval) {
   result_->occupancy.push_back(s);
   // Re-arm while any activity remains on the spine.
   if (engine_->pending() > 0)
-    engine_->schedule_after(interval,
-                            [this, interval] { sample_occupancy(interval); });
+    sample_event_ = engine_->schedule_after(
+        interval, [this, interval] { sample_occupancy(interval); });
 }
 
 void SchedulerReplay::on_submit(std::size_t index) {
   ACME_CHECK(pending_submissions_ > 0);
   --pending_submissions_;
+  rt_[index].submit = {};
   rt_[index].waiting_since = engine_->now();
   auto& queue = queues_[static_cast<int>(classify(jobs_[index].type))];
   const std::size_t ahead = queue.size();
@@ -418,6 +424,234 @@ void SchedulerReplay::try_dispatch() {
       i = nxt;
     }
   }
+}
+
+namespace {
+
+// Per-job runtime record flattened for bulk serialization. Handles travel as
+// raw u64s; allocation slices are flattened into one side array (slice_count
+// says how many belong to each job).
+struct RtPod {
+  std::uint64_t submit;
+  std::uint64_t completion;
+  double started_at;
+  double extra_overhead;
+  double progress_done;
+  double waiting_since;
+  std::uint32_t flags;  // bit0 on_reserved, bit1 delay_recorded
+  std::uint32_t slice_count;
+};
+struct SlicePod {
+  std::int32_t node;
+  std::int32_t gpus;
+  std::int32_t cpus;
+};
+
+// Front-to-back member order of an intrusive list (FCFS order is replay
+// state: restore must rebuild it exactly).
+std::vector<std::uint32_t> list_order(const common::IndexList& list,
+                                      const common::IndexLinks& links) {
+  std::vector<std::uint32_t> order;
+  order.reserve(list.size());
+  for (std::uint32_t i = list.front(); i != common::kIndexNpos;
+       i = common::IndexList::next_of(links, i))
+    order.push_back(i);
+  return order;
+}
+
+}  // namespace
+
+void SchedulerReplay::save(snap::SnapshotWriter& w) const {
+  ACME_CHECK_MSG(result_ != nullptr,
+                 "SchedulerReplay::save outside an active replay");
+  w.begin_section("sched.replay");
+  // The trace rides in the snapshot verbatim: JobRecord is a flat POD (tags
+  // are interned u32 ids), so a bulk copy both avoids re-synthesizing a
+  // possibly million-row trace on restore and freezes queue_delay, the one
+  // trace field the replay mutates.
+  static_assert(std::is_trivially_copyable_v<trace::JobRecord>);
+  w.reserve(jobs_.size() * (sizeof(trace::JobRecord) + 16) + (1u << 16));
+  w.write_pod_vec(jobs_);
+  // Runtime records are stored sparsely — at a mid-replay quiescent point
+  // most jobs are in one of two trivial states, and paying 48 bytes each for
+  // them would make rt the snapshot's dominant section:
+  //  - pending: the up-front submission event hasn't fired yet. Everything
+  //    except the submit handle is still default (on_submit clears the handle
+  //    when it fires), so index + raw handle reconstructs the record.
+  //  - dead: the job completed (or is a zero-delay CPU passthrough). Its
+  //    residual record is never read again — finish_replay derives unstarted
+  //    from the queue sizes and nothing re-enqueues a completed job — so the
+  //    snapshot drops it and restore leaves the default record in place.
+  // Only live jobs (queued or running: list members or a pending completion)
+  // carry a full RtPod, keyed by trace index.
+  std::vector<std::uint32_t> queue_orders[3];
+  std::vector<std::uint32_t> pool_orders[2];
+  std::vector<char> live(rt_.size(), 0);
+  for (std::size_t q = 0; q < 3; ++q) {
+    queue_orders[q] = list_order(queues_[q], queue_links_);
+    for (const std::uint32_t i : queue_orders[q]) live[i] = 1;
+  }
+  for (std::size_t p = 0; p < 2; ++p) {
+    pool_orders[p] = list_order(running_pools_[p], pool_links_);
+    for (const std::uint32_t i : pool_orders[p]) live[i] = 1;
+  }
+  std::vector<std::uint32_t> pending_idx;
+  std::vector<std::uint64_t> pending_submit;
+  std::vector<std::uint32_t> live_idx;
+  std::vector<RtPod> live_pods;
+  std::vector<SlicePod> slices;
+  for (std::size_t i = 0; i < rt_.size(); ++i) {
+    const JobRt& rt = rt_[i];
+    if (!live[i] && !rt.completion.valid()) {
+      const bool default_but_submit =
+          rt.alloc.slices.empty() && rt.started_at == 0.0 &&
+          rt.extra_overhead == 0.0 && rt.progress_done == 0.0 &&
+          rt.waiting_since == 0.0 && !rt.on_reserved && !rt.delay_recorded;
+      if (rt.submit.valid() && default_but_submit) {
+        pending_idx.push_back(static_cast<std::uint32_t>(i));
+        pending_submit.push_back(rt.submit.raw());
+        continue;
+      }
+      // No pending event and no list membership: the job completed (residual
+      // scalars like started_at are dead state) or is an untouched CPU
+      // passthrough. Either way nothing reads the record again — drop it.
+      if (!rt.submit.valid()) continue;
+    }
+    live_idx.push_back(static_cast<std::uint32_t>(i));
+    live_pods.push_back(RtPod{rt.submit.raw(),
+                              rt.completion.raw(),
+                              rt.started_at,
+                              rt.extra_overhead,
+                              rt.progress_done,
+                              rt.waiting_since,
+                              static_cast<std::uint32_t>(
+                                  (rt.on_reserved ? 1u : 0u) |
+                                  (rt.delay_recorded ? 2u : 0u)),
+                              static_cast<std::uint32_t>(rt.alloc.slices.size())});
+    for (const auto& s : rt.alloc.slices)
+      slices.push_back(SlicePod{s.node, s.gpus, s.cpus});
+  }
+  w.write_pod_vec(pending_idx);
+  w.write_pod_vec(pending_submit);
+  w.write_pod_vec(live_idx);
+  w.write_pod_vec(live_pods);
+  w.write_pod_vec(slices);
+  for (const auto& order : queue_orders) w.write_pod_vec(order);
+  for (const auto& order : pool_orders) w.write_pod_vec(order);
+  w.write_f64(replay_start_);
+  w.write_u64(pending_submissions_);
+  w.write_bool(capacity_freed_);
+  w.write_i64(eval_gpus_in_use_);
+  w.write_i64(running_jobs_);
+  w.write_u64(sample_event_.raw());
+  w.write_f64(sample_interval_);
+  w.write_i64(result_->preemptions);
+  w.write_f64(result_->wasted_gpu_seconds);
+  w.write_i64(result_->failure_kills);
+  w.write_f64(result_->failure_lost_gpu_seconds);
+  w.write_f64(result_->failure_restart_seconds);
+  w.write_u64(result_->unstarted);
+  w.write_pod_vec(result_->occupancy);
+  w.end_section();
+  reserved_.save(w);
+  shared_.save(w);
+}
+
+void SchedulerReplay::restore_replay(snap::SnapshotReader& r) {
+  ACME_CHECK_MSG(result_ == nullptr,
+                 "restore_replay into a scheduler with an active replay");
+  r.enter_section("sched.replay");
+  r.read_pod_vec(jobs_);
+  // Same capacity bound arm_replay establishes, so the restored replay keeps
+  // the no-mid-run-reallocation guarantee. Sized before the rebinds below so
+  // any engine slot-vector growth happens while the slots are still
+  // callback-free (partition GPU totals are fixed at construction, so they
+  // are valid before the ledgers' own restore).
+  engine_->reserve(jobs_.size() +
+                   static_cast<std::size_t>(std::max(
+                       0, reserved_.total_gpus() + shared_.total_gpus())) +
+                   2);
+  std::vector<std::uint32_t> pending_idx;
+  std::vector<std::uint64_t> pending_submit;
+  std::vector<std::uint32_t> live_idx;
+  std::vector<RtPod> live_pods;
+  std::vector<SlicePod> slices;
+  r.read_pod_vec(pending_idx);
+  r.read_pod_vec(pending_submit);
+  r.read_pod_vec(live_idx);
+  r.read_pod_vec(live_pods);
+  r.read_pod_vec(slices);
+  ACME_CHECK(pending_idx.size() == pending_submit.size());
+  ACME_CHECK(live_idx.size() == live_pods.size());
+  rt_.assign(jobs_.size(), JobRt{});
+  // The sparse groups name every job with a pending event, so the callbacks
+  // are rebound right here during application — no post-pass over rt_.
+  for (std::size_t k = 0; k < pending_idx.size(); ++k) {
+    const std::size_t i = pending_idx[k];
+    ACME_CHECK(i < rt_.size());
+    rt_[i].submit = sim::EventHandle::from_raw(pending_submit[k]);
+    engine_->rebind(rt_[i].submit, [this, i] { on_submit(i); });
+  }
+  std::size_t slice_cursor = 0;
+  for (std::size_t k = 0; k < live_idx.size(); ++k) {
+    const std::size_t i = live_idx[k];
+    ACME_CHECK(i < rt_.size());
+    const RtPod& pod = live_pods[k];
+    JobRt& rt = rt_[i];
+    rt.submit = sim::EventHandle::from_raw(pod.submit);
+    rt.completion = sim::EventHandle::from_raw(pod.completion);
+    rt.started_at = pod.started_at;
+    rt.extra_overhead = pod.extra_overhead;
+    rt.progress_done = pod.progress_done;
+    rt.waiting_since = pod.waiting_since;
+    rt.on_reserved = (pod.flags & 1u) != 0;
+    rt.delay_recorded = (pod.flags & 2u) != 0;
+    for (std::uint32_t j = 0; j < pod.slice_count; ++j) {
+      ACME_CHECK(slice_cursor < slices.size());
+      const SlicePod& s = slices[slice_cursor++];
+      rt.alloc.slices.push_back({s.node, s.gpus, s.cpus});
+    }
+    if (rt.submit.valid())
+      engine_->rebind(rt.submit, [this, i] { on_submit(i); });
+    if (rt.completion.valid())
+      engine_->rebind(rt.completion, [this, i] { on_complete(i); });
+  }
+  ACME_CHECK(slice_cursor == slices.size());
+  queue_links_.assign(jobs_.size());
+  pool_links_.assign(jobs_.size());
+  const auto read_list = [&r](common::IndexList& list,
+                              common::IndexLinks& links) {
+    list = common::IndexList{};
+    std::vector<std::uint32_t> order;
+    r.read_pod_vec(order);
+    for (const std::uint32_t i : order) list.push_back(links, i);
+  };
+  for (auto& queue : queues_) read_list(queue, queue_links_);
+  for (auto& pool : running_pools_) read_list(pool, pool_links_);
+  replay_start_ = r.read_f64();
+  pending_submissions_ = static_cast<std::size_t>(r.read_u64());
+  capacity_freed_ = r.read_bool();
+  eval_gpus_in_use_ = static_cast<int>(r.read_i64());
+  running_jobs_ = static_cast<int>(r.read_i64());
+  sample_event_ = sim::EventHandle::from_raw(r.read_u64());
+  sample_interval_ = r.read_f64();
+  result_storage_ = ReplayResult{};
+  result_ = &result_storage_;
+  result_->preemptions = static_cast<int>(r.read_i64());
+  result_->wasted_gpu_seconds = r.read_f64();
+  result_->failure_kills = static_cast<int>(r.read_i64());
+  result_->failure_lost_gpu_seconds = r.read_f64();
+  result_->failure_restart_seconds = r.read_f64();
+  result_->unstarted = static_cast<std::size_t>(r.read_u64());
+  r.read_pod_vec(result_->occupancy);
+  r.leave_section();
+  reserved_.restore(r);
+  shared_.restore(r);
+  pretrain_scratch_.clear();
+  if (sample_event_.valid())
+    engine_->rebind(sample_event_, [this, interval = sample_interval_] {
+      sample_occupancy(interval);
+    });
 }
 
 void SchedulerReplay::on_complete(std::size_t index) {

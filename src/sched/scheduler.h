@@ -29,6 +29,11 @@
 #include "sim/engine.h"
 #include "trace/job.h"
 
+namespace acme::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace acme::snap
+
 namespace acme::sched {
 
 struct SchedulerConfig {
@@ -145,6 +150,23 @@ class SchedulerReplay {
   void kill_job(std::size_t index, double rollback_cap_seconds,
                 double restart_overhead_seconds);
 
+  // --- Snapshot support (acme::snap, DESIGN.md §12). Valid only between
+  // begin_replay and finish_replay. ---
+  //
+  // The snapshot carries the trace verbatim (JobRecord is a flat POD, so
+  // this is one bulk copy and restore never re-synthesizes), plus everything
+  // the replay has mutated: sparse per-job runtime records (pending-submit
+  // jobs as index + handle, queued/running jobs in full; completed jobs'
+  // dead records are dropped), queue/pool orders, both partition ledgers,
+  // counters, and the pending submission/completion/sampler event handles
+  // (rebound into the restored engine).
+  void save(snap::SnapshotWriter& w) const;
+  // The engine must already hold the restored event spine.
+  void restore_replay(snap::SnapshotReader& r);
+
+  // The adopted trace (for restorers that derive hints from it).
+  const trace::Trace& jobs() const { return jobs_; }
+
  private:
   // Ownership-transfer step of the legacy constructor: keeps the private
   // engine alive for the object's lifetime, exception-safely.
@@ -189,6 +211,7 @@ class SchedulerReplay {
   // these fields together).
   struct JobRt {
     cluster::Allocation alloc;   // empty() <=> the job is not running
+    sim::EventHandle submit;     // pending on_submit event (snapshot rebind)
     sim::EventHandle completion;
     double started_at = 0.0;
     double extra_overhead = 0.0;  // restart tax added by evictions
@@ -219,6 +242,10 @@ class SchedulerReplay {
   int eval_gpus_in_use_ = 0;
   int eval_cap_ = 0;
   int running_jobs_ = 0;
+  // Occupancy-sampler chain: handle of the pending sample event and its
+  // cadence, tracked so a snapshot can rebind the self-re-arming callback.
+  sim::EventHandle sample_event_;
+  double sample_interval_ = 0;
 
   static cluster::ClusterSpec partition_spec(const cluster::ClusterSpec& spec,
                                              int nodes);

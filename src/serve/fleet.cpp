@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/digest.h"
 #include "obs/obs.h"
+#include "snap/format.h"
 
 namespace acme::serve {
 
@@ -107,7 +108,7 @@ void ServeFleet::start() {
   queue_last_t_ = engine_.now();
   const double t0 = engine_.now() + arrivals_.next_interarrival(engine_.now());
   if (t0 <= config_.horizon_seconds)
-    engine_.schedule_at(t0, [this] { arrival_fire(); });
+    arrival_event_ = engine_.schedule_at(t0, [this] { arrival_fire(); });
 }
 
 void ServeFleet::touch_queue_integral() {
@@ -133,6 +134,7 @@ int ServeFleet::pick_replica() const {
 }
 
 void ServeFleet::arrival_fire() {
+  arrival_event_ = {};
   const double now = engine_.now();
   last_event_t_ = std::max(last_event_t_, now);
   const RequestSample s = arrivals_.sample_request();
@@ -145,7 +147,7 @@ void ServeFleet::arrival_fire() {
   // (arrival, dispatch side effects) regardless of queue state.
   const double next = now + arrivals_.next_interarrival(now);
   if (next <= config_.horizon_seconds)
-    engine_.schedule_at(next, [this] { arrival_fire(); });
+    arrival_event_ = engine_.schedule_at(next, [this] { arrival_fire(); });
 
   const std::uint64_t need =
       static_cast<std::uint64_t>(s.prompt_tokens) +
@@ -243,6 +245,7 @@ void ServeFleet::epoch_fire(int r) {
   const double now = engine_.now();
   last_event_t_ = std::max(last_event_t_, now);
   rep.stepping = false;
+  rep.epoch = {};
   const std::uint64_t k = rep.epoch_end_steps - rep.epoch_base_steps;
   rep.steps = rep.epoch_end_steps;
   ++epochs_;
@@ -335,6 +338,7 @@ void ServeFleet::kill_replica(int index, double rewarm_seconds) {
         .inc();
   if (rep.stepping) {
     engine_.cancel(rep.epoch);
+    rep.epoch = {};
     rep.stepping = false;
   }
   for (const std::uint32_t slot : rep.active) fail_request(slot);
@@ -348,11 +352,12 @@ void ServeFleet::kill_replica(int index, double rewarm_seconds) {
     --queued_now_;
   }
   const int r = index;
-  engine_.schedule_after(rewarm_seconds, [this, r] { rewarm_fire(r); });
+  rep.rewarm = engine_.schedule_after(rewarm_seconds, [this, r] { rewarm_fire(r); });
 }
 
 void ServeFleet::rewarm_fire(int r) {
   Replica& rep = reps_[static_cast<std::size_t>(r)];
+  rep.rewarm = {};
   const double now = engine_.now();
   last_event_t_ = std::max(last_event_t_, now);
   rep.up = true;
@@ -364,6 +369,206 @@ void ServeFleet::rewarm_fire(int r) {
   // rewarm onto this replica — they cannot (down replicas are unpickable) —
   // but the call keeps the invariant "an up replica with work is stepping".
   plan_epoch(r);
+}
+
+namespace {
+
+void write_rng_state(snap::SnapshotWriter& w, const common::RngState& s) {
+  for (int i = 0; i < 4; ++i) w.write_u64(s.words[i]);
+  w.write_u64(s.seed_material);
+}
+
+common::RngState read_rng_state(snap::SnapshotReader& r) {
+  common::RngState s;
+  for (int i = 0; i < 4; ++i) s.words[i] = r.read_u64();
+  s.seed_material = r.read_u64();
+  return s;
+}
+
+void write_streaming_stats(snap::SnapshotWriter& w,
+                           const common::StreamingStats& stats) {
+  const common::StreamingStats::State s = stats.state();
+  w.write_u64(s.n);
+  w.write_f64(s.mean);
+  w.write_f64(s.m2);
+  w.write_f64(s.min);
+  w.write_f64(s.max);
+  w.write_f64(s.sum);
+}
+
+void read_streaming_stats(snap::SnapshotReader& r,
+                          common::StreamingStats& stats) {
+  common::StreamingStats::State s;
+  s.n = r.read_u64();
+  s.mean = r.read_f64();
+  s.m2 = r.read_f64();
+  s.min = r.read_f64();
+  s.max = r.read_f64();
+  s.sum = r.read_f64();
+  stats.set_state(s);
+}
+
+void write_p2(snap::SnapshotWriter& w, const mc::P2Quantile& q) {
+  const mc::P2Quantile::State s = q.state();
+  w.write_f64(s.q);
+  w.write_u64(s.count);
+  for (double v : s.heights) w.write_f64(v);
+  for (double v : s.positions) w.write_f64(v);
+  for (double v : s.desired) w.write_f64(v);
+  for (double v : s.increment) w.write_f64(v);
+}
+
+void read_p2(snap::SnapshotReader& r, mc::P2Quantile& q) {
+  mc::P2Quantile::State s;
+  s.q = r.read_f64();
+  s.count = r.read_u64();
+  for (double& v : s.heights) v = r.read_f64();
+  for (double& v : s.positions) v = r.read_f64();
+  for (double& v : s.desired) v = r.read_f64();
+  for (double& v : s.increment) v = r.read_f64();
+  q.set_state(s);
+}
+
+}  // namespace
+
+void ServeFleet::save(snap::SnapshotWriter& w) const {
+  w.begin_section("serve.fleet");
+  const ArrivalProcess::State ap = arrivals_.state();
+  write_rng_state(w, ap.rng);
+  write_rng_state(w, ap.state_rng);
+  w.write_bool(ap.burst);
+  w.write_f64(ap.state_until);
+  w.write_u64(arrival_event_.raw());
+  w.write_u64(static_cast<std::uint64_t>(reps_.size()));
+  for (const Replica& rep : reps_) {
+    w.write_bool(rep.up);
+    w.write_bool(rep.stepping);
+    w.write_u64(rep.steps);
+    w.write_u64(rep.resident_tokens);
+    w.write_pod_vec(rep.active);
+    // The ring is written verbatim (head + count), stale tail entries and
+    // all: identical memory layout means identical wrap behaviour.
+    w.write_pod_vec(rep.ring);
+    w.write_u64(static_cast<std::uint64_t>(rep.ring_head));
+    w.write_u64(static_cast<std::uint64_t>(rep.ring_count));
+    w.write_u64(rep.epoch.raw());
+    w.write_u64(rep.rewarm.raw());
+    w.write_f64(rep.epoch_start);
+    w.write_f64(rep.epoch_prefill);
+    w.write_f64(rep.epoch_step_seconds);
+    w.write_f64(rep.epoch_end_time);
+    w.write_u64(rep.epoch_base_steps);
+    w.write_u64(rep.epoch_end_steps);
+  }
+  w.write_pod_vec(pool_);
+  w.write_pod_vec(free_slots_);
+  w.write_u64(offered_);
+  w.write_u64(completed_);
+  w.write_u64(rejected_);
+  w.write_u64(failed_);
+  w.write_u64(attained_);
+  w.write_u64(prefill_tokens_);
+  w.write_u64(decode_tokens_);
+  w.write_u64(decode_steps_);
+  w.write_u64(epochs_);
+  w.write_i64(kills_);
+  w.write_i64(rewarms_);
+  w.write_u64(next_span_id_);
+  w.write_f64(batch_integral_);
+  w.write_f64(queue_integral_);
+  w.write_f64(queue_last_t_);
+  w.write_u64(queued_now_);
+  w.write_f64(last_event_t_);
+  write_streaming_stats(w, ttft_stats_);
+  write_streaming_stats(w, e2e_stats_);
+  write_p2(w, ttft_p50_);
+  write_p2(w, ttft_p99_);
+  write_p2(w, tpot_p50_);
+  write_p2(w, tpot_p99_);
+  write_p2(w, e2e_p50_);
+  write_p2(w, e2e_p99_);
+  w.end_section();
+}
+
+void ServeFleet::restore(snap::SnapshotReader& r) {
+  ACME_CHECK_MSG(offered_ == 0 && !arrival_event_.valid(),
+                 "ServeFleet::restore requires a freshly constructed fleet "
+                 "(start() never called)");
+  r.enter_section("serve.fleet");
+  ArrivalProcess::State ap;
+  ap.rng = read_rng_state(r);
+  ap.state_rng = read_rng_state(r);
+  ap.burst = r.read_bool();
+  ap.state_until = r.read_f64();
+  arrivals_.set_state(ap);
+  arrival_event_ = sim::EventHandle::from_raw(r.read_u64());
+  const std::uint64_t rep_count = r.read_u64();
+  ACME_CHECK_MSG(rep_count == reps_.size(),
+                 "serve snapshot replica count does not match the config this "
+                 "fleet was constructed from");
+  up_ = 0;
+  for (Replica& rep : reps_) {
+    rep.up = r.read_bool();
+    rep.stepping = r.read_bool();
+    rep.steps = r.read_u64();
+    rep.resident_tokens = r.read_u64();
+    r.read_pod_vec(rep.active);
+    r.read_pod_vec(rep.ring);
+    ACME_CHECK_MSG(rep.ring.size() ==
+                       static_cast<std::size_t>(config_.queue_cap),
+                   "serve snapshot queue_cap does not match the config");
+    rep.ring_head = static_cast<std::size_t>(r.read_u64());
+    rep.ring_count = static_cast<std::size_t>(r.read_u64());
+    rep.epoch = sim::EventHandle::from_raw(r.read_u64());
+    rep.rewarm = sim::EventHandle::from_raw(r.read_u64());
+    rep.epoch_start = r.read_f64();
+    rep.epoch_prefill = r.read_f64();
+    rep.epoch_step_seconds = r.read_f64();
+    rep.epoch_end_time = r.read_f64();
+    rep.epoch_base_steps = r.read_u64();
+    rep.epoch_end_steps = r.read_u64();
+    if (rep.up) ++up_;
+  }
+  r.read_pod_vec(pool_);
+  r.read_pod_vec(free_slots_);
+  offered_ = r.read_u64();
+  completed_ = r.read_u64();
+  rejected_ = r.read_u64();
+  failed_ = r.read_u64();
+  attained_ = r.read_u64();
+  prefill_tokens_ = r.read_u64();
+  decode_tokens_ = r.read_u64();
+  decode_steps_ = r.read_u64();
+  epochs_ = r.read_u64();
+  kills_ = static_cast<int>(r.read_i64());
+  rewarms_ = static_cast<int>(r.read_i64());
+  next_span_id_ = r.read_u64();
+  batch_integral_ = r.read_f64();
+  queue_integral_ = r.read_f64();
+  queue_last_t_ = r.read_f64();
+  queued_now_ = r.read_u64();
+  last_event_t_ = r.read_f64();
+  read_streaming_stats(r, ttft_stats_);
+  read_streaming_stats(r, e2e_stats_);
+  read_p2(r, ttft_p50_);
+  read_p2(r, ttft_p99_);
+  read_p2(r, tpot_p50_);
+  read_p2(r, tpot_p99_);
+  read_p2(r, e2e_p50_);
+  read_p2(r, e2e_p99_);
+  r.leave_section();
+  // Rebind every pending serve event into the restored spine.
+  if (arrival_event_.valid())
+    engine_.rebind(arrival_event_, [this] { arrival_fire(); });
+  for (int i = 0; i < static_cast<int>(reps_.size()); ++i) {
+    Replica& rep = reps_[static_cast<std::size_t>(i)];
+    if (rep.epoch.valid()) {
+      ACME_CHECK_MSG(rep.stepping, "epoch handle without a stepping replica");
+      engine_.rebind(rep.epoch, [this, i] { epoch_fire(i); });
+    }
+    if (rep.rewarm.valid())
+      engine_.rebind(rep.rewarm, [this, i] { rewarm_fire(i); });
+  }
 }
 
 FleetReport ServeFleet::report() const {

@@ -41,6 +41,11 @@
 #include "serve/traffic.h"
 #include "sim/engine.h"
 
+namespace acme::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace acme::snap
+
 namespace acme::serve {
 
 struct ServeConfig {
@@ -138,6 +143,14 @@ class ServeFleet {
   // drained; safe to call repeatedly.
   FleetReport report() const;
 
+  // Snapshot support (acme::snap, DESIGN.md §12). save() is valid at any
+  // quiescent point; restore() requires *this freshly constructed from the
+  // same (config, seed) with start() never called, and an engine that already
+  // holds the restored event spine — the fleet rebinds its pending arrival /
+  // epoch / rewarm callbacks into that spine.
+  void save(snap::SnapshotWriter& w) const;
+  void restore(snap::SnapshotReader& r);
+
  private:
   struct Request {
     double arrival = 0;
@@ -158,8 +171,11 @@ class ServeFleet {
     std::vector<std::uint32_t> ring;
     std::size_t ring_head = 0;
     std::size_t ring_count = 0;
-    // Epoch bookkeeping for exact in-epoch completion timestamps.
+    // Epoch bookkeeping for exact in-epoch completion timestamps. The epoch
+    // and rewarm handles are cleared when their events fire or cancel, so
+    // valid() <=> pending (the snapshot rebinds exactly the valid ones).
     sim::EventHandle epoch;
+    sim::EventHandle rewarm;
     double epoch_start = 0;
     double epoch_prefill = 0;
     double epoch_step_seconds = 0;
@@ -183,6 +199,8 @@ class ServeFleet {
   ArrivalProcess arrivals_;
   std::vector<Replica> reps_;
   int up_ = 0;
+  // Pending arrival-chain event; cleared at fire so valid() <=> pending.
+  sim::EventHandle arrival_event_;
 
   std::vector<Request> pool_;
   std::vector<std::uint32_t> free_slots_;

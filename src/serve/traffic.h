@@ -68,6 +68,26 @@ class ArrivalProcess {
 
   RequestSample sample_request();
 
+  // Snapshot support (acme::snap): both rng streams plus the hidden MMPP
+  // trajectory. norm_/peak_ are pure functions of the profile and are
+  // recomputed by the constructor, so a reconstructed process with this
+  // state restored continues the arrival sequence bit-identically.
+  struct State {
+    common::RngState rng;
+    common::RngState state_rng;
+    bool burst = false;
+    double state_until = 0;
+  };
+  State state() const {
+    return State{rng_.state(), state_rng_.state(), burst_, state_until_};
+  }
+  void set_state(const State& s) {
+    rng_.set_state(s.rng);
+    state_rng_.set_state(s.state_rng);
+    burst_ = s.burst;
+    state_until_ = s.state_until;
+  }
+
  private:
   void advance_state(double t);
 

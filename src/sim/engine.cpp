@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "snap/format.h"
 
 namespace acme::sim {
 
@@ -57,6 +58,7 @@ void Engine::reset() {
   next_seq_ = 1;
   fired_ = 0;
   live_ = 0;
+  unbound_ = 0;
   sorted_.clear();
   sorted_head_ = 0;
   heap_.clear();
@@ -123,6 +125,76 @@ std::size_t Engine::run() {
   std::size_t n = 0;
   while (step(std::numeric_limits<Time>::infinity())) ++n;
   return n;
+}
+
+void Engine::save(snap::SnapshotWriter& w) const {
+  w.begin_section("sim.engine");
+  w.write_f64(now_);
+  w.write_u32(next_seq_);
+  w.write_u64(fired_);
+  w.write_u64(static_cast<std::uint64_t>(live_));
+  // Slot count and the reserve() high-water travel ahead of the bulk arrays
+  // so restore can size everything once, before the reads. The capacity hint
+  // matters: subsystems re-issue their arm-time reserve() bound after the
+  // engine restore, and without the hint that call would reallocate (and
+  // move-relocate) the freshly filled slot vector.
+  w.write_u64(static_cast<std::uint64_t>(slots_.size()));
+  w.write_u64(static_cast<std::uint64_t>(slots_.capacity()));
+  // Only the unpopped tail of the sorted run matters; the restore re-bases
+  // the cursor at zero. The heap is written verbatim, stale entries and all
+  // (they cost 16 bytes each and preserve the exact pop sequence).
+  w.write_pod_span(sorted_.data() + sorted_head_, sorted_.size() - sorted_head_);
+  w.write_pod_vec(heap_);
+  // Slot generations are sparse by construction: retire() zeroes a slot's
+  // seq, so only the `live_` occupied slots carry one. Saving (slot, seq)
+  // pairs for those reproduces the full vector exactly and keeps the
+  // section (and both save/restore passes) proportional to live events,
+  // not slot capacity.
+  std::vector<std::uint64_t> occupied;
+  occupied.reserve(live_);
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].seq != 0)
+      occupied.push_back(static_cast<std::uint64_t>(i) << 32 | slots_[i].seq);
+  w.write_pod_vec(occupied);
+  w.write_pod_vec(free_slots_);
+  w.end_section();
+}
+
+void Engine::restore(snap::SnapshotReader& r) {
+  ACME_CHECK_MSG(live_ == 0 && queue_empty() && now_ == 0 && next_seq_ == 1 &&
+                     fired_ == 0,
+                 "Engine::restore requires a fresh (or reset()) engine; "
+                 "restoring over live events would orphan them");
+  r.enter_section("sim.engine");
+  now_ = r.read_f64();
+  next_seq_ = r.read_u32();
+  fired_ = r.read_u64();
+  live_ = static_cast<std::size_t>(r.read_u64());
+  // Recompute capacity bounds from the restored slot count before the bulk
+  // reads, so restored replays keep the no-mid-run-reallocation guarantee
+  // arm_replay established in the original run.
+  const auto slot_count = static_cast<std::size_t>(r.read_u64());
+  // The hint is advisory (a corrupt value costs memory, not correctness), so
+  // clamp it; an under-reserve just means a later reserve() grows the pools.
+  const auto capacity_hint =
+      std::min(static_cast<std::size_t>(r.read_u64()), slot_count * 2 + 65536);
+  reserve(std::max(slot_count, capacity_hint));
+  r.read_pod_vec(sorted_);
+  sorted_head_ = 0;
+  r.read_pod_vec(heap_);
+  std::vector<std::uint64_t> occupied;
+  r.read_pod_vec(occupied);
+  r.read_pod_vec(free_slots_);
+  r.leave_section();
+  slots_.clear();
+  slots_.resize(slot_count);  // callbacks start empty; subsystems rebind
+  for (const std::uint64_t packed : occupied) {
+    const auto slot = static_cast<std::size_t>(packed >> 32);
+    ACME_CHECK_MSG(slot < slots_.size(),
+                   "snapshot slot generation references a slot out of range");
+    slots_[slot].seq = static_cast<std::uint32_t>(packed);
+  }
+  unbound_ = live_;
 }
 
 }  // namespace acme::sim

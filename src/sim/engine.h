@@ -27,6 +27,11 @@
 #include "common/check.h"
 #include "common/inline_fn.h"
 
+namespace acme::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace acme::snap
+
 namespace acme::sim {
 
 using Time = double;  // seconds since simulation start
@@ -51,6 +56,16 @@ class EventHandle {
  public:
   EventHandle() = default;
   bool valid() const { return seq_ != 0; }
+
+  // Snapshot support: a handle round-trips through a u64 so subsystems can
+  // persist the handles they hold and rebind their callbacks on restore.
+  std::uint64_t raw() const {
+    return (static_cast<std::uint64_t>(slot_) << 32) | seq_;
+  }
+  static EventHandle from_raw(std::uint64_t raw) {
+    return EventHandle(static_cast<std::uint32_t>(raw >> 32),
+                       static_cast<std::uint32_t>(raw));
+  }
 
  private:
   friend class Engine;
@@ -124,6 +139,38 @@ class Engine {
   // cancelled entries still sit in the heap.
   std::size_t pending() const { return live_; }
   std::uint64_t events_fired() const { return fired_; }
+
+  // --- Snapshot support (acme::snap, DESIGN.md §12) ---
+  //
+  // Callbacks are type-erased closures (InlineFn) and cannot be serialized;
+  // instead save() persists the queue STRUCTURE verbatim — clock, sequence
+  // counter, slot generations, free list, both run-queue levels — and each
+  // subsystem re-installs its own callbacks into the restored slots via
+  // rebind(). Because the (time, seq) entries are byte-identical, the
+  // restored engine pops events in exactly the original order, which is
+  // what makes restored-run digests byte-identical to straight-through runs.
+  void save(snap::SnapshotWriter& w) const;
+  // Restores into a fresh or reset() engine only (non-empty restore is a
+  // loud ACME_CHECK failure); recomputes reserve() bounds from the restored
+  // slot count so capacity invariants survive the round-trip.
+  void restore(snap::SnapshotReader& r);
+  // Re-installs the callback for a restored pending event. The handle must
+  // reference a live, not-yet-rebound slot.
+  template <typename F>
+  void rebind(EventHandle handle, F&& fn) {
+    ACME_CHECK_MSG(handle.valid() && handle.slot_ < slots_.size() &&
+                       slots_[handle.slot_].seq == handle.seq_,
+                   "rebind on a handle that references no pending event");
+    Slot& s = slots_[handle.slot_];
+    ACME_CHECK_MSG(!s.fn, "rebind on an already-bound event slot");
+    s.fn.emplace(std::forward<F>(fn));
+    if (unbound_ > 0) --unbound_;
+  }
+  // Pending events whose callback has not been rebound yet; a fully restored
+  // world must bring this to zero before running. Maintained as a counter
+  // (restore() arms it with the live-event count, every rebind() retires
+  // one) so the check does not re-walk the whole slot vector.
+  std::size_t unbound() const { return unbound_; }
 
  private:
   // 16 bytes: seq both breaks time ties deterministically (insertion order)
@@ -206,6 +253,9 @@ class Engine {
   std::vector<Entry> heap_;  // out-of-order pushes, binary min-heap
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  // Restored-but-not-yet-rebound events (zero outside a restore cycle:
+  // schedule_at installs callbacks at acquire time).
+  std::size_t unbound_ = 0;
 };
 
 }  // namespace acme::sim

@@ -147,6 +147,16 @@ constexpr const char* kScenarioKeys[] = {
     "serve_slo_ttft_seconds",  "serve_slo_tpot_seconds",
 };
 
+// Range-violation messages mirror unknown_key_message's "did you mean"
+// style: a negative where a positive is required almost always means a
+// dropped sign, so suggest the absolute value.
+std::string range_message(const char* key, double v, const char* requirement) {
+  std::ostringstream os;
+  os << key << " must be " << requirement << ", got " << v;
+  if (v < 0 && std::isfinite(v)) os << " (did you mean " << -v << "?)";
+  return os.str();
+}
+
 std::string unknown_key_message(const std::string& key) {
   std::string best;
   std::size_t best_distance = 4;  // suggest only near-misses, like FlagSet
@@ -231,8 +241,19 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
       *field = raw;
       return true;
     };
+    // std::stod happily parses "nan" and "inf"; neither is a meaningful
+    // scenario number (NaN even defeats `x > 0` validation by comparing
+    // false), so non-finite values are rejected here with their own message.
+    bool nonfinite = false;
     const auto want_double = [&](double* field) {
-      return !is_string && parse_double(raw, field);
+      double v = 0;
+      if (is_string || !parse_double(raw, &v)) return false;
+      if (!std::isfinite(v)) {
+        nonfinite = true;
+        return false;
+      }
+      *field = v;
+      return true;
     };
     const auto want_bool = [&](bool* field) {
       if (is_string || (raw != "true" && raw != "false")) return false;
@@ -288,42 +309,64 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
     else {
       return bail(unknown_key_message(key));
     }
-    if (!ok) return bail("bad value for \"" + key + "\": " + raw);
+    if (!ok) {
+      if (nonfinite)
+        return bail("non-finite value for \"" + key + "\": " + raw +
+                    " (scenario numbers must be finite)");
+      return bail("bad value for \"" + key + "\": " + raw);
+    }
   }
   p.skip_ws();
   if (p.i != json.size()) return bail("trailing garbage after scenario object");
   if (spec.cluster != "seren" && spec.cluster != "kalos")
     return bail("cluster must be \"seren\" or \"kalos\", got \"" +
                 spec.cluster + "\"");
-  if (!(spec.scale > 0)) return bail("scale must be positive");
+  if (!(spec.scale > 0))
+    return bail(range_message("scale", spec.scale, "positive"));
   if (!(spec.failure_interval_scale > 0))
-    return bail("failure_interval_scale must be positive");
+    return bail(range_message("failure_interval_scale",
+                              spec.failure_interval_scale, "positive"));
   if (!(spec.ckpt_interval_seconds > 0))
-    return bail("ckpt_interval_seconds must be positive");
+    return bail(range_message("ckpt_interval_seconds",
+                              spec.ckpt_interval_seconds, "positive"));
   if (spec.sample_interval_seconds < 0)
-    return bail("sample_interval_seconds must be >= 0");
+    return bail(range_message("sample_interval_seconds",
+                              spec.sample_interval_seconds, ">= 0"));
   if (spec.serve_model != "7b" && spec.serve_model != "104b" &&
       spec.serve_model != "123b" && spec.serve_model != "moe")
     return bail("serve_model must be one of 7b, 104b, 123b, moe; got \"" +
                 spec.serve_model + "\"");
   if (!spec.pretrain && !spec.serving())
     return bail("a serve-only scenario (pretrain=false) needs serve_replicas > 0");
-  if (spec.serving()) {
-    if (spec.serve_gpus_per_replica <= 0)
-      return bail("serve_gpus_per_replica must be positive");
-    if (spec.serve_rps < 0) return bail("serve_rps must be >= 0");
-    if (spec.serve_diurnal_amplitude < 0 || spec.serve_diurnal_amplitude > 1)
-      return bail("serve_diurnal_amplitude must be in [0, 1]");
-    if (spec.serve_burst_multiplier < 1)
-      return bail("serve_burst_multiplier must be >= 1");
-    if (spec.serve_burst_fraction < 0 || spec.serve_burst_fraction >= 1)
-      return bail("serve_burst_fraction must be in [0, 1)");
-    if (!(spec.serve_duration_seconds > 0))
-      return bail("serve_duration_seconds must be positive");
-    if (!(spec.serve_slo_ttft_seconds > 0) ||
-        !(spec.serve_slo_tpot_seconds > 0))
-      return bail("serve SLO targets must be positive");
-  }
+  // Serve ranges are checked even when serving is off: a spec carrying a
+  // poisoned serve field would otherwise blow up only when someone later
+  // re-enables replicas on it.
+  if (spec.serve_replicas < 0)
+    return bail(range_message("serve_replicas",
+                              static_cast<double>(spec.serve_replicas),
+                              ">= 0"));
+  if (spec.serve_gpus_per_replica <= 0)
+    return bail("serve_gpus_per_replica must be positive");
+  if (spec.serve_rps < 0)
+    return bail(range_message("serve_rps", spec.serve_rps, ">= 0"));
+  if (spec.serve_diurnal_amplitude < 0 || spec.serve_diurnal_amplitude > 1)
+    return bail(range_message("serve_diurnal_amplitude",
+                              spec.serve_diurnal_amplitude, "in [0, 1]"));
+  if (spec.serve_burst_multiplier < 1)
+    return bail(range_message("serve_burst_multiplier",
+                              spec.serve_burst_multiplier, ">= 1"));
+  if (spec.serve_burst_fraction < 0 || spec.serve_burst_fraction >= 1)
+    return bail(range_message("serve_burst_fraction",
+                              spec.serve_burst_fraction, "in [0, 1)"));
+  if (!(spec.serve_duration_seconds > 0))
+    return bail(range_message("serve_duration_seconds",
+                              spec.serve_duration_seconds, "positive"));
+  if (!(spec.serve_slo_ttft_seconds > 0))
+    return bail(range_message("serve_slo_ttft_seconds",
+                              spec.serve_slo_ttft_seconds, "positive"));
+  if (!(spec.serve_slo_tpot_seconds > 0))
+    return bail(range_message("serve_slo_tpot_seconds",
+                              spec.serve_slo_tpot_seconds, "positive"));
   return spec;
 }
 

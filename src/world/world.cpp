@@ -1,16 +1,15 @@
 #include "world/world.h"
 
 #include <algorithm>
-#include <functional>
-#include <optional>
+#include <iomanip>
+#include <sstream>
 
-#include "ckpt/timing.h"
-#include "comm/collective.h"
 #include "common/check.h"
+#include "common/digest.h"
 #include "common/units.h"
-#include "failure/injector.h"
 #include "obs/obs.h"
 #include "parallel/model_math.h"
+#include "snap/format.h"
 #include "trace/analysis.h"
 
 namespace acme::world {
@@ -68,218 +67,378 @@ serve::ServeConfig serve_config(const ScenarioSpec& spec) {
   return cfg;
 }
 
+std::uint64_t WorldReport::digest() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "makespan=" << replay.makespan << ";unstarted=" << replay.unstarted
+     << ";preempt=" << replay.preemptions << ";wasted=" << replay.wasted_gpu_seconds
+     << ";fkills=" << replay.failure_kills
+     << ";flost=" << replay.failure_lost_gpu_seconds
+     << ";frestart=" << replay.failure_restart_seconds
+     << ";busy=" << busy_fraction << ";days=" << makespan_days
+     << ";finj=" << failures_injected << ";fnov=" << failures_no_victim
+     << ";loc=" << localizations << ";manual=" << manual_recoveries
+     << ";rstall=" << recovery_stall_seconds << ";lost=" << lost_work_gpu_seconds
+     << ";stallgpu=" << stall_gpu_seconds << ";infra=" << infra_failures
+     << ";infralost=" << infra_lost_gpu_seconds << ";goodput=" << goodput
+     << ";pqd_n=" << pretrain_queue_delay.count()
+     << ";pqd_sum=" << (pretrain_queue_delay.empty() ? 0.0 : pretrain_queue_delay.sum())
+     << ";eqd_n=" << eval_queue_delay.count()
+     << ";eqd_sum=" << (eval_queue_delay.empty() ? 0.0 : eval_queue_delay.sum());
+  if (served) os << ";serve=" << serve.digest();
+  common::Fnv1a h;
+  h.update(os.str());
+  // Binary folds over the full timelines: any divergence in a single sample
+  // or delay flips the digest even when the aggregate folds above collide.
+  if (!replay.occupancy.empty())
+    h.update(std::string_view(
+        reinterpret_cast<const char*>(replay.occupancy.data()),
+        replay.occupancy.size() * sizeof(replay.occupancy[0])));
+  for (const auto& job : replay.jobs)
+    h.update(std::string_view(reinterpret_cast<const char*>(&job.queue_delay),
+                              sizeof(job.queue_delay)));
+  return h.digest();
+}
+
 World::World(ScenarioSpec spec)
     : spec_(std::move(spec)), inputs_(cluster_inputs(spec_)) {}
 
-WorldReport World::run() {
-  ACME_OBS_SPAN_ARG("world", "run", "scenario", spec_.name);
-  WorldReport report;
-
+void World::construct_subsystems(trace::Trace& pretrain_jobs, bool synthesize) {
   // Serving stands up first so the carve-out below sees its GPU demand; in a
   // co-located world the fleet takes whole nodes away from the scheduler.
-  cluster::ClusterSpec sched_spec = inputs_.spec;
-  std::optional<serve::ServeFleet> fleet;
+  sched_spec_ = inputs_.spec;
   if (spec_.serving()) {
     const serve::ServeConfig scfg = serve_config(spec_);
     if (spec_.pretrain) {
       const int gpn = std::max(1, inputs_.spec.node.gpus);
       const int carved_nodes = (scfg.total_gpus() + gpn - 1) / gpn;
-      ACME_CHECK_MSG(carved_nodes < sched_spec.node_count,
+      ACME_CHECK_MSG(carved_nodes < sched_spec_.node_count,
                      "serving fleet does not fit in the cluster");
-      sched_spec.node_count -= carved_nodes;
+      sched_spec_.node_count -= carved_nodes;
     }
-    fleet.emplace(engine_, scfg, spec_.seed);
+    fleet_.emplace(engine_, scfg, spec_.seed);
   }
 
   // Reason-mix hint for the sampler: the largest pretraining campaign in the
-  // trace (failure demand concentrates on the big jobs, §5.1). Computed
-  // before the scheduler adopts the trace below.
-  int campaign_gpus = 256;
-  std::optional<sched::SchedulerReplay> sched;
+  // trace (failure demand concentrates on the big jobs, §5.1).
+  campaign_gpus_ = 256;
   if (spec_.pretrain) {
-    trace::Trace jobs = synthesize_trace(spec_);
-    for (const auto& job : jobs)
-      if (job.type == trace::WorkloadType::kPretrain)
-        campaign_gpus = std::max(campaign_gpus, job.gpus);
-    sched.emplace(engine_, sched_spec, inputs_.sched_config);
-    sched->begin_replay(std::move(jobs), spec_.sample_interval_seconds);
-  } else if (fleet) {
-    campaign_gpus = std::max(campaign_gpus, fleet->config().total_gpus());
+    if (synthesize) {
+      pretrain_jobs = synthesize_trace(spec_);
+      for (const auto& job : pretrain_jobs)
+        if (job.type == trace::WorkloadType::kPretrain)
+          campaign_gpus_ = std::max(campaign_gpus_, job.gpus);
+    }
+    sched_.emplace(engine_, sched_spec_, inputs_.sched_config);
+  } else if (fleet_) {
+    campaign_gpus_ = std::max(campaign_gpus_, fleet_->config().total_gpus());
   }
-  if (fleet) fleet->start();
 
   // Failure machinery: reason/TTF/TTR sampling off the Table 3 fits, stalls
   // priced by the collective model and the checkpoint timing model.
-  failure::FailureInjector injector(spec_.seed);
-  common::Rng failure_rng = common::Rng(spec_.seed).fork("world-failures");
-  comm::CollectiveModel fabric(inputs_.fabric);
-  ckpt::CheckpointTimingModel ckpt_timing;
-  const int gpus_per_node = std::max(1, inputs_.spec.node.gpus);
+  injector_.emplace(spec_.seed);
+  failure_rng_ = common::Rng(spec_.seed).fork("world-failures");
+  fabric_.emplace(inputs_.fabric);
+  gpus_per_node_ = std::max(1, inputs_.spec.node.gpus);
 
   // Faults split between serving and pretraining by static GPU share; a
   // serve-only world sends every fault at the fleet.
-  const int serve_gpus = fleet ? fleet->config().total_gpus() : 0;
-  const int sched_gpus = sched ? sched_spec.total_gpus() : 0;
-  const double serve_share =
-      serve_gpus + sched_gpus > 0
-          ? static_cast<double>(serve_gpus) / (serve_gpus + sched_gpus)
-          : 0.0;
+  const int serve_gpus = fleet_ ? fleet_->config().total_gpus() : 0;
+  const int sched_gpus = sched_ ? sched_spec_.total_gpus() : 0;
+  serve_share_ = serve_gpus + sched_gpus > 0
+                     ? static_cast<double>(serve_gpus) / (serve_gpus + sched_gpus)
+                     : 0.0;
+}
 
-  // The failure chain: one self-re-arming engine event. Each firing kills a
-  // running pretraining job or a serving replica, prices its recovery, and
-  // schedules the next failure after a freshly sampled TTF. The chain stops
-  // when the scheduler drained (or, serve-only, past the arrival horizon) —
-  // by then the engine holds no other events, so the replay terminates.
-  // Locals below outlive every event because engine_.run() returns only
-  // after the last one fired.
-  std::function<void()> fire_failure;
-  const auto arm_next = [&]() {
-    if (sched && sched->drained()) return;
-    const failure::FailureEvent next =
-        injector.sample_pretrain_failure(campaign_gpus, failure_rng);
-    const double delay = next.ttf_seconds * spec_.failure_interval_scale;
-    if (!sched && engine_.now() + delay > spec_.serve_duration_seconds) return;
-    engine_.schedule_after(delay, fire_failure);
-  };
-  fire_failure = [&]() {
-    if (fleet && (!sched || failure_rng.uniform() < serve_share)) {
-      const int victim = static_cast<int>(failure_rng.uniform_int(
-          0, static_cast<std::int64_t>(fleet->replicas()) - 1));
-      const failure::FailureEvent event =
-          injector.sample_pretrain_failure(campaign_gpus, failure_rng);
-      if (!fleet->replica_up(victim)) {
-        // The fault landed on a replica already down for re-warm.
-        ++report.failures_no_victim;
-        arm_next();
-        return;
-      }
-      // Re-warm mirrors §6.1 recovery at replica scale: weight reload
-      // (priced like a checkpoint read of the inference state), diagnosis,
-      // two-round localization for hardware faults, NCCL bring-up at the
-      // replica's world size — or the manual on-call TTR.
-      const serve::ServeConfig& scfg = fleet->config();
-      const comm::World replica_world{scfg.hw.gpus, 0, 0, 1};
-      const double reload = ckpt_timing.async_persist_seconds(
-          scfg.model.params(), std::max(scfg.hw.gpus, 1));
-      double rewarm = reload;
-      if (spec_.auto_recovery) {
-        rewarm += 45.0;  // log collection + diagnosis-agent latency
-        if (event.spec != nullptr && event.spec->needs_node_detection) {
-          const int nodes = std::max(1, scfg.hw.gpus / gpus_per_node);
-          rewarm += 2 * fabric.probe_round_seconds(nodes);
-          ++report.localizations;
-        }
-        rewarm += fabric.bringup_seconds(replica_world);
-      } else {
-        rewarm += event.ttr_seconds;
-        ++report.manual_recoveries;
-      }
-      fleet->kill_replica(victim, rewarm);
-      ++report.failures_injected;
-      report.recovery_stall_seconds += rewarm;
-      report.stall_gpu_seconds += rewarm * scfg.hw.gpus;
-      if (obs::enabled()) observe_failure(rewarm, 0.0);
-      arm_next();
-      return;
-    }
-    const auto& running = sched->running_pretrain_jobs();
-    if (running.empty()) {
-      // The fault hit a node no pretraining job occupied; nothing to kill.
-      ++report.failures_no_victim;
-      arm_next();
-      return;
-    }
+void World::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  trace::Trace jobs;
+  construct_subsystems(jobs, /*synthesize=*/true);
+  // Event construction order is the determinism contract: scheduler
+  // submissions + occupancy sampler, then the serve arrival chain, then the
+  // failure chain.
+  if (sched_) sched_->begin_replay(std::move(jobs), spec_.sample_interval_seconds);
+  if (fleet_) fleet_->start();
+  if (spec_.inject_failures) arm_next_failure();
+}
+
+// The failure chain: one self-re-arming engine event. Each firing kills a
+// running pretraining job or a serving replica, prices its recovery, and
+// schedules the next failure after a freshly sampled TTF. The chain stops
+// when the scheduler drained (or, serve-only, past the arrival horizon) — by
+// then the engine holds no other events, so the replay terminates.
+void World::arm_next_failure() {
+  if (sched_ && sched_->drained()) return;
+  const failure::FailureEvent next =
+      injector_->sample_pretrain_failure(campaign_gpus_, failure_rng_);
+  const double delay = next.ttf_seconds * spec_.failure_interval_scale;
+  if (!sched_ && engine_.now() + delay > spec_.serve_duration_seconds) return;
+  failure_event_ = engine_.schedule_after(delay, [this] { fire_failure(); });
+}
+
+void World::fire_failure() {
+  failure_event_ = {};
+  if (fleet_ && (!sched_ || failure_rng_.uniform() < serve_share_)) {
+    const int victim = static_cast<int>(failure_rng_.uniform_int(
+        0, static_cast<std::int64_t>(fleet_->replicas()) - 1));
     const failure::FailureEvent event =
-        injector.sample_pretrain_failure(campaign_gpus, failure_rng);
-    const std::size_t victim = running[static_cast<std::size_t>(
-        failure_rng.uniform_int(0, static_cast<std::int64_t>(running.size()) - 1))];
-    const trace::JobRecord& job = sched->active_job(victim);
-    const double params = params_for_tag(job.model_tag_id);
-    const comm::World victim_world{job.gpus, 0, 0, 1};
-
-    // Recovery stall (§6.1): diagnosis, localization for hardware faults,
-    // NCCL bring-up at the victim's world size, checkpoint reload — or the
-    // manual on-call TTR when the automation is off.
-    const double reload =
-        ckpt_timing.async_persist_seconds(params, std::max(job.gpus, 1));
-    double stall = reload;
+        injector_->sample_pretrain_failure(campaign_gpus_, failure_rng_);
+    if (!fleet_->replica_up(victim)) {
+      // The fault landed on a replica already down for re-warm.
+      ++report_.failures_no_victim;
+      arm_next_failure();
+      return;
+    }
+    // Re-warm mirrors §6.1 recovery at replica scale: weight reload (priced
+    // like a checkpoint read of the inference state), diagnosis, two-round
+    // localization for hardware faults, NCCL bring-up at the replica's world
+    // size — or the manual on-call TTR.
+    const serve::ServeConfig& scfg = fleet_->config();
+    const comm::World replica_world{scfg.hw.gpus, 0, 0, 1};
+    const double reload = ckpt_timing_.async_persist_seconds(
+        scfg.model.params(), std::max(scfg.hw.gpus, 1));
+    double rewarm = reload;
     if (spec_.auto_recovery) {
-      stall += 45.0;  // log collection + diagnosis-agent latency
+      rewarm += 45.0;  // log collection + diagnosis-agent latency
       if (event.spec != nullptr && event.spec->needs_node_detection) {
-        const int nodes = std::max(1, job.gpus / gpus_per_node);
-        stall += 2 * fabric.probe_round_seconds(nodes);
-        ++report.localizations;
+        const int nodes = std::max(1, scfg.hw.gpus / gpus_per_node_);
+        rewarm += 2 * fabric_->probe_round_seconds(nodes);
+        ++report_.localizations;
       }
-      stall += fabric.bringup_seconds(victim_world);
+      rewarm += fabric_->bringup_seconds(replica_world);
     } else {
-      stall += event.ttr_seconds;
-      ++report.manual_recoveries;
+      rewarm += event.ttr_seconds;
+      ++report_.manual_recoveries;
     }
-
-    // Rollback window: the checkpoint interval, extended by the async
-    // persist lag (the newest snapshot may not be durable yet).
-    double rollback_cap = spec_.ckpt_interval_seconds;
-    if (spec_.async_ckpt) rollback_cap += reload;
-
-    const double lost_before = sched->partial_result().failure_lost_gpu_seconds;
-    sched->kill_job(victim, rollback_cap, stall);
-    const double lost_now =
-        sched->partial_result().failure_lost_gpu_seconds - lost_before;
-
-    ++report.failures_injected;
-    report.recovery_stall_seconds += stall;
-    report.stall_gpu_seconds += stall * job.gpus;
-    if (event.spec != nullptr &&
-        event.spec->category == failure::FailureCategory::kInfrastructure) {
-      ++report.infra_failures;
-      report.infra_lost_gpu_seconds += lost_now + stall * job.gpus;
-    }
-    if (obs::enabled()) observe_failure(stall, lost_now);
-    arm_next();
-  };
-  if (spec_.inject_failures) arm_next();
-
-  engine_.run();
-  if (fleet) {
-    report.served = true;
-    report.serve = fleet->report();
+    fleet_->kill_replica(victim, rewarm);
+    ++report_.failures_injected;
+    report_.recovery_stall_seconds += rewarm;
+    report_.stall_gpu_seconds += rewarm * scfg.hw.gpus;
+    if (obs::enabled()) observe_failure(rewarm, 0.0);
+    arm_next_failure();
+    return;
   }
-  if (!sched) return report;  // serve-only world: no replay to aggregate
-  report.replay = sched->finish_replay();
+  const auto& running = sched_->running_pretrain_jobs();
+  if (running.empty()) {
+    // The fault hit a node no pretraining job occupied; nothing to kill.
+    ++report_.failures_no_victim;
+    arm_next_failure();
+    return;
+  }
+  const failure::FailureEvent event =
+      injector_->sample_pretrain_failure(campaign_gpus_, failure_rng_);
+  const std::size_t victim = running[static_cast<std::size_t>(
+      failure_rng_.uniform_int(0, static_cast<std::int64_t>(running.size()) - 1))];
+  const trace::JobRecord& job = sched_->active_job(victim);
+  const double params = params_for_tag(job.model_tag_id);
+  const comm::World victim_world{job.gpus, 0, 0, 1};
+
+  // Recovery stall (§6.1): diagnosis, localization for hardware faults, NCCL
+  // bring-up at the victim's world size, checkpoint reload — or the manual
+  // on-call TTR when the automation is off.
+  const double reload =
+      ckpt_timing_.async_persist_seconds(params, std::max(job.gpus, 1));
+  double stall = reload;
+  if (spec_.auto_recovery) {
+    stall += 45.0;  // log collection + diagnosis-agent latency
+    if (event.spec != nullptr && event.spec->needs_node_detection) {
+      const int nodes = std::max(1, job.gpus / gpus_per_node_);
+      stall += 2 * fabric_->probe_round_seconds(nodes);
+      ++report_.localizations;
+    }
+    stall += fabric_->bringup_seconds(victim_world);
+  } else {
+    stall += event.ttr_seconds;
+    ++report_.manual_recoveries;
+  }
+
+  // Rollback window: the checkpoint interval, extended by the async persist
+  // lag (the newest snapshot may not be durable yet).
+  double rollback_cap = spec_.ckpt_interval_seconds;
+  if (spec_.async_ckpt) rollback_cap += reload;
+
+  const double lost_before = sched_->partial_result().failure_lost_gpu_seconds;
+  sched_->kill_job(victim, rollback_cap, stall);
+  const double lost_now =
+      sched_->partial_result().failure_lost_gpu_seconds - lost_before;
+
+  ++report_.failures_injected;
+  report_.recovery_stall_seconds += stall;
+  report_.stall_gpu_seconds += stall * job.gpus;
+  if (event.spec != nullptr &&
+      event.spec->category == failure::FailureCategory::kInfrastructure) {
+    ++report_.infra_failures;
+    report_.infra_lost_gpu_seconds += lost_now + stall * job.gpus;
+  }
+  if (obs::enabled()) observe_failure(stall, lost_now);
+  arm_next_failure();
+}
+
+std::size_t World::run_until(double t) {
+  prepare();
+  // Pump step() directly instead of engine_.run_until(t): the engine's own
+  // run_until advances the clock to the horizon, which would poison the
+  // makespan of a later finish(); here the clock stays at the last fired
+  // event, exactly as in an uninterrupted run.
+  std::size_t n = 0;
+  while (engine_.step(t)) ++n;
+  return n;
+}
+
+WorldReport World::finish() {
+  ACME_CHECK_MSG(prepared_, "World::finish before prepare/run");
+  ACME_CHECK_MSG(!finished_, "World::finish called twice");
+  finished_ = true;
+  if (fleet_) {
+    report_.served = true;
+    report_.serve = fleet_->report();
+  }
+  if (!sched_) return std::move(report_);  // serve-only: no replay to aggregate
+  report_.replay = sched_->finish_replay();
 
   // Aggregate accounting.
-  report.lost_work_gpu_seconds = report.replay.failure_lost_gpu_seconds;
-  report.makespan_days = report.replay.makespan / common::kDay;
+  report_.lost_work_gpu_seconds = report_.replay.failure_lost_gpu_seconds;
+  report_.makespan_days = report_.replay.makespan / common::kDay;
   double busy = 0, total = 0;
-  for (const auto& s : report.replay.occupancy) {
+  for (const auto& s : report_.replay.occupancy) {
     busy += s.busy_gpus;
     total += s.total_gpus;
   }
-  report.busy_fraction = total > 0 ? busy / total : 0;
-  report.pretrain_queue_delay =
-      trace::queue_delays_of(report.replay.jobs, trace::WorkloadType::kPretrain);
-  report.eval_queue_delay =
-      trace::queue_delays_of(report.replay.jobs, trace::WorkloadType::kEvaluation);
+  report_.busy_fraction = total > 0 ? busy / total : 0;
+  report_.pretrain_queue_delay =
+      trace::queue_delays_of(report_.replay.jobs, trace::WorkloadType::kPretrain);
+  report_.eval_queue_delay =
+      trace::queue_delays_of(report_.replay.jobs, trace::WorkloadType::kEvaluation);
 
   double useful_gpu_seconds = 0;
-  for (const auto& job : report.replay.jobs) useful_gpu_seconds += job.gpu_time();
-  const double charged = useful_gpu_seconds + report.lost_work_gpu_seconds +
-                         report.stall_gpu_seconds;
-  report.goodput = charged > 0 ? useful_gpu_seconds / charged : 1.0;
+  for (const auto& job : report_.replay.jobs) useful_gpu_seconds += job.gpu_time();
+  const double charged = useful_gpu_seconds + report_.lost_work_gpu_seconds +
+                         report_.stall_gpu_seconds;
+  report_.goodput = charged > 0 ? useful_gpu_seconds / charged : 1.0;
 
   // Fleet telemetry sampled from what the shared engine actually ran.
   if (spec_.fleet_samples > 0) {
     telemetry::FleetSamplerConfig fleet_config;
     fleet_config.spec = inputs_.spec;
-    fleet_config.busy_fraction = report.busy_fraction;
-    for (const auto& [type, share] : trace::type_shares(report.replay.jobs))
+    fleet_config.busy_fraction = report_.busy_fraction;
+    for (const auto& [type, share] : trace::type_shares(report_.replay.jobs))
       if (share.gpu_time_fraction > 0)
         fleet_config.gputime_mix[type] = share.gpu_time_fraction;
     telemetry::FleetSampler sampler(std::move(fleet_config));
     common::Rng fleet_rng = common::Rng(spec_.seed).fork("world-fleet");
-    report.fleet = sampler.sample(spec_.fleet_samples, fleet_rng);
+    report_.fleet = sampler.sample(spec_.fleet_samples, fleet_rng);
   }
-  return report;
+  return std::move(report_);
+}
+
+WorldReport World::run() {
+  ACME_OBS_SPAN_ARG("world", "run", "scenario", spec_.name);
+  prepare();
+  engine_.run();
+  return finish();
+}
+
+void World::save(snap::SnapshotWriter& w) const {
+  ACME_CHECK_MSG(prepared_ && !finished_,
+                 "World::save is valid only between prepare() and finish()");
+  w.begin_section("world.spec");
+  w.write_string(spec_.to_json());
+  w.end_section();
+  w.begin_section("world.run");
+  const common::RngState rng = failure_rng_.state();
+  for (int i = 0; i < 4; ++i) w.write_u64(rng.words[i]);
+  w.write_u64(rng.seed_material);
+  w.write_u64(failure_event_.raw());
+  w.write_i64(report_.failures_injected);
+  w.write_i64(report_.failures_no_victim);
+  w.write_i64(report_.localizations);
+  w.write_i64(report_.manual_recoveries);
+  w.write_f64(report_.recovery_stall_seconds);
+  w.write_f64(report_.stall_gpu_seconds);
+  w.write_i64(report_.infra_failures);
+  w.write_f64(report_.infra_lost_gpu_seconds);
+  w.end_section();
+  engine_.save(w);
+  if (sched_) sched_->save(w);
+  if (fleet_) fleet_->save(w);
+}
+
+void World::save_file(const std::string& path) const {
+  snap::SnapshotWriter w;
+  save(w);
+  w.write_file(path);
+}
+
+void World::restore(snap::SnapshotReader& r) {
+  ACME_CHECK_MSG(!prepared_,
+                 "World::restore requires a freshly constructed world");
+  prepared_ = true;
+  r.enter_section("world.spec");
+  const std::string saved_spec = r.read_string();
+  r.leave_section();
+  ACME_CHECK_MSG(saved_spec == spec_.to_json(),
+                 "snapshot was taken from a different scenario than this "
+                 "world's spec (use snapshot_spec() to recover the right one)");
+  r.enter_section("world.run");
+  common::RngState rng;
+  for (int i = 0; i < 4; ++i) rng.words[i] = r.read_u64();
+  rng.seed_material = r.read_u64();
+  const std::uint64_t failure_raw = r.read_u64();
+  report_.failures_injected = static_cast<int>(r.read_i64());
+  report_.failures_no_victim = static_cast<int>(r.read_i64());
+  report_.localizations = static_cast<int>(r.read_i64());
+  report_.manual_recoveries = static_cast<int>(r.read_i64());
+  report_.recovery_stall_seconds = r.read_f64();
+  report_.stall_gpu_seconds = r.read_f64();
+  report_.infra_failures = static_cast<int>(r.read_i64());
+  report_.infra_lost_gpu_seconds = r.read_f64();
+  r.leave_section();
+  // Stand the subsystems up in the canonical order, arming nothing: the
+  // restored engine spine already holds every pending event, the snapshot
+  // carries the trace (no re-synthesis), and each subsystem rebinds its own
+  // callbacks.
+  trace::Trace jobs;
+  construct_subsystems(jobs, /*synthesize=*/false);
+  failure_rng_.set_state(rng);
+  engine_.restore(r);
+  if (sched_) {
+    sched_->restore_replay(r);
+    for (const auto& job : sched_->jobs())
+      if (job.type == trace::WorkloadType::kPretrain)
+        campaign_gpus_ = std::max(campaign_gpus_, job.gpus);
+  }
+  if (fleet_) fleet_->restore(r);
+  failure_event_ = sim::EventHandle::from_raw(failure_raw);
+  if (failure_event_.valid())
+    engine_.rebind(failure_event_, [this] { fire_failure(); });
+  ACME_CHECK_MSG(engine_.unbound() == 0,
+                 "restored engine holds events no subsystem rebound — "
+                 "snapshot and world composition disagree");
+}
+
+void World::restore_file(const std::string& path) {
+  snap::SnapshotReader r = snap::SnapshotReader::from_file(path);
+  restore(r);
+}
+
+void World::branch_future(std::string_view label) {
+  ACME_CHECK_MSG(prepared_ && !finished_,
+                 "branch_future is valid only between prepare()/restore() "
+                 "and finish()");
+  failure_rng_ = failure_rng_.fork(label);
+}
+
+ScenarioSpec snapshot_spec(const std::string& path) {
+  snap::SnapshotReader r = snap::SnapshotReader::from_file(path);
+  r.enter_section("world.spec");
+  const std::string json = r.read_string();
+  r.leave_section();
+  std::string error;
+  std::optional<ScenarioSpec> spec = scenario_from_json(json, &error);
+  ACME_CHECK_MSG(spec.has_value(),
+                 "snapshot embeds an unparseable scenario spec: " + error);
+  return *spec;
 }
 
 WorldReport run_world(const ScenarioSpec& spec) { return World(spec).run(); }

@@ -26,13 +26,25 @@
 // snapshots (see DESIGN.md §9).
 #pragma once
 
+#include <optional>
+#include <string>
+
+#include "ckpt/timing.h"
+#include "comm/collective.h"
+#include "common/rng.h"
 #include "common/stats.h"
+#include "failure/injector.h"
 #include "mc/replication.h"
 #include "sched/scheduler.h"
 #include "serve/fleet.h"
 #include "sim/engine.h"
 #include "telemetry/fleet_sampler.h"
 #include "world/scenario.h"
+
+namespace acme::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace acme::snap
 
 namespace acme::world {
 
@@ -71,6 +83,13 @@ struct WorldReport {
   // fleet that saw zero traffic.
   bool served = false;
   serve::FleetReport serve;
+
+  // FNV-1a over every counter, a fixed-precision rendering of every derived
+  // value, the full occupancy timeline and every job's queue delay: two
+  // reports digest equal iff the runs were observably identical. This is the
+  // snapshot determinism oracle (save -> restore -> run-to-end must digest
+  // equal to the uninterrupted run).
+  std::uint64_t digest() const;
 };
 
 // The serve::ServeConfig a scenario resolves to — the single mapping the
@@ -82,17 +101,85 @@ class World {
  public:
   explicit World(ScenarioSpec spec);
 
-  // Runs the scenario start-to-drain on the world's engine.
+  // Runs the scenario start-to-drain on the world's engine. Equivalent to
+  // prepare() + engine().run() + finish().
   WorldReport run();
+
+  // --- Incremental protocol (snapshot / fast-forward surface) ---
+  //
+  // prepare() stands the subsystems up and arms their initial events
+  // (idempotent); run_until(t) pumps every event with timestamp <= t, leaving
+  // the clock at the LAST FIRED event (not t) so a later finish() computes
+  // the same makespan as an uninterrupted run; finish() aggregates the
+  // report once the engine drained. A quiescent point is anywhere between
+  // run_until calls.
+  void prepare();
+  std::size_t run_until(double t);
+  bool done() const { return prepared_ && engine_.pending() == 0; }
+  WorldReport finish();
+
+  // --- Snapshot support (acme::snap, DESIGN.md §12) ---
+  //
+  // save() serializes the full world state — spec, failure chain, engine
+  // spine, scheduler replay, serve fleet — at any quiescent point between
+  // prepare() and finish(). restore() rebuilds that state into a World
+  // freshly constructed from the SAME spec (checked against the embedded
+  // spec JSON; use snapshot_spec() to recover it from a file first) and
+  // rebinds every pending event callback; resuming produces byte-identical
+  // reports to the uninterrupted run.
+  void save(snap::SnapshotWriter& w) const;
+  void save_file(const std::string& path) const;
+  void restore(snap::SnapshotReader& r);
+  void restore_file(const std::string& path);
+
+  // Branch point for what-if exploration: re-forks the failure stream so
+  // this (typically just-restored) world's future failures diverge from the
+  // parent run while the past stays shared. Distinct labels give distinct
+  // futures; the same label replays the parent's.
+  void branch_future(std::string_view label);
 
   const ScenarioSpec& spec() const { return spec_; }
   sim::Engine& engine() { return engine_; }
 
  private:
+  // Builds fleet_/sched_ and the failure machinery in the canonical order
+  // WITHOUT scheduling any events; fills `pretrain_jobs` with the
+  // synthesized trace when the scenario pretrains (prepare moves it into
+  // begin_replay; restore hands it to restore_replay for digest checking).
+  // Stands the subsystems up in the canonical order. When `synthesize` is
+  // true the pretraining trace is generated from the spec into
+  // `pretrain_jobs` (the prepare() path); restore() passes false because the
+  // snapshot carries the trace and hands it straight to the scheduler.
+  void construct_subsystems(trace::Trace& pretrain_jobs, bool synthesize);
+  void arm_next_failure();
+  void fire_failure();
+
   ScenarioSpec spec_;
   ClusterInputs inputs_;
   sim::Engine engine_;
+
+  // Run state, live between prepare() and finish(). Subsystems hold
+  // references into engine_, so a World is pinned in place once prepared.
+  bool prepared_ = false;
+  bool finished_ = false;
+  cluster::ClusterSpec sched_spec_;
+  std::optional<serve::ServeFleet> fleet_;
+  std::optional<sched::SchedulerReplay> sched_;
+  std::optional<failure::FailureInjector> injector_;
+  std::optional<comm::CollectiveModel> fabric_;
+  ckpt::CheckpointTimingModel ckpt_timing_;
+  common::Rng failure_rng_;
+  int campaign_gpus_ = 256;
+  int gpus_per_node_ = 1;
+  double serve_share_ = 0.0;
+  // Pending failure-chain event; cleared at fire so valid() <=> pending.
+  sim::EventHandle failure_event_;
+  WorldReport report_;
 };
+
+// Reads back the ScenarioSpec embedded in a world snapshot file, so a tool
+// holding only the file can construct the matching World and restore into it.
+ScenarioSpec snapshot_spec(const std::string& path);
 
 // One-call convenience.
 WorldReport run_world(const ScenarioSpec& spec);

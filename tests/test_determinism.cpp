@@ -6,10 +6,12 @@
 // go only to the tracer, never to metrics.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "common/digest.h"
 #include "core/acme.h"
+#include "snap/format.h"
 
 namespace acme {
 namespace {
@@ -159,6 +161,92 @@ TEST(Determinism, ServeWorldIsByteIdenticalAcrossRepeatsAndThreads) {
   EXPECT_NE(a.obs.prom.find("acme_serve_requests_offered_total"),
             std::string::npos);
   EXPECT_NE(a.obs.prom.find("acme_serve_epochs_total"), std::string::npos);
+}
+
+// --- Snapshot determinism oracle (DESIGN.md §12) ---
+//
+// Saving a world at a mid-run quiescent point, restoring into a fresh World
+// and running to completion must produce a WorldReport digest byte-identical
+// to the uninterrupted run; and the XOR-fold of per-replica digests from
+// run_world_mc must match at 1 and 4 pool threads AND match replicas driven
+// manually through the save/restore path (which also pins the replica seed
+// derivation: Rng(seed).fork("replica-<i>").next()).
+
+std::uint64_t interrupted_digest(const world::ScenarioSpec& spec, double mid) {
+  world::World a(spec);
+  a.run_until(mid);
+  snap::SnapshotWriter w;
+  a.save(w);
+  snap::SnapshotReader r(w.finish());
+  world::World b(spec);
+  b.restore(r);
+  b.run_until(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(b.done());
+  return b.finish().digest();
+}
+
+std::uint64_t mc_digest_fold(const world::ScenarioSpec& spec,
+                             std::uint64_t seed, std::size_t threads) {
+  mc::ReplicationOptions options;
+  options.replicas = 2;
+  options.threads = threads;
+  options.seed = seed;
+  const auto run = world::run_world_mc(spec, options);
+  std::uint64_t fold = 0;
+  for (const auto& report : run.results) fold ^= report.digest();
+  return fold;
+}
+
+void expect_snapshot_oracle(const world::ScenarioSpec& spec,
+                            std::uint64_t seed) {
+  const std::uint64_t serial = mc_digest_fold(spec, seed, 1);
+  const std::uint64_t pooled = mc_digest_fold(spec, seed, 4);
+  EXPECT_EQ(serial, pooled) << spec.name
+                            << ": digests depend on worker-pool width";
+
+  const common::Rng root(seed);
+  std::uint64_t fold = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    common::Rng rng = root.fork("replica-" + std::to_string(i));
+    world::ScenarioSpec replica_spec = spec;
+    replica_spec.seed = rng.next();
+    const world::WorldReport straight = world::World(replica_spec).run();
+    const std::uint64_t straight_digest = straight.digest();
+    // Midpoint of whatever timeline this scenario actually has.
+    double mid = straight.replay.makespan * 0.5;
+    if (spec.serving()) mid = std::max(mid, spec.serve_duration_seconds * 0.5);
+    const std::uint64_t resumed = interrupted_digest(replica_spec, mid);
+    EXPECT_EQ(straight_digest, resumed)
+        << spec.name << " replica " << i
+        << ": snapshot-at-midpoint diverged from the uninterrupted run";
+    fold ^= resumed;
+  }
+  EXPECT_EQ(fold, serial)
+      << spec.name << ": manual replica derivation diverged from run_world_mc";
+}
+
+TEST(Determinism, SnapshotOracleSeren) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  expect_snapshot_oracle(spec, 20244);
+}
+
+TEST(Determinism, SnapshotOracleColocatedSeren) {
+  world::ScenarioSpec spec = world::colocated_seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  spec.serve_replicas = 2;
+  spec.serve_rps = 20.0;
+  spec.serve_duration_seconds = 900.0;
+  expect_snapshot_oracle(spec, 20245);
+}
+
+TEST(Determinism, SnapshotOracleServeSeren) {
+  world::ScenarioSpec spec = world::serve_seren_scenario();
+  spec.serve_rps = 20.0;
+  spec.serve_duration_seconds = 900.0;
+  expect_snapshot_oracle(spec, 20246);
 }
 
 TEST(Determinism, SnapshotReflectsSimulatedWork) {

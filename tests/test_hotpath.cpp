@@ -8,10 +8,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/index_bitset.h"
 #include "common/index_list.h"
 #include "common/inline_fn.h"
+#include "common/rng.h"
 #include "common/small_vec.h"
+#include "common/stats.h"
+#include "mc/aggregate.h"
 #include "sim/engine.h"
 
 namespace acme {
@@ -298,6 +302,50 @@ TEST(EngineReserve, DoesNotChangeBehavior) {
   sim::Engine reserved;
   reserved.reserve(64);
   EXPECT_EQ(run_pattern(reserved), run_pattern(plain));
+}
+
+// --- Streaming-accumulator state round-trips (snapshot support) ---
+//
+// A sketch whose state is exported mid-stream and re-imported into a fresh
+// instance must finish a long tail of additions bit-identically to the
+// uninterrupted one; otherwise a restored world's latency quantiles drift.
+
+TEST(SnapshotState, WelfordRoundTripContinuesBitIdentically) {
+  common::Rng rng(77);
+  common::StreamingStats straight;
+  for (int i = 0; i < 500; ++i) straight.add(rng.uniform() * 100.0);
+  common::StreamingStats resumed;
+  resumed.set_state(straight.state());
+  common::Rng tail_a = rng;
+  common::Rng tail_b = rng;
+  for (int i = 0; i < 500; ++i) straight.add(tail_a.uniform() * 100.0);
+  for (int i = 0; i < 500; ++i) resumed.add(tail_b.uniform() * 100.0);
+  EXPECT_EQ(straight.count(), resumed.count());
+  EXPECT_EQ(straight.mean(), resumed.mean());      // bitwise, not approx
+  EXPECT_EQ(straight.stddev(), resumed.stddev());
+  EXPECT_EQ(straight.min(), resumed.min());
+  EXPECT_EQ(straight.max(), resumed.max());
+  EXPECT_EQ(straight.sum(), resumed.sum());
+}
+
+TEST(SnapshotState, P2QuantileRoundTripContinuesBitIdentically) {
+  common::Rng rng(78);
+  mc::P2Quantile straight(0.99);
+  for (int i = 0; i < 400; ++i) straight.add(rng.exponential(1.0));
+  mc::P2Quantile resumed(0.99);
+  resumed.set_state(straight.state());
+  common::Rng tail_a = rng;
+  common::Rng tail_b = rng;
+  for (int i = 0; i < 400; ++i) straight.add(tail_a.exponential(1.0));
+  for (int i = 0; i < 400; ++i) resumed.add(tail_b.exponential(1.0));
+  EXPECT_EQ(straight.value(), resumed.value());  // bitwise
+}
+
+TEST(SnapshotState, P2QuantileRejectsMismatchedQuantile) {
+  mc::P2Quantile p50(0.5);
+  p50.add(1.0);
+  mc::P2Quantile p99(0.99);
+  EXPECT_THROW(p99.set_state(p50.state()), common::CheckError);
 }
 
 TEST(EngineQueue, OutOfOrderAndTiedTimesFireInSeqOrder) {

@@ -290,6 +290,26 @@ TEST_F(ObsTest, InstrumentedSubsystemsRecordNothingWhileDisabled) {
 
 // ------------------------------------------------------------------ digest
 
+TEST_F(ObsTest, TCiSurvivesWelfordStateRoundTrip) {
+  // The t-based 95% CI is a pure function of the Welford moments, so a
+  // snapshot round-trip of StreamingStats must leave the reported CI (and
+  // the MetricAggregator built on top) bitwise unchanged — this is what
+  // keeps restored worlds' aggregate tables byte-identical.
+  common::Rng rng(991);
+  common::StreamingStats moments;
+  for (int i = 0; i < 64; ++i) moments.add(rng.uniform(5.0, 15.0));
+  common::StreamingStats rebuilt;
+  rebuilt.set_state(moments.state());
+  EXPECT_EQ(common::ci95_halfwidth(moments), common::ci95_halfwidth(rebuilt));
+  EXPECT_GT(common::ci95_halfwidth(rebuilt), 0.0);
+  // Continuing both accumulators keeps the CI locked together.
+  common::Rng tail_a = rng;
+  common::Rng tail_b = rng;
+  for (int i = 0; i < 64; ++i) moments.add(tail_a.uniform(5.0, 15.0));
+  for (int i = 0; i < 64; ++i) rebuilt.add(tail_b.uniform(5.0, 15.0));
+  EXPECT_EQ(common::ci95_halfwidth(moments), common::ci95_halfwidth(rebuilt));
+}
+
 TEST_F(ObsTest, Fnv1aKnownVectors) {
   EXPECT_EQ(common::fnv1a(""), 0xcbf29ce484222325ull);
   EXPECT_EQ(common::fnv1a("a"), 0xaf63dc4c8601ec8cull);

@@ -1,0 +1,282 @@
+// acme::snap — format round-trips, loud-failure paths, and save/restore of
+// the leaf state holders (engine spine, rng, cluster ledger). World-level
+// snapshot oracles live in test_determinism; parser hardening in test_world.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/state.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "snap/format.h"
+
+namespace {
+
+using acme::common::CheckError;
+using acme::snap::SnapshotReader;
+using acme::snap::SnapshotWriter;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string one_section_bytes() {
+  SnapshotWriter w;
+  w.begin_section("alpha");
+  w.write_u32(7);
+  w.write_f64(2.5);
+  w.end_section();
+  return w.finish();
+}
+
+TEST(SnapFormat, PrimitivesRoundTrip) {
+  SnapshotWriter w;
+  w.begin_section("prims");
+  w.write_bool(true);
+  w.write_bool(false);
+  w.write_u32(0xdeadbeefu);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_i64(-42);
+  w.write_f64(3.141592653589793);
+  w.write_string("hello snapshot");
+  std::vector<std::uint32_t> pod{5, 4, 3, 2, 1};
+  w.write_pod_vec(pod);
+  w.end_section();
+  w.begin_section("second");
+  w.write_u32(11);
+  w.end_section();
+
+  SnapshotReader r(w.finish());
+  EXPECT_EQ(r.version(), acme::snap::kFormatVersion);
+  r.enter_section("prims");
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.141592653589793);
+  EXPECT_EQ(r.read_string(), "hello snapshot");
+  std::vector<std::uint32_t> back;
+  r.read_pod_vec(back);
+  EXPECT_EQ(back, pod);
+  r.leave_section();
+  r.enter_section("second");
+  EXPECT_EQ(r.read_u32(), 11u);
+  r.leave_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SnapFormat, RejectsBadMagic) {
+  std::string bytes = one_section_bytes();
+  bytes[0] = 'X';
+  EXPECT_THROW(SnapshotReader{std::move(bytes)}, CheckError);
+}
+
+TEST(SnapFormat, RejectsVersionSkew) {
+  std::string bytes = one_section_bytes();
+  bytes[8] = static_cast<char>(bytes[8] + 1);  // version u32, little end
+  EXPECT_THROW(SnapshotReader{std::move(bytes)}, CheckError);
+}
+
+TEST(SnapFormat, RejectsCorruptedPayload) {
+  std::string bytes = one_section_bytes();
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);  // payload tail
+  SnapshotReader r(std::move(bytes));
+  EXPECT_THROW(r.enter_section("alpha"), CheckError);
+}
+
+TEST(SnapFormat, RejectsTruncation) {
+  std::string bytes = one_section_bytes();
+  bytes.resize(bytes.size() - 4);
+  SnapshotReader r(std::move(bytes));
+  EXPECT_THROW(r.enter_section("alpha"), CheckError);
+}
+
+TEST(SnapFormat, RejectsSectionNameMismatch) {
+  SnapshotReader r(one_section_bytes());
+  EXPECT_THROW(r.enter_section("beta"), CheckError);
+}
+
+TEST(SnapFormat, RejectsTagMismatch) {
+  SnapshotReader r(one_section_bytes());
+  r.enter_section("alpha");
+  EXPECT_THROW(r.read_f64(), CheckError);  // first value is a u32
+}
+
+TEST(SnapFormat, RejectsPartialConsumption) {
+  SnapshotReader r(one_section_bytes());
+  r.enter_section("alpha");
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_THROW(r.leave_section(), CheckError);  // f64 still unread
+}
+
+TEST(SnapFormat, RejectsPodElementSizeSkew) {
+  SnapshotWriter w;
+  w.begin_section("pods");
+  std::vector<std::uint32_t> pod{1, 2, 3};
+  w.write_pod_vec(pod);
+  w.end_section();
+  SnapshotReader r(w.finish());
+  r.enter_section("pods");
+  std::vector<std::uint64_t> wrong;
+  EXPECT_THROW(r.read_pod_vec(wrong), CheckError);
+}
+
+TEST(SnapRng, StateRoundTripContinuesTheStream) {
+  acme::common::Rng rng(987654321);
+  for (int i = 0; i < 17; ++i) rng.next();
+  acme::common::Rng clone;
+  clone.set_state(rng.state());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next(), clone.next());
+  // fork() mixes seed_material, which the state carries too.
+  EXPECT_EQ(rng.fork("branch").next(), clone.fork("branch").next());
+}
+
+// The engine snapshot serializes queue structure only; callbacks are
+// re-installed via rebind(). Pop order (and thus the whole downstream
+// simulation) must be byte-identical.
+TEST(SnapEngine, RoundTripPreservesFireOrder) {
+  acme::sim::Engine a;
+  std::vector<std::pair<int, double>> fired_a;
+  std::vector<acme::sim::EventHandle> handles;
+  // Ascending pushes land in the sorted run, descending in the heap; mix
+  // both, plus a same-timestamp pair to pin insertion-order tie-breaks.
+  const double times[] = {1.0, 2.0, 3.0, 2.5, 0.5, 2.5};
+  for (int i = 0; i < 6; ++i)
+    handles.push_back(a.schedule_at(
+        times[i], [&fired_a, &a, i] { fired_a.push_back({i, a.now()}); }));
+  // Cancel one and fire one before the snapshot so the free list, stale heap
+  // entries and the clock are all non-trivial.
+  ASSERT_TRUE(a.cancel(handles[3]));
+  ASSERT_TRUE(a.step(kInf));  // fires event 4 (t = 0.5)
+  ASSERT_EQ(fired_a.size(), 1u);
+
+  SnapshotWriter w;
+  a.save(w);
+  SnapshotReader r(w.finish());
+
+  acme::sim::Engine b;
+  std::vector<std::pair<int, double>> fired_b;
+  b.restore(r);
+  EXPECT_EQ(b.now(), a.now());
+  EXPECT_EQ(b.pending(), a.pending());
+  // Rebind the still-pending events (0, 1, 2, 5) with the restored handles.
+  for (const int i : {0, 1, 2, 5})
+    b.rebind(handles[static_cast<std::size_t>(i)],
+             [&fired_b, &b, i] { fired_b.push_back({i, b.now()}); });
+  EXPECT_EQ(b.unbound(), 0u);
+
+  while (a.step(kInf)) {
+  }
+  while (b.step(kInf)) {
+  }
+  fired_b.insert(fired_b.begin(), fired_a.front());  // pre-snapshot firing
+  EXPECT_EQ(fired_a, fired_b);
+  EXPECT_EQ(a.now(), b.now());
+}
+
+TEST(SnapEngine, RestoreIntoLiveEngineFailsLoudly) {
+  acme::sim::Engine a;
+  a.schedule_at(1.0, [] {});
+  SnapshotWriter w;
+  a.save(w);
+  SnapshotReader r(w.finish());
+
+  acme::sim::Engine busy;
+  busy.schedule_at(5.0, [] {});
+  EXPECT_THROW(busy.restore(r), CheckError);
+}
+
+TEST(SnapEngine, ResetThenRestoreWorks) {
+  acme::sim::Engine a;
+  int hits = 0;
+  auto h = a.schedule_at(2.0, [&hits] { ++hits; });
+  SnapshotWriter w;
+  a.save(w);
+
+  acme::sim::Engine b;
+  b.schedule_at(1.0, [] {});
+  while (b.step(kInf)) {
+  }
+  EXPECT_THROW(
+      {
+        SnapshotReader r(w.finish());
+        b.restore(r);  // clock advanced: still not fresh
+      },
+      CheckError);
+  b.reset();
+  SnapshotWriter w2;
+  a.save(w2);
+  SnapshotReader r2(w2.finish());
+  b.restore(r2);
+  b.rebind(h, [&hits] { ++hits; });
+  EXPECT_EQ(b.unbound(), 0u);
+  while (b.step(kInf)) {
+  }
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SnapEngine, RebindRejectsStaleAndDoubleBinds) {
+  acme::sim::Engine a;
+  auto h = a.schedule_at(1.0, [] {});
+  SnapshotWriter w;
+  a.save(w);
+  SnapshotReader r(w.finish());
+  acme::sim::Engine b;
+  b.restore(r);
+  b.rebind(h, [] {});
+  EXPECT_THROW(b.rebind(h, [] {}), CheckError);  // already bound
+  acme::sim::EventHandle stale;                  // seq 0: never pending
+  EXPECT_THROW(b.rebind(stale, [] {}), CheckError);
+}
+
+TEST(SnapCluster, LedgerRoundTripMatchesPlacementDecisions) {
+  acme::cluster::ClusterSpec spec;
+  spec.node_count = 8;
+  acme::cluster::ClusterState a(spec);
+  auto big = a.try_allocate(2 * spec.node.gpus);  // two whole nodes
+  ASSERT_TRUE(big.has_value());
+  auto small = a.try_allocate(3);
+  ASSERT_TRUE(small.has_value());
+  a.cordon(5);
+
+  SnapshotWriter w;
+  a.save(w);
+  SnapshotReader r(w.finish());
+  acme::cluster::ClusterState b(spec);
+  b.restore(r);
+
+  EXPECT_EQ(b.free_gpus(), a.free_gpus());
+  EXPECT_EQ(b.free_gpus_including_cordoned(), a.free_gpus_including_cordoned());
+  EXPECT_EQ(b.empty_healthy_nodes(), a.empty_healthy_nodes());
+  EXPECT_EQ(b.cordoned_count(), 1);
+  EXPECT_TRUE(b.is_cordoned(5));
+  // The restored bucket index must drive identical best-fit decisions.
+  auto next_a = a.try_allocate(4);
+  auto next_b = b.try_allocate(4);
+  ASSERT_TRUE(next_a.has_value());
+  ASSERT_TRUE(next_b.has_value());
+  ASSERT_EQ(next_a->slices.size(), next_b->slices.size());
+  for (std::size_t i = 0; i < next_a->slices.size(); ++i) {
+    EXPECT_EQ(next_a->slices[i].node, next_b->slices[i].node);
+    EXPECT_EQ(next_a->slices[i].gpus, next_b->slices[i].gpus);
+  }
+}
+
+TEST(SnapCluster, RestoreRejectsNodeCountMismatch) {
+  acme::cluster::ClusterSpec spec;
+  spec.node_count = 4;
+  acme::cluster::ClusterState a(spec);
+  SnapshotWriter w;
+  a.save(w);
+  SnapshotReader r(w.finish());
+  acme::cluster::ClusterSpec other = spec;
+  other.node_count = 5;
+  acme::cluster::ClusterState b(other);
+  EXPECT_THROW(b.restore(r), CheckError);
+}
+
+}  // namespace

@@ -3,7 +3,12 @@
 // integrated replay can show.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <limits>
+#include <string>
+
 #include "core/acme.h"
+#include "snap/format.h"
 
 namespace acme {
 namespace {
@@ -202,6 +207,99 @@ TEST(Scenario, NonPositiveScaleRejected) {
   const auto setup = core::seren_setup();
   EXPECT_THROW(core::run_six_month_replay(setup, 0.0), common::CheckError);
   EXPECT_THROW(core::run_six_month_replay(setup, -2.0), common::CheckError);
+}
+
+TEST(Scenario, ParserRejectsNonFiniteNumbers) {
+  // std::stod accepts "nan" and "inf"; the parser must not, for every double
+  // field — NaN even slips through `x > 0` range checks (comparison false).
+  std::string error;
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":nan}", &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+  EXPECT_NE(error.find("scale"), std::string::npos);
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":inf}", &error));
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":-inf}", &error));
+  EXPECT_FALSE(
+      world::scenario_from_json("{\"failure_interval_scale\":nan}", &error));
+  EXPECT_FALSE(
+      world::scenario_from_json("{\"ckpt_interval_seconds\":inf}", &error));
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":1,\"serve_rps\":nan}", &error));
+  EXPECT_NE(error.find("serve_rps"), std::string::npos);
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":1,\"serve_slo_ttft_seconds\":inf}", &error));
+}
+
+TEST(Scenario, ParserSuggestsAbsoluteValueForDroppedSigns) {
+  std::string error;
+  EXPECT_FALSE(world::scenario_from_json("{\"scale\":-8}", &error));
+  EXPECT_NE(error.find("did you mean 8"), std::string::npos);
+  EXPECT_FALSE(
+      world::scenario_from_json("{\"ckpt_interval_seconds\":-1800}", &error));
+  EXPECT_NE(error.find("did you mean 1800"), std::string::npos);
+  EXPECT_FALSE(world::scenario_from_json(
+      "{\"serve_replicas\":1,\"serve_rps\":-20}", &error));
+  EXPECT_NE(error.find("did you mean 20"), std::string::npos);
+}
+
+TEST(World, SnapshotFileRoundTripAndSpecRecovery) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 60.0;
+  spec.fleet_samples = 100;
+  spec.seed = 31337;
+  world::World a(spec);
+  a.run_until(12 * common::kHour);
+  const std::string path = ::testing::TempDir() + "acme_world_snap.bin";
+  a.save_file(path);
+
+  // A tool holding only the file recovers the spec, then restores into a
+  // world built from it.
+  const world::ScenarioSpec recovered = world::snapshot_spec(path);
+  EXPECT_EQ(recovered.to_json(), spec.to_json());
+  world::World b(recovered);
+  b.restore_file(path);
+  a.run_until(std::numeric_limits<double>::infinity());
+  b.run_until(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(a.finish().digest(), b.finish().digest());
+
+  // Restoring a mismatched spec fails loudly.
+  world::ScenarioSpec other = spec;
+  other.seed = 31338;
+  world::World c(other);
+  EXPECT_THROW(c.restore_file(path), common::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(World, BranchFutureDivergesOnlyTheFuture) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 60.0;
+  spec.fleet_samples = 0;
+  spec.seed = 424242;
+  world::World parent(spec);
+  parent.run_until(12 * common::kHour);
+  snap::SnapshotWriter w;
+  parent.save(w);
+  const std::string bytes = w.finish();
+
+  const auto run_branch = [&](const char* label) {
+    snap::SnapshotReader r{std::string(bytes)};
+    world::World child(spec);
+    child.restore(r);
+    if (label != nullptr) child.branch_future(label);
+    child.run_until(std::numeric_limits<double>::infinity());
+    return child.finish();
+  };
+  const world::WorldReport replayed = run_branch(nullptr);
+  const world::WorldReport branch_a = run_branch("what-if-a");
+  const world::WorldReport branch_a2 = run_branch("what-if-a");
+  const world::WorldReport branch_b = run_branch("what-if-b");
+  // No label replays the parent's future; same label is reproducible;
+  // different labels diverge (different failure arrivals => different
+  // digests).
+  parent.run_until(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parent.finish().digest(), replayed.digest());
+  EXPECT_EQ(branch_a.digest(), branch_a2.digest());
+  EXPECT_NE(branch_a.digest(), replayed.digest());
+  EXPECT_NE(branch_a.digest(), branch_b.digest());
 }
 
 TEST(World, IntegratedRunInjectsAndRecovers) {

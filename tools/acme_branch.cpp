@@ -1,0 +1,122 @@
+// Fast-forward / branch driver (DESIGN.md §12).
+//
+// A world snapshot freezes the expensive warm-up — trace synthesis, months of
+// replayed scheduling, fleet ramp — at one quiescent point. This tool restores
+// that snapshot N times and lets each restore run a DIFFERENT future: the
+// first branch replays the parent's own stream (the control), every other
+// branch forks the failure RNG under a distinct label via
+// World::branch_future, so the branches share an identical past and diverge
+// only in the failures still to come. That is the counterfactual the paper's
+// operators keep asking for ("same cluster, same backlog — how bad could the
+// next week have been?") answered without re-simulating the past.
+//
+// Flags: --snapshot FILE [--branches N] [--prefix LABEL] [--baseline]
+//   --baseline additionally times the uninterrupted run of the same scenario
+//   and reports the fast-forward speedup (restore-and-run vs run-from-zero).
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/acme.h"
+#include "snap/format.h"
+
+using namespace acme;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  std::uint64_t branches = 8;
+  std::string prefix = "branch";
+  std::uint64_t baseline = 0;
+
+  common::FlagSet flags("acme_branch");
+  flags.add("--snapshot", &snapshot_path, "world snapshot file to branch from");
+  flags.add("--branches", &branches, "number of futures to run (default 8)");
+  flags.add("--prefix", &prefix,
+            "branch label prefix; branch i forks the failure stream under "
+            "\"<prefix>-<i>\" (branch 0 replays the parent's own future)");
+  flags.add("--baseline", &baseline,
+            "1 = also time the uninterrupted run for the speedup recap");
+  std::string error;
+  if (!flags.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "acme_branch: %s\n%s", error.c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    return 0;
+  }
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "acme_branch: --snapshot is required\n%s",
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (branches == 0) branches = 1;
+
+  const world::ScenarioSpec spec = world::snapshot_spec(snapshot_path);
+  std::printf("scenario (from snapshot): %s\n\n", spec.to_json().c_str());
+
+  constexpr double kForever = std::numeric_limits<double>::infinity();
+  common::Table table(
+      {"branch", "failures", "goodput", "lost GPU-days", "digest"});
+  std::vector<std::uint64_t> digests;
+  double branch_wall = 0;
+  for (std::uint64_t i = 0; i < branches; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    world::World w(spec);
+    w.restore_file(snapshot_path);
+    const std::string label = prefix + "-" + std::to_string(i);
+    if (i > 0) w.branch_future(label);
+    w.run_until(kForever);
+    const world::WorldReport report = w.finish();
+    branch_wall += seconds_since(t0);
+    digests.push_back(report.digest());
+    table.add_row(
+        {i == 0 ? std::string("(parent future)") : label,
+         std::to_string(report.failures_injected),
+         common::Table::pct(report.goodput),
+         common::Table::num((report.lost_work_gpu_seconds +
+                             report.stall_gpu_seconds) /
+                                common::kDay,
+                            2),
+         common::fnv1a_hex(report.digest())});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen = seen || digests[j] == digests[i];
+    if (!seen) ++distinct;
+  }
+  std::printf("\n%zu branches, %zu distinct futures, %.2f s total (%.3f s "
+              "per restore-and-run)\n",
+              digests.size(), distinct, branch_wall,
+              branch_wall / static_cast<double>(digests.size()));
+
+  if (baseline != 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const world::WorldReport straight = world::run_world(spec);
+    const double straight_wall = seconds_since(t0);
+    const double per_branch = branch_wall / static_cast<double>(digests.size());
+    std::printf("uninterrupted run: %.3f s; fast-forward speedup %.2fx "
+                "(parent-future digest %s: %s)\n",
+                straight_wall,
+                per_branch > 0 ? straight_wall / per_branch : 0.0,
+                straight.digest() == digests[0] ? "matches" : "MISMATCH",
+                common::fnv1a_hex(straight.digest()).c_str());
+    if (straight.digest() != digests[0]) return 1;
+  }
+  return 0;
+}
