@@ -1,6 +1,13 @@
 #include "core/experiments.h"
 
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string_view>
+
 #include "common/check.h"
+#include "common/digest.h"
+#include "sched/shard.h"
 #include "trace/analysis.h"
 #include "world/scenario.h"
 
@@ -80,6 +87,73 @@ mc::ReplicaRun<SixMonthReplay> run_six_month_replay_mc(
                             synthesize_replay_trace(setup, scale, rng.next()),
                             sample_interval);
       });
+}
+
+namespace {
+
+void fold_u64(common::Fnv1a& h, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(buf));
+  h.update(std::string_view(buf, sizeof(buf)));
+}
+
+void fold_f64(common::Fnv1a& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fold_u64(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t ShardedReplay::digest() const {
+  common::Fnv1a h;
+  for (const sched::ReplayResult& shard : shards) {
+    fold_f64(h, shard.makespan);
+    fold_u64(h, shard.unstarted);
+    fold_u64(h, shard.jobs.size());
+    for (const trace::JobRecord& job : shard.jobs) {
+      fold_u64(h, job.id);
+      fold_f64(h, job.queue_delay);
+    }
+  }
+  fold_u64(h, commit_digest);
+  return h.digest();
+}
+
+ShardedReplay run_sharded_replay(const ClusterSetup& setup, double scale,
+                                 std::uint64_t seed, std::size_t shards,
+                                 task::Pool* pool, double window_seconds) {
+  ACME_CHECK_MSG(shards >= 1, "sharded replay needs at least one pod");
+  trace::Trace jobs = synthesize_replay_trace(setup, scale, seed);
+  const std::size_t total_jobs = jobs.size();
+  std::vector<trace::Trace> slices = sched::shard_trace(jobs, shards);
+  jobs.clear();
+  jobs.shrink_to_fit();
+
+  std::vector<std::unique_ptr<sched::SchedulerReplay>> pods;
+  pods.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    pods.push_back(std::make_unique<sched::SchedulerReplay>(
+        setup.spec, setup.sched_config));
+    pods[s]->begin_replay(std::move(slices[s]));
+  }
+  sim::WindowRunner runner;
+  for (std::size_t s = 0; s < shards; ++s) {
+    runner.add_partition(pods[s]->engine(), static_cast<std::uint32_t>(s));
+  }
+  const double lookahead = window_seconds > 0
+                               ? window_seconds
+                               : std::numeric_limits<double>::infinity();
+  ShardedReplay out;
+  out.windows = runner.run(pool, lookahead);
+  out.commit_digest = runner.commit_digest();
+  out.jobs = total_jobs;
+  out.shards.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.shards.push_back(pods[s]->finish_replay());
+    out.unstarted += out.shards.back().unstarted;
+  }
+  return out;
 }
 
 telemetry::FleetSamplerConfig fleet_config_from(const ClusterSetup& setup,

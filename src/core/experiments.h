@@ -7,6 +7,8 @@
 #include "cluster/spec.h"
 #include "mc/replication.h"
 #include "sched/scheduler.h"
+#include "sim/window.h"
+#include "task/task.h"
 #include "telemetry/fleet_sampler.h"
 #include "trace/synthesizer.h"
 #include "trace/workload_profile.h"
@@ -52,6 +54,30 @@ SixMonthReplay run_scenario_replay(const world::ScenarioSpec& scenario);
 mc::ReplicaRun<SixMonthReplay> run_six_month_replay_mc(
     const ClusterSetup& setup, const mc::ReplicationOptions& options,
     double scale = 1.0, double sample_interval = 900.0);
+
+// One six-month replay sharded across pods (DESIGN.md §13): the synthesized
+// trace splits round-robin via sched::shard_trace, each slice replays on a
+// full cluster replica with its own engine, and sim::WindowRunner drains the
+// pods concurrently on `pool` with a deterministic (time, shard, seq) merge.
+struct ShardedReplay {
+  std::vector<sched::ReplayResult> shards;  // per-pod results, shard order
+  std::uint64_t commit_digest = 0;          // merged commit-stream digest
+  sim::WindowStats windows;
+  std::size_t jobs = 0;       // total jobs replayed across all pods
+  std::size_t unstarted = 0;  // summed over pods; 0 for well-formed profiles
+
+  // FNV-1a over per-shard outcomes (makespan, unstarted, every job's id and
+  // queue delay, in shard order) plus the commit digest: byte-identical at
+  // any worker count iff the parallel drain changed nothing observable.
+  std::uint64_t digest() const;
+};
+
+// `pool` may be null (fully serial drain — the workers=1 baseline);
+// `window_seconds` <= 0 drains each pod in a single window. Deterministic:
+// a pure function of (setup, scale, seed, shards) regardless of pool width.
+ShardedReplay run_sharded_replay(const ClusterSetup& setup, double scale,
+                                 std::uint64_t seed, std::size_t shards,
+                                 task::Pool* pool, double window_seconds = 0);
 
 // Builds a fleet sampler calibrated from a replay: occupancy from the
 // scheduler timeline, workload mix from the trace's GPU-time shares.

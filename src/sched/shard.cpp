@@ -1,0 +1,20 @@
+#include "sched/shard.h"
+
+#include "common/check.h"
+
+namespace acme::sched {
+
+std::vector<trace::Trace> shard_trace(const trace::Trace& jobs,
+                                      std::size_t shards) {
+  ACME_CHECK_MSG(shards > 0, "shard_trace requires at least one shard");
+  std::vector<trace::Trace> out(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out[s].reserve(jobs.size() / shards + 1);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out[i % shards].push_back(jobs[i]);
+  }
+  return out;
+}
+
+}  // namespace acme::sched

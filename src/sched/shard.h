@@ -1,0 +1,32 @@
+// Trace sharding for the parallel replay runtime (DESIGN.md §13).
+//
+// A single SchedulerReplay is one coupled partition: every job competes for
+// the same reserved/shared ledgers, so its events cannot be split across
+// threads without changing placement decisions. Parallelism instead comes
+// from PODS — full cluster replicas, each replaying its own slice of the
+// trace on its own engine. shard_trace produces those slices: job i goes to
+// shard i % shards (round-robin over submit order), which keeps every
+// shard's submit stream a uniform sample of the original mix (workload
+// classes arrive interleaved, so each pod sees the same pretrain/eval blend
+// and the same diurnal shape) and is trivially deterministic — the partition
+// assignment depends only on trace order, never on execution.
+//
+// The shard index doubles as the partition KEY in sim::WindowRunner's
+// canonical (time, key, seq) merge, so a sharded replay commits in one
+// reproducible global order at any worker count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace acme::sched {
+
+// Splits `jobs` into `shards` round-robin slices, preserving relative order
+// within each slice. shards == 1 returns the input verbatim (one copy);
+// empty slices are legal (more shards than jobs).
+std::vector<trace::Trace> shard_trace(const trace::Trace& jobs,
+                                      std::size_t shards);
+
+}  // namespace acme::sched

@@ -1,0 +1,99 @@
+// Conservative parallel drain of independent event partitions.
+//
+// WindowRunner owns the coordination loop that parallelizes a replay without
+// giving up determinism (DESIGN.md §13). It holds N partitions — each an
+// Engine whose events provably cannot interact with any other partition's
+// (disjoint node groups / failure domains; nothing in the simulation sends
+// an event across partitions mid-run) — and drains them in lockstep
+// *windows*:
+//
+//   1. t0   = min over partitions of next_event_time()
+//   2. end  = t0 + Δ (the lookahead; +infinity = one window drains all)
+//   3. every partition with work below `end` executes run_window(end)
+//      concurrently on a task::Pool (or inline when only one is active)
+//   4. after the WaitGroup barrier, the per-partition (time, seq) commit
+//      logs are k-way merged in the canonical (time, partition key, seq)
+//      order into the commit digest (and an optional sink)
+//
+// Why the merged order is byte-identical at ANY worker count and ANY Δ:
+// within a partition the log is the engine's serial pop order (ascending
+// (time, seq) — the two-level queue guarantees it), and each window's
+// commits occupy the same half-open time interval for every partition, so
+// concatenating per-window merges equals one global sort of all commits by
+// (time, key, seq). Workers only change *when* a partition executes, never
+// what it commits; Δ only changes where the interval boundaries fall. Both
+// are therefore invisible in the digest — the invariant test_determinism
+// pins across workers ∈ {1, 2, 8} and the window-partitioner property test
+// pins against a single-heap reference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/digest.h"
+#include "sim/engine.h"
+#include "task/task.h"
+
+namespace acme::sim {
+
+struct WindowStats {
+  std::uint64_t windows = 0;           // coordination rounds executed
+  std::uint64_t parallel_windows = 0;  // rounds with >= 2 active partitions
+  std::uint64_t events = 0;            // total commits merged
+  std::uint64_t max_window_events = 0; // busiest single round
+};
+
+class WindowRunner {
+ public:
+  // Observes every commit in merged canonical order (after the barrier, on
+  // the coordinating thread). Optional; leave unset on the bench hot path.
+  using Sink = std::function<void(std::uint32_t key, const Commit&)>;
+
+  WindowRunner() = default;
+  WindowRunner(const WindowRunner&) = delete;
+  WindowRunner& operator=(const WindowRunner&) = delete;
+
+  // Registers a partition. Keys must be unique — they are the canonical
+  // cross-partition tie-break for same-time commits — and the engine must
+  // outlive the runner. Not callable once run() started.
+  void add_partition(Engine& engine, std::uint32_t key);
+
+  std::size_t partitions() const { return parts_.size(); }
+
+  // Pre-sizes every partition's commit log so the drain never reallocates
+  // mid-window. The bound is per WINDOW (logs are cleared each round); for
+  // an all-in-one-window drain (Δ = infinity) pass the whole event count.
+  void reserve(std::size_t commits_per_partition);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Drains every partition to completion. `lookahead` (Δ, simulated seconds,
+  // > 0; +infinity legal) bounds each window; `pool` may be null for a
+  // fully inline drain (what workers=1 plumbs through). Partition exceptions
+  // are rethrown here on the coordinating thread, after the barrier.
+  // Cumulative across calls: a second run() continues the same digest/stats,
+  // which is what lets a restored world resume mid-stream.
+  WindowStats run(task::Pool* pool, Time lookahead);
+
+  // FNV-1a over the merged (time-bits, key, seq) commit stream so far.
+  std::uint64_t commit_digest() const { return digest_.digest(); }
+  const WindowStats& stats() const { return stats_; }
+
+ private:
+  struct Partition {
+    Engine* engine = nullptr;
+    std::uint32_t key = 0;
+    std::vector<Commit> log;  // commits of the current window only
+    std::size_t cursor = 0;   // merge progress within `log`
+  };
+
+  void merge_window();
+
+  std::vector<Partition> parts_;
+  Sink sink_;
+  common::Fnv1a digest_;
+  WindowStats stats_;
+};
+
+}  // namespace acme::sim

@@ -249,6 +249,137 @@ TEST(Determinism, SnapshotOracleServeSeren) {
   expect_snapshot_oracle(spec, 20246);
 }
 
+// --- Parallel window runtime determinism matrix (DESIGN.md §13) ---
+//
+// The tentpole invariant: a world's report digest is byte-identical at any
+// window-drain pool width, for every scenario preset, straight or through a
+// snapshot-at-midpoint → restore → resume — and composing the window workers
+// under mc replication changes nothing either. Workers only move WHEN a
+// partition executes, never what it commits.
+
+std::uint64_t parallel_digest(const world::ScenarioSpec& spec,
+                              std::size_t workers) {
+  if (workers == 1) return world::World(spec).run().digest();
+  task::Pool pool(workers);
+  world::World w(spec);
+  return w.run_parallel(pool).digest();
+}
+
+std::uint64_t parallel_resumed_digest(const world::ScenarioSpec& spec,
+                                      double mid, std::size_t workers) {
+  world::World a(spec);
+  a.run_until(mid);
+  snap::SnapshotWriter w;
+  a.save(w);
+  snap::SnapshotReader r(w.finish());
+  world::World b(spec);
+  b.restore(r);
+  if (workers == 1) {
+    b.run_until(std::numeric_limits<double>::infinity());
+    return b.finish().digest();
+  }
+  task::Pool pool(workers);
+  return b.run_parallel(pool).digest();
+}
+
+void expect_workers_matrix(const world::ScenarioSpec& spec) {
+  const world::WorldReport straight = world::World(spec).run();
+  const std::uint64_t oracle = straight.digest();
+  double mid = straight.replay.makespan * 0.5;
+  if (spec.serving()) mid = std::max(mid, spec.serve_duration_seconds * 0.5);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(parallel_digest(spec, workers), oracle)
+        << spec.name << ": digest depends on window-drain width (workers="
+        << workers << ")";
+    EXPECT_EQ(parallel_resumed_digest(spec, mid, workers), oracle)
+        << spec.name << ": snapshot->restore->parallel-resume diverged "
+        << "(workers=" << workers << ")";
+  }
+}
+
+TEST(Determinism, WorkersMatrixSeren) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  expect_workers_matrix(spec);
+}
+
+TEST(Determinism, WorkersMatrixKalos) {
+  world::ScenarioSpec spec = world::kalos_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  expect_workers_matrix(spec);
+}
+
+TEST(Determinism, WorkersMatrixColocatedSeren) {
+  world::ScenarioSpec spec = world::colocated_seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  spec.serve_replicas = 2;
+  spec.serve_rps = 20.0;
+  spec.serve_duration_seconds = 900.0;
+  expect_workers_matrix(spec);
+}
+
+TEST(Determinism, WorkersMatrixServeSeren) {
+  world::ScenarioSpec spec = world::serve_seren_scenario();
+  spec.serve_rps = 20.0;
+  spec.serve_duration_seconds = 900.0;
+  expect_workers_matrix(spec);
+}
+
+TEST(Determinism, McComposedWithWindowWorkersMatchesSerial) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  const auto fold = [&](std::size_t threads, std::size_t workers) {
+    mc::ReplicationOptions options;
+    options.replicas = 2;
+    options.threads = threads;
+    options.workers = workers;
+    options.seed = 20247;
+    const auto run = world::run_world_mc(spec, options);
+    std::uint64_t digest = 0;
+    for (const auto& report : run.results) digest ^= report.digest();
+    return digest;
+  };
+  const std::uint64_t serial = fold(1, 1);
+  // threads x workers composition (effective_workers may clamp on small
+  // boxes; the digest must not notice either way)...
+  EXPECT_EQ(fold(4, 2), serial)
+      << "mc(threads=4) x workers=2 diverged from serial";
+  // ...and the unclamped oversubscription path (threads=1 passes the width
+  // through verbatim, so this drains replicas at 8 workers on any box).
+  EXPECT_EQ(fold(1, 8), serial)
+      << "mc(threads=1) x workers=8 diverged from serial";
+}
+
+TEST(Determinism, FleetDigestIndependentOfWorkers) {
+  world::ScenarioSpec spec = world::seren_scenario();
+  spec.scale = 40.0;
+  spec.fleet_samples = 500;
+  world::FleetOptions serial;
+  serial.groups = 3;
+  serial.workers = 1;
+  const world::FleetRunReport a = world::run_world_fleet(spec, serial);
+  world::FleetOptions wide = serial;
+  wide.workers = 8;
+  const world::FleetRunReport b = world::run_world_fleet(spec, wide);
+  ASSERT_EQ(a.groups.size(), 3u);
+  EXPECT_EQ(a.digest(), b.digest())
+      << "fleet digest depends on window-drain width";
+  EXPECT_GT(b.windows.parallel_windows, 0u)
+      << "3 groups at 8 workers never actually overlapped";
+
+  // A single-group fleet keeps the spec verbatim: group 0's report is the
+  // plain run_world report.
+  world::FleetOptions solo;
+  solo.groups = 1;
+  solo.workers = 8;
+  const world::FleetRunReport c = world::run_world_fleet(spec, solo);
+  EXPECT_EQ(c.groups[0].digest(), world::run_world(spec).digest());
+}
+
 TEST(Determinism, SnapshotReflectsSimulatedWork) {
   const Snapshot snap = replay_snapshot(2);
   // The instrumented subsystems must actually have fired during the replay.

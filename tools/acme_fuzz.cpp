@@ -10,8 +10,11 @@
 //   * oracle run (~75%): mutates the base ScenarioSpec within typed bounds,
 //     runs the world straight through, then re-runs it save-at-midpoint →
 //     restore → run-to-end and requires the two WorldReport digests to be
-//     byte-identical. Any divergence, thrown ACME_CHECK, or crash-by-
-//     exception is a finding.
+//     byte-identical. Each iteration also draws a window-drain width from
+//     {1, 2, 8} (the workers mutation axis, DESIGN.md §13); widths > 1
+//     re-run the accepted mutant through World::run_parallel and require
+//     digest equality with the serial drain. Any divergence, thrown
+//     ACME_CHECK, or crash-by-exception is a finding.
 //
 // Findings are shrunk greedily — each mutated field is reverted toward the
 // base spec while the failure persists — and the minimal reproducer (spec
@@ -48,7 +51,8 @@ struct OracleOutcome {
 // working as designed, not a determinism bug, so it is classified as
 // `rejected`. Once the straight run succeeds, ANY exception or digest
 // divergence on the save/restore path is a finding.
-OracleOutcome oracle_verdict(const world::ScenarioSpec& spec) {
+OracleOutcome oracle_verdict(const world::ScenarioSpec& spec,
+                             std::size_t workers) {
   OracleOutcome out;
   std::uint64_t straight_digest = 0;
   double mid = 0;
@@ -64,6 +68,26 @@ OracleOutcome oracle_verdict(const world::ScenarioSpec& spec) {
   } catch (const std::exception& e) {
     out.verdict = std::string("straight run threw non-check: ") + e.what();
     return out;
+  }
+  // Workers axis: an accepted mutant must drain to the same digest through
+  // the parallel window runtime at this iteration's width.
+  if (workers > 1) {
+    try {
+      task::Pool pool(workers);
+      world::World parallel(spec);
+      const std::uint64_t par = parallel.run_parallel(pool).digest();
+      if (par != straight_digest) {
+        out.verdict = "parallel drain digest divergence (workers=" +
+                      std::to_string(workers) + "): straight " +
+                      common::fnv1a_hex(straight_digest) + " vs parallel " +
+                      common::fnv1a_hex(par);
+        return out;
+      }
+    } catch (const std::exception& e) {
+      out.verdict = std::string("parallel drain threw (workers=") +
+                    std::to_string(workers) + "): " + e.what();
+      return out;
+    }
   }
   try {
     world::World a(spec);
@@ -238,11 +262,11 @@ std::string parser_probe(common::Rng& rng, std::string* probe_out) {
 world::ScenarioSpec shrink(world::ScenarioSpec failing,
                            const world::ScenarioSpec& base,
                            const std::vector<std::size_t>& applied,
-                           std::string* verdict) {
+                           std::size_t workers, std::string* verdict) {
   for (std::size_t idx : applied) {
     world::ScenarioSpec candidate = failing;
     kMutators[idx].revert(candidate, base);
-    const OracleOutcome o = oracle_verdict(candidate);
+    const OracleOutcome o = oracle_verdict(candidate, workers);
     if (!o.rejected && !o.verdict.empty()) {
       failing = candidate;
       *verdict = o.verdict;
@@ -333,14 +357,19 @@ int main(int argc, char** argv) {
       kMutators[idx].apply(spec, rng);
       applied.push_back(idx);
     }
-    const OracleOutcome outcome = oracle_verdict(spec);
+    // Workers mutation axis: drawn from the same iteration stream, so
+    // --only <i> reproduces the width along with the field mutations.
+    static constexpr std::size_t kWorkersAxis[] = {1, 2, 8};
+    const std::size_t workers = kWorkersAxis[rng.next() % 3];
+    const OracleOutcome outcome = oracle_verdict(spec, workers);
     if (outcome.rejected) {
       ++rejected_specs;
     } else if (!outcome.verdict.empty()) {
       std::string verdict = outcome.verdict;
-      std::printf("[%llu] ORACLE FINDING: %s\n",
-                  static_cast<unsigned long long>(i), verdict.c_str());
-      spec = shrink(spec, base, applied, &verdict);
+      std::printf("[%llu] ORACLE FINDING (workers=%zu): %s\n",
+                  static_cast<unsigned long long>(i), workers,
+                  verdict.c_str());
+      spec = shrink(spec, base, applied, workers, &verdict);
       findings.push_back({i, "oracle", verdict, spec.to_json()});
     }
     if ((i + 1) % 50 == 0)
