@@ -28,11 +28,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <new>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "sim/window.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <string_view>
@@ -10,6 +11,9 @@
 namespace acme::sim {
 
 void WindowRunner::add_partition(Engine& engine, std::uint32_t key) {
+  ACME_CHECK_MSG(stats_.windows == 0,
+                 "add_partition after run() started: a late partition would "
+                 "splice a fresh log into an already-running digest");
   for (const Partition& p : parts_) {
     ACME_CHECK_MSG(p.key != key, "duplicate partition key");
     ACME_CHECK_MSG(p.engine != &engine, "engine registered twice");
@@ -29,6 +33,7 @@ WindowStats WindowRunner::run(task::Pool* pool, Time lookahead) {
   ACME_CHECK_MSG(!parts_.empty(), "WindowRunner has no partitions");
   constexpr Time kInf = std::numeric_limits<Time>::infinity();
   const WindowStats before = stats_;
+  std::uint64_t call_max_window_events = 0;
   for (;;) {
     // Window origin: the earliest pending event anywhere. Peeking is done on
     // the coordinating thread; the previous round's barrier ordered it after
@@ -36,7 +41,13 @@ WindowStats WindowRunner::run(task::Pool* pool, Time lookahead) {
     Time t0 = kInf;
     for (Partition& p : parts_) t0 = std::min(t0, p.engine->next_event_time());
     if (t0 == kInf) break;
-    const Time end = lookahead == kInf ? kInf : t0 + lookahead;
+    Time end = lookahead == kInf ? kInf : t0 + lookahead;
+    // Forward-progress guarantee: at large t0 a small Δ can round t0 + Δ
+    // back to exactly t0 (double has ~15 significant digits), which would
+    // leave every partition outside the half-open window and spin forever.
+    // Widen to the next representable instant so the t0 event itself always
+    // drains; determinism is unaffected (Δ only moves window boundaries).
+    if (end <= t0) end = std::nextafter(t0, kInf);
 
     std::size_t active = 0;
     for (Partition& p : parts_) {
@@ -66,16 +77,19 @@ WindowStats WindowRunner::run(task::Pool* pool, Time lookahead) {
         if (p.engine->next_event_time() < end) p.engine->run_window(end, p.log);
       }
     }
-    merge_window();
+    call_max_window_events = std::max(call_max_window_events, merge_window());
   }
   WindowStats delta = stats_;
   delta.windows -= before.windows;
   delta.parallel_windows -= before.parallel_windows;
   delta.events -= before.events;
+  // The counters above subtract cleanly; a max does not, so the delta's
+  // busiest-round figure is tracked per call (stats_ keeps the all-time max).
+  delta.max_window_events = call_max_window_events;
   return delta;
 }
 
-void WindowRunner::merge_window() {
+std::uint64_t WindowRunner::merge_window() {
   // K-way merge by linear min-scan: partition counts are small (node groups,
   // not jobs), so O(K) per commit beats a heap's bookkeeping and allocates
   // nothing. Comparator is the canonical (time, key, seq); within one
@@ -113,6 +127,7 @@ void WindowRunner::merge_window() {
   }
   stats_.events += merged;
   stats_.max_window_events = std::max(stats_.max_window_events, merged);
+  return merged;
 }
 
 }  // namespace acme::sim

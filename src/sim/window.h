@@ -73,7 +73,9 @@ class WindowRunner {
   // fully inline drain (what workers=1 plumbs through). Partition exceptions
   // are rethrown here on the coordinating thread, after the barrier.
   // Cumulative across calls: a second run() continues the same digest/stats,
-  // which is what lets a restored world resume mid-stream.
+  // which is what lets a restored world resume mid-stream. The returned
+  // stats are this call's delta; its max_window_events is the busiest round
+  // of THIS call (stats() keeps the cumulative all-time max).
   WindowStats run(task::Pool* pool, Time lookahead);
 
   // FNV-1a over the merged (time-bits, key, seq) commit stream so far.
@@ -88,7 +90,9 @@ class WindowRunner {
     std::size_t cursor = 0;   // merge progress within `log`
   };
 
-  void merge_window();
+  // Merges the current window's logs into the digest; returns the commit
+  // count of this window.
+  std::uint64_t merge_window();
 
   std::vector<Partition> parts_;
   Sink sink_;

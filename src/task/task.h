@@ -67,13 +67,14 @@ class WaitGroup {
   }
 
   void done() {
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      ACME_CHECK_MSG(count_ > 0, "WaitGroup::done without a matching add");
-      last = --count_ == 0;
-    }
-    if (last) cv_.notify_all();
+    // Notify while still holding mu_: the groups are stack-local in their
+    // waiters (WindowRunner::run, parallel_for), so the waiter may destroy
+    // the group the instant wait()'s predicate turns true. Keeping the
+    // notify inside the lock means wait() cannot observe count_ == 0 until
+    // this thread is past every touch of the group's members.
+    std::lock_guard<std::mutex> g(mu_);
+    ACME_CHECK_MSG(count_ > 0, "WaitGroup::done without a matching add");
+    if (--count_ == 0) cv_.notify_all();
   }
 
   // Stashes std::current_exception() (first one wins). Called from inside a

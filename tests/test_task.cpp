@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/digest.h"
 #include "common/rng.h"
 #include "sim/engine.h"
@@ -296,6 +297,50 @@ TEST(WindowPartitioner, DigestAccumulatesAcrossResumedRuns) {
   EXPECT_EQ(second.events, 10u);  // run() returns per-call deltas
   EXPECT_EQ(runner.commit_digest(), straight);
   EXPECT_EQ(runner.stats().events, 20u);  // stats() stays cumulative
+}
+
+TEST(WindowPartitioner, FiniteLookaheadMakesProgressAtLargeTimestamps) {
+  // At large t0 a small Δ rounds t0 + Δ back to exactly t0 (ulp(1e16) = 2),
+  // which used to leave every partition outside the half-open window and
+  // spin run() forever. The runner must widen to the next representable
+  // instant and drain the t0 event.
+  constexpr double kHuge = 1e16;
+  ASSERT_EQ(kHuge + 1.0, kHuge);  // the rounding that triggers the bug
+  sim::Engine e;
+  int fired = 0;
+  e.schedule_at(kHuge, [&fired] { ++fired; });
+  e.schedule_at(kHuge + 4.0, [&fired] { ++fired; });
+  sim::WindowRunner runner;
+  runner.add_partition(e, 0);
+  const sim::WindowStats stats = runner.run(nullptr, 1.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.windows, 2u);  // one degenerate window per event
+}
+
+TEST(WindowPartitioner, DeltaMaxWindowEventsIsPerCall) {
+  // run() returns a delta; its busiest-round figure must describe THAT call,
+  // not the all-time max (which stats() keeps).
+  sim::Engine e;
+  for (int i = 0; i < 6; ++i) e.schedule_at(i * 1.0, [] {});
+  sim::WindowRunner runner;
+  runner.add_partition(e, 0);
+  const sim::WindowStats first = runner.run(nullptr, kInf);
+  EXPECT_EQ(first.max_window_events, 6u);
+  for (int i = 6; i < 9; ++i) e.schedule_at(i * 1.0, [] {});
+  const sim::WindowStats second = runner.run(nullptr, kInf);
+  EXPECT_EQ(second.max_window_events, 3u);
+  EXPECT_EQ(runner.stats().max_window_events, 6u);  // cumulative keeps 6
+}
+
+TEST(WindowPartitioner, AddPartitionAfterRunStartedIsRejected) {
+  sim::Engine a;
+  a.schedule_at(1.0, [] {});
+  sim::WindowRunner runner;
+  runner.add_partition(a, 0);
+  runner.run(nullptr, kInf);
+  sim::Engine b;
+  EXPECT_THROW(runner.add_partition(b, 1), common::CheckError);
 }
 
 }  // namespace
