@@ -27,11 +27,28 @@ struct NodeSpec {
   double storage_nic_gbps = 25.0;  // Seren storage NIC cap (Fig 16-left)
 };
 
+// Physical layout of a fleet: datacenters split into pods (one PDU / spine
+// block each), pods split into rail/switch groups of nodes. The defaults
+// describe today's flat single-room clusters; `trivial()` layouts build a
+// degenerate DomainTree and change nothing downstream.
+struct DomainShape {
+  int datacenters = 1;
+  int pods_per_datacenter = 1;
+  // Nodes per rail/switch group inside a pod; 0 = one group per pod.
+  int nodes_per_switch = 0;
+
+  bool trivial() const {
+    return datacenters <= 1 && pods_per_datacenter <= 1 &&
+           nodes_per_switch <= 0;
+  }
+};
+
 struct ClusterSpec {
   std::string name;
   int node_count = 0;
   NodeSpec node;
   SchedulerKind scheduler = SchedulerKind::kSlurm;
+  DomainShape topology;
 
   int total_gpus() const { return node_count * node.gpus; }
   int total_cpus() const { return node_count * node.cpus; }

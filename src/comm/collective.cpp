@@ -15,6 +15,10 @@ namespace {
 // the recovery path historically hard-coded (paper §6.1-3's restart cost).
 constexpr double kBringupBaseSeconds = 30.0;
 constexpr double kBringupPerNodeSeconds = 60.0 / 256.0;
+// Each datacenter past the first adds a serialized cross-WAN bootstrap
+// exchange to communicator bring-up (rendezvous rides the long-haul RTT and
+// its retry budget, not the intra-DC fabric).
+constexpr double kCrossDcBringupSeconds = 20.0;
 
 // Trees pipeline imperfectly: interior ranks serve two children over one
 // link and chunk turnaround stalls the pipe, so the sustained bandwidth is a
@@ -34,6 +38,7 @@ void validate(const World& w, double bytes) {
   ACME_CHECK(w.ranks_per_node >= 0);
   ACME_CHECK(w.nic_share >= 1);
   ACME_CHECK(bytes >= 0);
+  ACME_CHECK(w.node_set == nullptr || w.node_set_size > 0);
 }
 
 // Records one cost-model query. Counted at each public entry point, so a
@@ -54,26 +59,62 @@ void observe_collective(const char* op, const CollectiveCost& c) {
 }  // namespace
 
 int CollectiveModel::nodes(const World& w) const {
+  if (w.node_set != nullptr) return w.node_set_size;
   return topo_.nodes_for(w.gpus, w.ranks_per_node);
+}
+
+cluster::NodeId CollectiveModel::representative_node(const World& w) const {
+  return w.node_set != nullptr && w.node_set_size > 0 ? w.node_set[0]
+                                                      : w.first_node;
+}
+
+double CollectiveModel::world_min_scale(const World& w, int span_nodes) const {
+  if (w.node_set != nullptr) {
+    return topo_.min_link_scale(w.node_set,
+                                static_cast<std::size_t>(w.node_set_size));
+  }
+  return topo_.min_link_scale(w.first_node, span_nodes);
+}
+
+FabricTopology::TierSpan CollectiveModel::tiers(const World& w) const {
+  if (w.node_set != nullptr) {
+    return topo_.tier_span(w.node_set,
+                           static_cast<std::size_t>(w.node_set_size));
+  }
+  return topo_.tier_span(w.first_node, nodes(w));
 }
 
 CollectiveModel::LinkTerms CollectiveModel::nvlink_terms(const World& w) const {
   const int n = nodes(w);
+  const cluster::NodeId rep = representative_node(w);
   // A hierarchical stage synchronizes across nodes, so the slowest node's
   // NVLink paces every intra-node stage in the span.
-  const double bw = topo_.nvlink_bytes_per_sec(w.first_node) /
-                    topo_.link_scale(w.first_node) *
-                    topo_.min_link_scale(w.first_node, n);
+  const double bw = topo_.nvlink_bytes_per_sec(rep) / topo_.link_scale(rep) *
+                    world_min_scale(w, n);
   return {topo_.nvlink_alpha(), 1.0 / bw};
 }
 
 CollectiveModel::LinkTerms CollectiveModel::inter_node_terms(const World& w) const {
   const int n = nodes(w);
-  const double bw = topo_.node_nic_bytes_per_sec(w.first_node) /
-                    topo_.link_scale(w.first_node) *
-                    topo_.min_link_scale(w.first_node, n) /
+  const cluster::NodeId rep = representative_node(w);
+  const double bw = topo_.node_nic_bytes_per_sec(rep) / topo_.link_scale(rep) *
+                    world_min_scale(w, n) /
                     static_cast<double>(w.nic_share);
   return {topo_.nic_alpha(), 1.0 / bw};
+}
+
+CollectiveModel::LinkTerms CollectiveModel::spine_terms(const World& w) const {
+  // No configured spine (flat fabric): an inter-pod crossing prices at the
+  // node-NIC rate, so callers never divide by zero.
+  if (topo_.spine_bytes_per_sec() <= 0) return inter_node_terms(w);
+  return {topo_.spine_alpha(),
+          static_cast<double>(w.nic_share) / topo_.spine_bytes_per_sec()};
+}
+
+CollectiveModel::LinkTerms CollectiveModel::longhaul_terms(const World& w) const {
+  if (topo_.longhaul_bytes_per_sec() <= 0) return spine_terms(w);
+  return {topo_.longhaul_alpha(),
+          static_cast<double>(w.nic_share) / topo_.longhaul_bytes_per_sec()};
 }
 
 CollectiveModel::LinkTerms CollectiveModel::flat_link(const World& w) const {
@@ -96,6 +137,27 @@ CollectiveCost CollectiveModel::all_gather(const World& w, double bytes,
       const double s = bytes / p;
       const auto nv = nvlink_terms(w);
       const auto ib = inter_node_terms(w);
+      const auto ts = tiers(w);
+      if (ts.pods > 1 || ts.datacenters > 1) {
+        // Tiered stages: nodes gather inside each pod over the rail NICs,
+        // pods gather their slabs over the spine, datacenters exchange DC
+        // slabs over the long haul. With one pod and one DC this collapses
+        // to the flat two-stage form below (n_pod == n, zero extra hops).
+        const int d = ts.datacenters;
+        const int pods = ts.pods;
+        const int n_pod = (n + pods - 1) / pods;
+        const int p_dc = (pods + d - 1) / d;
+        const auto sp = spine_terms(w);
+        const auto lh = longhaul_terms(w);
+        c.hops = (g - 1) + (n_pod - 1) + (p_dc - 1) + (d - 1);
+        c.latency_seconds = (g - 1) * nv.alpha + (n_pod - 1) * ib.alpha +
+                            (p_dc - 1) * sp.alpha + (d - 1) * lh.alpha;
+        c.bandwidth_seconds = (g - 1) * s * nv.beta +
+                              (n_pod - 1) * g * s * ib.beta +
+                              (p_dc - 1) * n_pod * g * s * sp.beta +
+                              (d - 1) * p_dc * n_pod * g * s * lh.beta;
+        return c;
+      }
       c.hops = (g - 1) + (n - 1);
       c.latency_seconds = (g - 1) * nv.alpha + (n - 1) * ib.alpha;
       c.bandwidth_seconds = (g - 1) * s * nv.beta + (n - 1) * g * s * ib.beta;
@@ -143,6 +205,28 @@ CollectiveCost CollectiveModel::all_reduce(const World& w, double bytes,
       const int g = (p + n - 1) / n;
       const auto nv = nvlink_terms(w);
       const auto ib = inter_node_terms(w);
+      const auto ts = tiers(w);
+      if (ts.pods > 1 || ts.datacenters > 1) {
+        // Tier-recursive ring: ring all-reduce inside the pod, then across
+        // pods over the spine, then across datacenters over the long haul.
+        // Each tier pays the standard 2(k-1)/k traffic factor over its own
+        // link; with one pod and one DC the extra terms vanish and n_pod==n
+        // reproduces the flat formula.
+        const int d = ts.datacenters;
+        const int pods = ts.pods;
+        const int n_pod = (n + pods - 1) / pods;
+        const int p_dc = (pods + d - 1) / d;
+        const auto sp = spine_terms(w);
+        const auto lh = longhaul_terms(w);
+        c.hops = 2 * (g - 1) + 2 * (n_pod - 1) + 2 * (p_dc - 1) + 2 * (d - 1);
+        c.latency_seconds = 2 * (g - 1) * nv.alpha + 2 * (n_pod - 1) * ib.alpha +
+                            2 * (p_dc - 1) * sp.alpha + 2 * (d - 1) * lh.alpha;
+        c.bandwidth_seconds = 2.0 * (g - 1) / g * bytes * nv.beta +
+                              2.0 * (n_pod - 1) / n_pod * bytes * ib.beta +
+                              2.0 * (p_dc - 1) / p_dc * bytes * sp.beta +
+                              2.0 * (d - 1) / d * bytes * lh.beta;
+        return c;
+      }
       c.hops = 2 * (g - 1) + 2 * (n - 1);
       c.latency_seconds = 2 * (g - 1) * nv.alpha + 2 * (n - 1) * ib.alpha;
       c.bandwidth_seconds = 2.0 * (g - 1) / g * bytes * nv.beta +
@@ -180,6 +264,28 @@ CollectiveCost CollectiveModel::broadcast(const World& w, double bytes,
       const int g = (p + n - 1) / n;
       const auto nv = nvlink_terms(w);
       const auto ib = inter_node_terms(w);
+      const auto ts = tiers(w);
+      if (ts.pods > 1 || ts.datacenters > 1) {
+        // Tiered tree: one DC root fans out across datacenters, pod roots
+        // fan out across the spine, node roots across the pod rails, then
+        // NVLink inside each node. The payload crosses each tier once.
+        const int d = ts.datacenters;
+        const int pods = ts.pods;
+        const int n_pod = (n + pods - 1) / pods;
+        const int p_dc = (pods + d - 1) / d;
+        const auto sp = spine_terms(w);
+        const auto lh = longhaul_terms(w);
+        c.hops = ceil_log2(d) + ceil_log2(p_dc) + ceil_log2(n_pod) +
+                 ceil_log2(g);
+        c.latency_seconds = ceil_log2(d) * lh.alpha +
+                            ceil_log2(p_dc) * sp.alpha +
+                            ceil_log2(n_pod) * ib.alpha +
+                            ceil_log2(g) * nv.alpha;
+        c.bandwidth_seconds = bytes * (ib.beta + nv.beta +
+                                       (p_dc > 1 ? sp.beta : 0.0) +
+                                       (d > 1 ? lh.beta : 0.0));
+        return c;
+      }
       c.hops = ceil_log2(n) + ceil_log2(g);
       c.latency_seconds = ceil_log2(n) * ib.alpha + ceil_log2(g) * nv.alpha;
       c.bandwidth_seconds = bytes * ib.beta + bytes * nv.beta;
@@ -219,7 +325,21 @@ CollectiveCost CollectiveModel::all_to_all(const World& w, double bytes) const {
     // Each node's g ranks send the off-node slice of their buffers through the
     // shared NIC aggregate: g * S * (p - g) / p bytes per direction.
     const int g = (p + n - 1) / n;
-    const auto ib = inter_node_terms(w);
+    auto ib = inter_node_terms(w);
+    // All-to-all traffic is uniformly spread, so when the world crosses
+    // pods/datacenters the slowest tier's per-byte cost bottlenecks the
+    // exchange (the spine/long-haul carry nearly the full slab).
+    const auto ts = tiers(w);
+    if (ts.pods > 1) {
+      const auto sp = spine_terms(w);
+      ib.alpha = std::max(ib.alpha, sp.alpha);
+      ib.beta = std::max(ib.beta, sp.beta);
+    }
+    if (ts.datacenters > 1) {
+      const auto lh = longhaul_terms(w);
+      ib.alpha = std::max(ib.alpha, lh.alpha);
+      ib.beta = std::max(ib.beta, lh.beta);
+    }
     c.latency_seconds = c.hops * ib.alpha;
     c.bandwidth_seconds = static_cast<double>(g) * bytes * (p - g) / p * ib.beta;
     return c;
@@ -230,7 +350,10 @@ CollectiveCost CollectiveModel::all_to_all(const World& w, double bytes) const {
 
 double CollectiveModel::bringup_seconds(const World& w) const {
   ACME_CHECK(w.gpus > 0);
-  return kBringupBaseSeconds + kBringupPerNodeSeconds * nodes(w);
+  double t = kBringupBaseSeconds + kBringupPerNodeSeconds * nodes(w);
+  const auto ts = tiers(w);
+  if (ts.datacenters > 1) t += (ts.datacenters - 1) * kCrossDcBringupSeconds;
+  return t;
 }
 
 double CollectiveModel::probe_round_seconds(int probe_nodes,
@@ -248,6 +371,30 @@ double CollectiveModel::probe_round_seconds(int probe_nodes,
                  world_nodes > 1 ? Algorithm::kHierarchical : Algorithm::kRing)
           .seconds();
   return kBringupBaseSeconds + kBringupPerNodeSeconds * probe_nodes + gather;
+}
+
+double CollectiveModel::probe_round_seconds(const cluster::NodeId* probe,
+                                            std::size_t count,
+                                            double probe_bytes) const {
+  ACME_CHECK(probe != nullptr && count > 0);
+  ACME_CHECK(probe_bytes > 0);
+  // Same structure as the span form, but slowest-member pacing and the
+  // datacenter crossings come from the explicit set: the slowest 2-3-node
+  // probe world contains the slowest member, and a probe set spanning
+  // datacenters rendezvouses over the long haul.
+  const int world_nodes = static_cast<int>(std::min<std::size_t>(count, 3));
+  World probe_world;
+  probe_world.gpus = world_nodes * topo_.gpus_per_node();
+  CollectiveCost gather =
+      all_gather(probe_world, probe_bytes,
+                 world_nodes > 1 ? Algorithm::kHierarchical : Algorithm::kRing);
+  gather.bandwidth_seconds /= topo_.min_link_scale(probe, count);
+  double t = kBringupBaseSeconds +
+             kBringupPerNodeSeconds * static_cast<double>(count) +
+             gather.seconds();
+  const auto ts = topo_.tier_span(probe, count);
+  if (ts.datacenters > 1) t += (ts.datacenters - 1) * kCrossDcBringupSeconds;
+  return t;
 }
 
 double bus_bandwidth_allreduce(int gpus, double bytes, double seconds) {

@@ -27,7 +27,10 @@ struct CollectiveCost {
   double seconds() const { return latency_seconds + bandwidth_seconds; }
 };
 
-// A communicator: `gpus` ranks placed contiguously from `first_node`.
+// A communicator: `gpus` ranks placed contiguously from `first_node`, or —
+// when `node_set` is non-null — on an explicit (possibly non-contiguous)
+// node list, which is how multi-pod placements price slowest-member and
+// tier crossings correctly.
 struct World {
   int gpus = 8;
   cluster::NodeId first_node = 0;
@@ -37,6 +40,10 @@ struct World {
   // Co-resident communicators sharing each node's NICs (e.g. the 8 per-node
   // gradient rings of a tp=8 layout). Divides the per-node IB bandwidth.
   int nic_share = 1;
+  // Optional explicit node placement; overrides the contiguous span. The
+  // pointed-to array must outlive the query (no copy is taken).
+  const cluster::NodeId* node_set = nullptr;
+  int node_set_size = 0;
 };
 
 class CollectiveModel {
@@ -71,6 +78,10 @@ class CollectiveModel {
   // through the same launcher) plus the slowest world's all-gather.
   double probe_round_seconds(int probe_nodes,
                              double probe_bytes = 128.0 * 1024 * 1024) const;
+  // Explicit-set variant: the slowest member and any datacenter crossings
+  // come from the actual probe set instead of an assumed [0, n) span.
+  double probe_round_seconds(const cluster::NodeId* probe, std::size_t count,
+                             double probe_bytes = 128.0 * 1024 * 1024) const;
 
   // Number of nodes `w` spans.
   int nodes(const World& w) const;
@@ -84,6 +95,15 @@ class CollectiveModel {
   LinkTerms flat_link(const World& w) const;
   LinkTerms nvlink_terms(const World& w) const;
   LinkTerms inter_node_terms(const World& w) const;
+  // Tier links above the node NIC; fall back to the NIC terms when the
+  // fabric has no configured spine/long-haul (flat clusters).
+  LinkTerms spine_terms(const World& w) const;
+  LinkTerms longhaul_terms(const World& w) const;
+  // Pods/datacenters the world's placement crosses ({1, 1} on flat fabrics:
+  // every pre-hierarchy formula is reproduced bit-for-bit through that path).
+  FabricTopology::TierSpan tiers(const World& w) const;
+  double world_min_scale(const World& w, int span_nodes) const;
+  cluster::NodeId representative_node(const World& w) const;
 
   FabricTopology topo_;
 };

@@ -19,6 +19,15 @@ constexpr double kIbAlphaSeconds = 20e-6;
 // Share of Seren's single HDR HCA left for collectives once the 25 Gb/s
 // storage lane (Fig 16-left) is carved out: (200 - 25) / 200.
 constexpr double kSharedNicComputeShare = 0.875;
+// Default tier links for hierarchical (multi-pod / multi-DC) fabrics.
+// Rail-optimized pods run 1:1 inside the pod; the spine above them is
+// oversubscribed, and the cross-DC long-haul adds millisecond-scale RTT on
+// a thinner shared pipe. Both are per-communicator effective bandwidths,
+// derived from the node NIC aggregate.
+constexpr double kSpineAlphaSeconds = 35e-6;
+constexpr double kSpineOversubscription = 4.0;
+constexpr double kLonghaulAlphaSeconds = 5e-3;
+constexpr double kLonghaulOversubscription = 16.0;
 
 LinkSpec nvlink_link() {
   LinkSpec l;
@@ -41,6 +50,16 @@ FabricConfig fabric_from_cluster(const cluster::ClusterSpec& spec) {
   // No dedicated storage HCA means checkpoint/loading traffic rides the
   // compute HCA (the Seren pattern; Kalos has a separate storage NIC).
   f.nic_shared_with_storage = spec.node.storage_nics == 0;
+  f.topology = spec.topology;
+  f.node_count = spec.node_count;
+  if (!spec.topology.trivial()) {
+    const double nic_aggregate =
+        f.nic.bytes_per_sec * f.compute_nics * f.nic_efficiency;
+    f.spine.alpha_seconds = kSpineAlphaSeconds;
+    f.spine.bytes_per_sec = nic_aggregate / kSpineOversubscription;
+    f.longhaul.alpha_seconds = kLonghaulAlphaSeconds;
+    f.longhaul.bytes_per_sec = nic_aggregate / kLonghaulOversubscription;
+  }
   return f;
 }
 
@@ -54,6 +73,12 @@ FabricTopology::FabricTopology(FabricConfig config) : config_(std::move(config))
   ACME_CHECK(config_.nvlink.alpha_seconds >= 0 && config_.nic.alpha_seconds >= 0);
   ACME_CHECK(config_.compute_nics > 0);
   ACME_CHECK(config_.nic_efficiency > 0 && config_.nic_efficiency <= 1.0);
+  ACME_CHECK(config_.spine.bytes_per_sec >= 0 &&
+             config_.longhaul.bytes_per_sec >= 0);
+  if (config_.node_count > 0) {
+    domains_ = cluster::DomainTree(config_.node_count, config_.topology);
+    link_scale_.assign(static_cast<std::size_t>(config_.node_count), 1.0);
+  }
 }
 
 int FabricTopology::nodes_for(int gpus, int ranks_per_node) const {
@@ -74,27 +99,70 @@ double FabricTopology::node_nic_bytes_per_sec(cluster::NodeId node) const {
 
 void FabricTopology::set_link_scale(cluster::NodeId node, double factor) {
   ACME_CHECK_MSG(factor > 0, "link scale must be positive");
-  if (factor == 1.0) {
-    link_scale_.erase(node);
-  } else {
-    link_scale_[node] = factor;
+  ACME_CHECK(node >= 0);
+  if (static_cast<std::size_t>(node) >= link_scale_.size()) {
+    if (factor == 1.0) return;
+    link_scale_.resize(static_cast<std::size_t>(node) + 1, 1.0);
   }
+  double& slot = link_scale_[static_cast<std::size_t>(node)];
+  degraded_ += (factor != 1.0) - (slot != 1.0);
+  slot = factor;
 }
 
 double FabricTopology::link_scale(cluster::NodeId node) const {
-  const auto it = link_scale_.find(node);
-  return it == link_scale_.end() ? 1.0 : it->second;
+  if (degraded_ == 0) return 1.0;
+  const auto i = static_cast<std::size_t>(node);
+  return i < link_scale_.size() ? link_scale_[i] : 1.0;
+}
+
+void FabricTopology::clear_link_scales() {
+  std::fill(link_scale_.begin(), link_scale_.end(), 1.0);
+  degraded_ = 0;
 }
 
 double FabricTopology::min_link_scale(cluster::NodeId first, int count) const {
+  if (degraded_ == 0) return 1.0;
   double min_scale = 1.0;
-  // The scale map is sparse (only degraded nodes appear), so scan it rather
-  // than the span.
-  for (const auto& [node, scale] : link_scale_) {
-    if (node >= first && node < first + count)
-      min_scale = std::min(min_scale, scale);
-  }
+  const auto lo = static_cast<std::size_t>(std::max(first, 0));
+  const auto hi = std::min(static_cast<std::size_t>(std::max(first + count, 0)),
+                           link_scale_.size());
+  for (std::size_t i = lo; i < hi; ++i)
+    min_scale = std::min(min_scale, link_scale_[i]);
   return min_scale;
+}
+
+double FabricTopology::min_link_scale(const cluster::NodeId* nodes,
+                                      std::size_t count) const {
+  if (degraded_ == 0) return 1.0;
+  double min_scale = 1.0;
+  for (std::size_t i = 0; i < count; ++i)
+    min_scale = std::min(min_scale, link_scale(nodes[i]));
+  return min_scale;
+}
+
+FabricTopology::TierSpan FabricTopology::tier_span(cluster::NodeId first,
+                                                   int count) const {
+  TierSpan span;
+  if (domains_.trivial() || domains_.node_count() == 0 || count <= 0)
+    return span;
+  // Clamp to the tree: legacy callers occasionally price hypothetical
+  // worlds wider than the configured cluster.
+  const int max_count = domains_.node_count() - first;
+  if (first < 0 || max_count <= 0) return span;
+  span.pods = domains_.pods_spanned(first, std::min(count, max_count));
+  span.datacenters =
+      domains_.datacenters_spanned(first, std::min(count, max_count));
+  return span;
+}
+
+FabricTopology::TierSpan FabricTopology::tier_span(
+    const cluster::NodeId* nodes, std::size_t count) const {
+  TierSpan span;
+  if (domains_.trivial() || domains_.node_count() == 0 || count == 0)
+    return span;
+  span.pods = domains_.pods_spanned(nodes, count);
+  span.datacenters = domains_.datacenters_spanned(nodes, count);
+  return span;
 }
 
 }  // namespace acme::comm

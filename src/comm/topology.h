@@ -17,9 +17,11 @@
 // node is slowed; collectives elsewhere are untouched.
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <string>
+#include <vector>
 
+#include "cluster/domain.h"
 #include "cluster/spec.h"
 #include "cluster/state.h"
 
@@ -45,6 +47,18 @@ struct FabricConfig {
   // Seren's single HDR HCA also carries the 25 Gb/s storage lane
   // (Fig 16-left), so collectives get only the remaining capacity.
   bool nic_shared_with_storage = false;
+  // Hierarchical tiers above the node NIC. `spine` is the oversubscribed
+  // inter-pod fabric inside a datacenter; `longhaul` is the cross-DC WAN
+  // pipe. bytes_per_sec == 0 disables a tier (flat single-pod fabric —
+  // every pre-hierarchy config), in which case a crossing prices at the
+  // node-NIC rate.
+  LinkSpec spine;
+  LinkSpec longhaul;
+  // Physical domain layout and node count of the cluster the fabric
+  // describes. node_count == 0 = unknown (legacy flat callers): the
+  // topology degenerates to a single pod.
+  cluster::DomainShape topology;
+  int node_count = 0;
 };
 
 // Seren: 1x200 Gb/s HDR shared with storage. Kalos: 4x200 Gb/s compute NICs.
@@ -78,14 +92,42 @@ class FabricTopology {
   // degraded, 1 = healthy, >1 = hypothetical upgrade).
   void set_link_scale(cluster::NodeId node, double factor);
   double link_scale(cluster::NodeId node) const;
-  void clear_link_scales() { link_scale_.clear(); }
+  void clear_link_scales();
   // Slowest link scale across the contiguous node span [first, first+count):
   // a collective runs at the pace of its slowest member.
   double min_link_scale(cluster::NodeId first, int count) const;
+  // Slowest member over an explicit node set — non-contiguous multi-pod
+  // placements price correctly instead of assuming [first, first+count).
+  double min_link_scale(const cluster::NodeId* nodes, std::size_t count) const;
+
+  // The domain hierarchy the fabric spans (degenerate single-pod tree for
+  // flat configs with no node count).
+  const cluster::DomainTree& domains() const { return domains_; }
+  // Tiers crossed by a communicator's node span; hierarchical collectives
+  // price one stage per crossed tier. {1, 1} on flat fabrics.
+  struct TierSpan {
+    int pods = 1;
+    int datacenters = 1;
+  };
+  TierSpan tier_span(cluster::NodeId first, int count) const;
+  TierSpan tier_span(const cluster::NodeId* nodes, std::size_t count) const;
+
+  // Effective per-communicator tier bandwidths (0 = tier disabled).
+  double spine_bytes_per_sec() const { return config_.spine.bytes_per_sec; }
+  double longhaul_bytes_per_sec() const {
+    return config_.longhaul.bytes_per_sec;
+  }
+  double spine_alpha() const { return config_.spine.alpha_seconds; }
+  double longhaul_alpha() const { return config_.longhaul.alpha_seconds; }
 
  private:
   FabricConfig config_;
-  std::map<cluster::NodeId, double> link_scale_;  // sparse; absent = 1.0
+  cluster::DomainTree domains_;
+  // Dense per-node degradation factors (1.0 = healthy), grown on demand;
+  // nodes beyond the vector are healthy. degraded_ counts entries != 1.0 so
+  // the healthy-fabric fast path is one branch.
+  std::vector<double> link_scale_;
+  int degraded_ = 0;
 };
 
 }  // namespace acme::comm

@@ -38,6 +38,15 @@ class FailureInjector {
   double sample_ttr(const FailureSpec& spec, common::Rng& rng) const;
   int sample_demand(const FailureSpec& spec, common::Rng& rng) const;
 
+  // Correlated domain outages (domain_failure_table()): reason weighted by
+  // the table, TTF/TTR from the row's lognormal fits (seconds). Driven by
+  // the world's domain chain with its own rng stream.
+  const DomainFailureSpec& sample_domain_failure(common::Rng& rng) const;
+  double sample_domain_ttf(const DomainFailureSpec& spec,
+                           common::Rng& rng) const;
+  double sample_domain_ttr(const DomainFailureSpec& spec,
+                           common::Rng& rng) const;
+
   common::Rng make_rng(const std::string& label) const { return base_.fork(label); }
 
  private:

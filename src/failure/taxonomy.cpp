@@ -1,5 +1,6 @@
 #include "failure/taxonomy.h"
 
+#include <map>
 #include <stdexcept>
 
 namespace acme::failure {
@@ -138,6 +139,8 @@ std::vector<FailureSpec> build_table() {
                    {"CalledProcessError: Command 'srun hostname' returned non-zero exit status 1"}));
   t.push_back(make("Index Error", C::kScript, 23, 6, 1, 1.6, 0.9, 0.8, 0.02, true,
                    true, false, {"IndexError: list index out of range"}));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i].id = static_cast<ReasonId>(i);
   return t;
 }
 
@@ -148,10 +151,31 @@ const std::vector<FailureSpec>& failure_table() {
   return table;
 }
 
+ReasonId reason_id(std::string_view reason) {
+  // One-time reverse index; after that a lookup is one ordered-map probe
+  // with no allocation (heterogeneous compare keeps string_view callers
+  // allocation-free too).
+  static const std::map<std::string, ReasonId, std::less<>> index = [] {
+    std::map<std::string, ReasonId, std::less<>> m;
+    for (const auto& s : failure_table()) m.emplace(s.reason, s.id);
+    return m;
+  }();
+  const auto it = index.find(reason);
+  return it == index.end() ? kInvalidReason : it->second;
+}
+
+const FailureSpec& spec_for(ReasonId id) {
+  const auto& table = failure_table();
+  if (id >= table.size())
+    throw std::out_of_range("unknown failure reason id: " + std::to_string(id));
+  return table[id];
+}
+
 const FailureSpec& spec_for(const std::string& reason) {
-  for (const auto& s : failure_table())
-    if (s.reason == reason) return s;
-  throw std::out_of_range("unknown failure reason: " + reason);
+  const ReasonId id = reason_id(reason);
+  if (id == kInvalidReason)
+    throw std::out_of_range("unknown failure reason: " + reason);
+  return spec_for(id);
 }
 
 std::vector<const FailureSpec*> infrastructure_specs() {
@@ -159,6 +183,21 @@ std::vector<const FailureSpec*> infrastructure_specs() {
   for (const auto& s : failure_table())
     if (s.category == FailureCategory::kInfrastructure) out.push_back(&s);
   return out;
+}
+
+const std::vector<DomainFailureSpec>& domain_failure_table() {
+  using K = cluster::DomainKind;
+  // Rates synthesized from the Table 2 inventory: rail switches are the
+  // most numerous shared component (weight 6, ~2-week median per cluster),
+  // PDUs trip rarer but take a whole pod (weight 2, ~6 weeks), and a
+  // cooling/room event is the rare worst case (weight 1, ~one quarter)
+  // taking a datacenter down for hours.
+  static const std::vector<DomainFailureSpec> table = {
+      {"Switch Failure", K::kSwitch, 6, 30240.0, 20160.0, 90.0, 45.0},
+      {"PDU Failure", K::kPod, 2, 80640.0, 60480.0, 240.0, 120.0},
+      {"Cooling Failure", K::kDatacenter, 1, 172800.0, 129600.0, 480.0, 240.0},
+  };
+  return table;
 }
 
 }  // namespace acme::failure

@@ -4,8 +4,12 @@
 // lognormal fitted to the row's (median, average) pair (DESIGN.md §5).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "cluster/domain.h"
 
 namespace acme::failure {
 
@@ -13,7 +17,14 @@ enum class FailureCategory { kInfrastructure, kFramework, kScript };
 
 const char* to_string(FailureCategory category);
 
+// Interned failure reason: the row index in failure_table(). Hot paths
+// (injection, world kill routing) carry the u32 and resolve it O(1); the
+// string API survives as a thin wrapper for parsers and logs.
+using ReasonId = std::uint32_t;
+inline constexpr ReasonId kInvalidReason = 0xffffffffu;
+
 struct FailureSpec {
+  ReasonId id = kInvalidReason;  // index into failure_table()
   std::string reason;         // e.g. "NVLink Error"
   FailureCategory category;
   int count = 0;              // occurrences over the 6-month trace
@@ -36,10 +47,31 @@ struct FailureSpec {
 // All 29 rows of Table 3.
 const std::vector<FailureSpec>& failure_table();
 
+// Interning: one-time table build, then O(1) by id. reason_id returns
+// kInvalidReason for unknown strings.
+ReasonId reason_id(std::string_view reason);
+const FailureSpec& spec_for(ReasonId id);
 const FailureSpec& spec_for(const std::string& reason);
 
 // Reasons whose most-frequent occurrence is mid-run on large pretraining jobs
 // (category == Infrastructure), per §5.2.
 std::vector<const FailureSpec*> infrastructure_specs();
+
+// Domain-scoped correlated failures synthesized from the paper's Table 2
+// datacenter inventory (switches, PDUs, cooling): one event takes a whole
+// DomainTree subtree down, cordoning every node and killing every resident
+// job at once. Kept separate from the 29-row Table 3 stream so per-job
+// sampling stays bit-identical; the world's domain chain samples this table
+// with its own rng.
+struct DomainFailureSpec {
+  std::string reason;           // e.g. "Switch Failure"
+  cluster::DomainKind scope;    // subtree taken down by one event
+  int weight = 1;               // relative frequency within the table
+  double ttf_avg_min = 1;       // per-cluster inter-event time (minutes)
+  double ttf_median_min = 1;
+  double ttr_avg_min = 1;       // outage duration until power/fabric is back
+  double ttr_median_min = 1;
+};
+const std::vector<DomainFailureSpec>& domain_failure_table();
 
 }  // namespace acme::failure

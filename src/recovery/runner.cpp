@@ -78,9 +78,16 @@ double FaultTolerantRunner::recovery_stall(const failure::FailureSpec& spec,
   double stall = 45.0;  // log collection + agent latency
   if (diagnosis.needs_node_detection ||
       (diagnosis.reason.empty() && spec.needs_node_detection)) {
-    const int nodes = std::max(1, config_.gpus / 8);
-    std::vector<cluster::NodeId> probe(static_cast<std::size_t>(nodes));
-    for (int i = 0; i < nodes; ++i) probe[static_cast<std::size_t>(i)] = i;
+    // Probe the job's actual nodes when the caller listed them; the
+    // contiguous [0, nodes) default keeps fabric-less and single-pod
+    // behaviour unchanged.
+    std::vector<cluster::NodeId> probe = config_.probe_nodes;
+    if (probe.empty()) {
+      const int nodes = std::max(1, config_.gpus / 8);
+      probe.resize(static_cast<std::size_t>(nodes));
+      for (int i = 0; i < nodes; ++i) probe[static_cast<std::size_t>(i)] = i;
+    }
+    const int nodes = static_cast<int>(probe.size());
     const int bad =
         static_cast<int>(rng.uniform_int(0, 1)) + 1;  // 1-2 faulty nodes
     auto faulty = [&](cluster::NodeId id) { return id < bad; };

@@ -47,6 +47,11 @@ struct RunnerConfig {
   // bring-up. nullopt falls back to the legacy flat 90 s per round / per
   // bring-up, so fabric-less callers keep the old behaviour.
   std::optional<comm::FabricConfig> fabric = comm::kalos_fabric();
+  // Explicit probe set for fault localization. Empty = the historical
+  // contiguous [0, gpus/8) span; non-contiguous multi-pod placements list
+  // their actual nodes so slowest-member pacing and datacenter crossings
+  // price correctly (the span form was a latent contiguity assumption).
+  std::vector<cluster::NodeId> probe_nodes;
   std::uint64_t seed = 2024;
 };
 

@@ -155,7 +155,11 @@ void SchedulerReplay::arm_replay(double sample_interval) {
   engine_->reserve(jobs_.size() +
                    static_cast<std::size_t>(std::max(
                        0, reserved_.total_gpus() + shared_.total_gpus())) +
-                   2);
+                   4);
+  // running_pretrain_jobs() / running_jobs_on_nodes() fill scratch via
+  // copy_to; pre-growing it here keeps mid-drain kill routing (the world's
+  // failure and domain chains) allocation-free.
+  pretrain_scratch_.reserve(jobs_.size());
 
   const int per_node = std::max(1, spec_.node.gpus);
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
@@ -341,6 +345,63 @@ void SchedulerReplay::kill_job(std::size_t index, double rollback_cap_seconds,
         /*failure_kill=*/true);
   // The freed nodes go back into the pool immediately; queued work (including
   // the victim, once its recovery stall is priced in) competes for them.
+  try_dispatch();
+}
+
+int SchedulerReplay::reserved_node_count() const {
+  return reserved_.node_count();
+}
+
+int SchedulerReplay::total_node_count() const {
+  return reserved_.node_count() + shared_.node_count();
+}
+
+void SchedulerReplay::running_jobs_on_nodes(
+    int first, int count, std::vector<std::size_t>& out) const {
+  out.clear();
+  const int last = first + count;
+  const int offset = reserved_.node_count();  // shared-partition global base
+  for (std::size_t pool = 0; pool < 2; ++pool) {
+    for (std::uint32_t i = running_pools_[pool].front();
+         i != common::kIndexNpos; i = common::IndexList::next_of(pool_links_, i)) {
+      const JobRt& rt = rt_[i];
+      bool hit = false;
+      for (const auto& slice : rt.alloc.slices) {
+        const int node = slice.node + (rt.on_reserved ? 0 : offset);
+        if (node >= first && node < last) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) out.push_back(i);
+    }
+  }
+}
+
+void SchedulerReplay::cordon_nodes(int first, int count) {
+  const int offset = reserved_.node_count();
+  const int last = first + count;
+  for (int node = std::max(first, 0); node < last; ++node) {
+    if (node < offset) {
+      reserved_.cordon(node);
+    } else if (node - offset < shared_.node_count()) {
+      shared_.cordon(node - offset);
+    }
+  }
+}
+
+void SchedulerReplay::uncordon_nodes(int first, int count) {
+  const int offset = reserved_.node_count();
+  const int last = first + count;
+  for (int node = std::max(first, 0); node < last; ++node) {
+    if (node < offset) {
+      reserved_.uncordon(node);
+    } else if (node - offset < shared_.node_count()) {
+      shared_.uncordon(node - offset);
+    }
+  }
+  // Repaired capacity is real capacity: let stuck heads retry.
+  capacity_freed_ = true;
   try_dispatch();
 }
 
@@ -570,7 +631,7 @@ void SchedulerReplay::restore_replay(snap::SnapshotReader& r) {
   engine_->reserve(jobs_.size() +
                    static_cast<std::size_t>(std::max(
                        0, reserved_.total_gpus() + shared_.total_gpus())) +
-                   2);
+                   4);
   std::vector<std::uint32_t> pending_idx;
   std::vector<std::uint64_t> pending_submit;
   std::vector<std::uint32_t> live_idx;

@@ -150,6 +150,33 @@ class SchedulerReplay {
   void kill_job(std::size_t index, double rollback_cap_seconds,
                 double restart_overhead_seconds);
 
+  // --- Global node addressing (cluster::DomainTree spans). The two
+  // partitions tile one global node space: reserved nodes are global
+  // [0, reserved_node_count()), shared nodes follow at an offset of
+  // reserved_node_count(). Domain-correlated failures (acme::world) cordon
+  // and kill by global span without knowing the partition split. ---
+  int reserved_node_count() const;
+  int total_node_count() const;
+  // Appends (into `out`, which is cleared first) the indices of every
+  // running job with at least one allocation slice inside the global node
+  // span [first, first + count). Deterministic order: pretrain pool first,
+  // then best-effort, each in pool (oldest-first) order.
+  void running_jobs_on_nodes(int first, int count,
+                             std::vector<std::size_t>& out) const;
+  // Cordons / uncordons every node in the global span. Cordoned nodes take
+  // no new placements; running jobs are untouched (kill them explicitly).
+  // Uncordoning re-opens capacity and triggers a dispatch pass.
+  void cordon_nodes(int first, int count);
+  void uncordon_nodes(int first, int count);
+  // Test introspection: a running job's allocation and which partition it
+  // landed on (slice node ids are partition-local).
+  const cluster::Allocation& allocation_of(std::size_t index) const {
+    return rt_[index].alloc;
+  }
+  bool allocation_on_reserved(std::size_t index) const {
+    return rt_[index].on_reserved;
+  }
+
   // --- Snapshot support (acme::snap, DESIGN.md §12). Valid only between
   // begin_replay and finish_replay. ---
   //

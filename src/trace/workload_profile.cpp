@@ -1,6 +1,7 @@
 #include "trace/workload_profile.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -134,6 +135,28 @@ ClusterWorkloadProfile scaled(ClusterWorkloadProfile profile, double factor) {
   profile.gpu_jobs = static_cast<std::size_t>(static_cast<double>(profile.gpu_jobs) / factor);
   profile.cpu_jobs = static_cast<std::size_t>(static_cast<double>(profile.cpu_jobs) / factor);
   profile.trace_days = std::max(profile.trace_days / factor, 2.0);
+  return profile;
+}
+
+ClusterWorkloadProfile amplified(ClusterWorkloadProfile profile,
+                                 double multiplier) {
+  ACME_CHECK(multiplier >= 1.0);
+  // Densify arrivals inside the same window: a bigger fleet runs more jobs
+  // concurrently, not a longer trace.
+  profile.gpu_jobs = static_cast<std::size_t>(
+      static_cast<double>(profile.gpu_jobs) * multiplier);
+  profile.cpu_jobs = static_cast<std::size_t>(
+      static_cast<double>(profile.cpu_jobs) * multiplier);
+  const auto copies = static_cast<std::size_t>(
+      std::max(1.0, std::floor(multiplier + 0.5)));
+  if (copies > 1 && !profile.pretrain_campaign_slots.empty()) {
+    std::vector<int> slots;
+    slots.reserve(profile.pretrain_campaign_slots.size() * copies);
+    for (std::size_t c = 0; c < copies; ++c)
+      slots.insert(slots.end(), profile.pretrain_campaign_slots.begin(),
+                   profile.pretrain_campaign_slots.end());
+    profile.pretrain_campaign_slots = std::move(slots);
+  }
   return profile;
 }
 

@@ -53,4 +53,11 @@ ClusterWorkloadProfile kalos_profile();
 // fast unit tests.
 ClusterWorkloadProfile scaled(ClusterWorkloadProfile profile, double factor);
 
+// Same distributions with the job volume multiplied by `multiplier` (>= 1)
+// inside the same trace window, for hyperscale fleets: a fleet 10x the size
+// hosts ~10x the jobs. Campaign slots are tiled so reserved pretraining
+// pressure grows with the fleet too.
+ClusterWorkloadProfile amplified(ClusterWorkloadProfile profile,
+                                 double multiplier);
+
 }  // namespace acme::trace

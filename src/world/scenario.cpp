@@ -125,7 +125,7 @@ Registry& registry() {
     auto* init = new Registry;
     for (const ScenarioSpec& preset :
          {seren_scenario(), kalos_scenario(), serve_seren_scenario(),
-          colocated_seren_scenario()})
+          colocated_seren_scenario(), hyperscale_small_scenario()})
       init->by_name[preset.name] = preset;
     return init;
   }();
@@ -145,6 +145,10 @@ constexpr const char* kScenarioKeys[] = {
     "serve_diurnal_amplitude", "serve_burst_multiplier",
     "serve_burst_fraction",    "serve_duration_seconds",
     "serve_slo_ttft_seconds",  "serve_slo_tpot_seconds",
+    "node_count",    "topo_datacenters",
+    "topo_pods_per_dc",        "topo_nodes_per_switch",
+    "trace_multiplier",        "domain_failures",
+    "domain_failure_interval_scale",
 };
 
 // Range-violation messages mirror unknown_key_message's "did you mean"
@@ -203,6 +207,14 @@ std::string ScenarioSpec::to_json() const {
       << ",\"serve_duration_seconds\":" << number(serve_duration_seconds)
       << ",\"serve_slo_ttft_seconds\":" << number(serve_slo_ttft_seconds)
       << ",\"serve_slo_tpot_seconds\":" << number(serve_slo_tpot_seconds)
+      << ",\"node_count\":" << node_count
+      << ",\"topo_datacenters\":" << topo_datacenters
+      << ",\"topo_pods_per_dc\":" << topo_pods_per_dc
+      << ",\"topo_nodes_per_switch\":" << topo_nodes_per_switch
+      << ",\"trace_multiplier\":" << number(trace_multiplier)
+      << ",\"domain_failures\":" << (domain_failures ? "true" : "false")
+      << ",\"domain_failure_interval_scale\":"
+      << number(domain_failure_interval_scale)
       << "}";
   return out.str();
 }
@@ -306,6 +318,15 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
       ok = want_double(&spec.serve_slo_ttft_seconds);
     else if (key == "serve_slo_tpot_seconds")
       ok = want_double(&spec.serve_slo_tpot_seconds);
+    else if (key == "node_count") ok = want_int(&spec.node_count);
+    else if (key == "topo_datacenters") ok = want_int(&spec.topo_datacenters);
+    else if (key == "topo_pods_per_dc") ok = want_int(&spec.topo_pods_per_dc);
+    else if (key == "topo_nodes_per_switch")
+      ok = want_int(&spec.topo_nodes_per_switch);
+    else if (key == "trace_multiplier") ok = want_double(&spec.trace_multiplier);
+    else if (key == "domain_failures") ok = want_bool(&spec.domain_failures);
+    else if (key == "domain_failure_interval_scale")
+      ok = want_double(&spec.domain_failure_interval_scale);
     else {
       return bail(unknown_key_message(key));
     }
@@ -367,6 +388,37 @@ std::optional<ScenarioSpec> scenario_from_json(const std::string& json,
   if (!(spec.serve_slo_tpot_seconds > 0))
     return bail(range_message("serve_slo_tpot_seconds",
                               spec.serve_slo_tpot_seconds, "positive"));
+  if (spec.topo_datacenters < 1)
+    return bail(range_message("topo_datacenters",
+                              static_cast<double>(spec.topo_datacenters),
+                              ">= 1"));
+  if (spec.topo_pods_per_dc < 1)
+    return bail(range_message("topo_pods_per_dc",
+                              static_cast<double>(spec.topo_pods_per_dc),
+                              ">= 1"));
+  if (spec.topo_nodes_per_switch < 0)
+    return bail(range_message("topo_nodes_per_switch",
+                              static_cast<double>(spec.topo_nodes_per_switch),
+                              ">= 0"));
+  if (!(spec.trace_multiplier >= 1.0) || spec.trace_multiplier > 4096.0)
+    return bail(range_message("trace_multiplier", spec.trace_multiplier,
+                              "in [1, 4096]"));
+  if (!(spec.domain_failure_interval_scale > 0))
+    return bail(range_message("domain_failure_interval_scale",
+                              spec.domain_failure_interval_scale, "positive"));
+  // The DomainTree needs at least one node per pod; check against the node
+  // count this spec resolves to so the failure surfaces at parse time.
+  {
+    const int nodes = spec.node_count > 0
+                          ? spec.node_count
+                          : (spec.kalos() ? cluster::kalos_spec().node_count
+                                          : cluster::seren_spec().node_count);
+    const long long pods = static_cast<long long>(spec.topo_datacenters) *
+                           spec.topo_pods_per_dc;
+    if (pods > nodes)
+      return bail("topology has more pods (" + std::to_string(pods) +
+                  ") than nodes (" + std::to_string(nodes) + ")");
+  }
   return spec;
 }
 
@@ -410,6 +462,41 @@ ScenarioSpec colocated_seren_scenario() {
   return spec;
 }
 
+ScenarioSpec hyperscale_scenario(int n_gpus, int n_dcs) {
+  ACME_CHECK_MSG(n_gpus >= 8 && n_dcs >= 1, "hyperscale needs gpus and dcs");
+  ScenarioSpec spec;
+  const int nodes = std::max(n_dcs, (n_gpus + 7) / 8);
+  char name[64];
+  std::snprintf(name, sizeof(name), "hyperscale-%dg-%ddc", nodes * 8, n_dcs);
+  spec.name = name;
+  spec.cluster = "seren";  // node hardware profile; the fleet size overrides
+  spec.node_count = nodes;
+  spec.topo_datacenters = n_dcs;
+  // Rail-optimized pods of ~32 nodes under one PDU/spine block, 8-node
+  // switch groups inside each pod.
+  spec.topo_pods_per_dc = std::max(1, nodes / (n_dcs * 32));
+  spec.topo_nodes_per_switch = 8;
+  // ~5.7-day window at 1/32 of the six-month trace, with job volume scaled
+  // to the fleet: a fleet 10x Seren's 2,288 GPUs hosts ~10x the jobs.
+  spec.scale = 32.0;
+  spec.trace_multiplier =
+      std::max(1.0, std::floor(nodes * 8.0 / 2288.0 + 0.5));
+  spec.domain_failures = true;
+  // Compress the quarter-scale Table 2 inter-event times into the short
+  // window so every run sees a handful of correlated outages.
+  spec.domain_failure_interval_scale = 0.05;
+  return spec;
+}
+
+ScenarioSpec hyperscale_small_scenario() {
+  ScenarioSpec spec = hyperscale_scenario(8192, 2);
+  spec.name = "hyperscale-small";
+  spec.scale = 64.0;          // ~2.9-day window: fast enough for the matrix
+  spec.trace_multiplier = 1.0;
+  spec.domain_failure_interval_scale = 0.02;
+  return spec;
+}
+
 void register_scenario(const ScenarioSpec& spec) {
   ACME_CHECK_MSG(!spec.name.empty(), "scenario needs a name");
   Registry& r = registry();
@@ -437,11 +524,27 @@ std::vector<std::string> scenario_names() {
 ClusterInputs cluster_inputs(const ScenarioSpec& spec) {
   ACME_CHECK_MSG(spec.cluster == "seren" || spec.cluster == "kalos",
                  "unknown cluster in scenario");
-  if (spec.kalos())
-    return {trace::kalos_profile(), cluster::kalos_spec(),
-            sched::kalos_scheduler_config(), comm::kalos_fabric()};
-  return {trace::seren_profile(), cluster::seren_spec(),
-          sched::seren_scheduler_config(), comm::seren_fabric()};
+  ClusterInputs inputs =
+      spec.kalos()
+          ? ClusterInputs{trace::kalos_profile(), cluster::kalos_spec(),
+                          sched::kalos_scheduler_config(),
+                          comm::kalos_fabric()}
+          : ClusterInputs{trace::seren_profile(), cluster::seren_spec(),
+                          sched::seren_scheduler_config(),
+                          comm::seren_fabric()};
+  // Hyperscale overrides: resize the fleet around the cluster's node
+  // hardware profile and re-derive the fabric so tier links (spine,
+  // long-haul) match the topology. Specs with all-default topology keep the
+  // preset fabric object untouched, bit for bit.
+  const cluster::DomainShape shape{spec.topo_datacenters,
+                                   spec.topo_pods_per_dc,
+                                   spec.topo_nodes_per_switch};
+  if (spec.node_count > 0 || !shape.trivial()) {
+    if (spec.node_count > 0) inputs.spec.node_count = spec.node_count;
+    inputs.spec.topology = shape;
+    inputs.fabric = comm::fabric_from_cluster(inputs.spec);
+  }
+  return inputs;
 }
 
 trace::Trace synthesize_trace(const ScenarioSpec& spec) {
@@ -450,6 +553,8 @@ trace::Trace synthesize_trace(const ScenarioSpec& spec) {
   trace::ClusterWorkloadProfile profile =
       divisor > 1.0 ? trace::scaled(std::move(inputs.profile), divisor)
                     : std::move(inputs.profile);
+  if (spec.trace_multiplier > 1.0)
+    profile = trace::amplified(std::move(profile), spec.trace_multiplier);
   profile.cpu_jobs = 0;  // CPU jobs never touch the GPU scheduler
   trace::SynthesizerOptions options;
   options.seed = spec.seed;

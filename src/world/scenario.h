@@ -63,6 +63,22 @@ struct ScenarioSpec {
   double serve_duration_seconds = 3600.0;  // arrival horizon
   double serve_slo_ttft_seconds = 2.0;
   double serve_slo_tpot_seconds = 0.1;
+  // --- Hierarchical topology & hyperscale (ROADMAP item 2). ---
+  // node_count == 0 keeps the cluster's Table 1 node count; > 0 overrides
+  // it (hyperscale fleets reuse the cluster's node hardware profile).
+  int node_count = 0;
+  // DomainTree shape: datacenters -> pods (PDU/spine blocks) -> rail/switch
+  // groups. All-default = today's flat single-room layout.
+  int topo_datacenters = 1;
+  int topo_pods_per_dc = 1;
+  int topo_nodes_per_switch = 0;  // 0 = one switch group per pod
+  // Trace-volume multiplier on top of `scale`: a 10x larger fleet hosts
+  // ~10x the jobs inside the same (scaled) trace window.
+  double trace_multiplier = 1.0;
+  // Correlated domain outages (switch/PDU/cooling, Table 2) on top of the
+  // per-job Table 3 stream. Only armed when the topology is non-trivial.
+  bool domain_failures = false;
+  double domain_failure_interval_scale = 1.0;
 
   bool serving() const { return serve_replicas > 0; }
   bool kalos() const { return cluster == "kalos"; }
@@ -86,6 +102,15 @@ ScenarioSpec seren_scenario();
 ScenarioSpec kalos_scenario();
 ScenarioSpec serve_seren_scenario();
 ScenarioSpec colocated_seren_scenario();
+
+// Hyperscale generator family (ROADMAP item 2): ~n_gpus of Seren-profile
+// nodes spread over n_dcs datacenters with rail-optimized 32-node pods,
+// 8-node switch groups, spine/long-haul fabric tiers, correlated domain
+// failures, and trace volume proportional to fleet size.
+ScenarioSpec hyperscale_scenario(int n_gpus, int n_dcs);
+// Registered preset "hyperscale-small": a 1024-node 2-DC fleet small enough
+// for the determinism matrix (straight + snapshot-resume + workers).
+ScenarioSpec hyperscale_small_scenario();
 
 // Named-scenario registry. The presets are always resolvable; registering a
 // spec under an existing name replaces it.

@@ -87,6 +87,12 @@ std::uint64_t WorldReport::digest() const {
      << ";eqd_n=" << eval_queue_delay.count()
      << ";eqd_sum=" << (eval_queue_delay.empty() ? 0.0 : eval_queue_delay.sum());
   if (served) os << ";serve=" << serve.digest();
+  if (domain_enabled)
+    os << ";dom_inj=" << domain_failures_injected
+       << ";dom_nov=" << domain_failures_no_victim
+       << ";dom_kill=" << domain_jobs_killed
+       << ";dom_cordon=" << domain_nodes_cordoned
+       << ";dom_outage=" << domain_outage_seconds;
   common::Fnv1a h;
   h.update(os.str());
   // Binary folds over the full timelines: any divergence in a single sample
@@ -142,6 +148,22 @@ void World::construct_subsystems(trace::Trace& pretrain_jobs, bool synthesize) {
   fabric_.emplace(inputs_.fabric);
   gpus_per_node_ = std::max(1, inputs_.spec.node.gpus);
 
+  // Correlated domain outages: a second, independent chain over the
+  // scheduler's post-carve-out fleet. Only a non-trivial topology can host a
+  // correlated outage (a flat cluster has no subtree smaller than "all"), so
+  // flat presets deterministically never arm it.
+  domain_tree_ = cluster::DomainTree(sched_spec_.node_count,
+                                     sched_spec_.topology);
+  domain_rng_ = common::Rng(spec_.seed).fork("world-domain-failures");
+  domain_enabled_ = spec_.domain_failures && spec_.pretrain &&
+                    sched_.has_value() && !domain_tree_.trivial();
+  report_.domain_enabled = domain_enabled_;
+  // One slot per GPU bounds the resident-job scan (every running job holds
+  // at least one GPU), so fire_domain_failure never allocates mid-drain.
+  if (domain_enabled_)
+    domain_scratch_.reserve(
+        static_cast<std::size_t>(sched_spec_.total_gpus()));
+
   // Faults split between serving and pretraining by static GPU share; a
   // serve-only world sends every fault at the fleet.
   const int serve_gpus = fleet_ ? fleet_->config().total_gpus() : 0;
@@ -162,6 +184,7 @@ void World::prepare() {
   if (sched_) sched_->begin_replay(std::move(jobs), spec_.sample_interval_seconds);
   if (fleet_) fleet_->start();
   if (spec_.inject_failures) arm_next_failure();
+  if (domain_enabled_) arm_next_domain_failure();
 }
 
 // The failure chain: one self-re-arming engine event. Each firing kills a
@@ -276,6 +299,88 @@ void World::fire_failure() {
   arm_next_failure();
 }
 
+// The domain-outage chain (Table 2 correlated infrastructure events): sample
+// a reason (switch / PDU / cooling) and its TTF up front, fire the outage,
+// hold the subtree cordoned for a sampled TTR, then re-arm. One event handle
+// serves both phases; domain_down_ says which phase is pending.
+void World::arm_next_domain_failure() {
+  if (sched_->drained()) return;
+  const failure::DomainFailureSpec& row =
+      injector_->sample_domain_failure(domain_rng_);
+  domain_reason_ = static_cast<std::uint32_t>(
+      &row - failure::domain_failure_table().data());
+  const double delay = injector_->sample_domain_ttf(row, domain_rng_) *
+                       spec_.domain_failure_interval_scale;
+  domain_event_ = engine_.schedule_after(delay, [this] { fire_domain_failure(); });
+}
+
+void World::fire_domain_failure() {
+  domain_event_ = {};
+  if (sched_->drained()) return;  // the chain ends with the replay
+  const failure::DomainFailureSpec& row =
+      failure::domain_failure_table()[domain_reason_];
+  const std::vector<cluster::DomainId>& candidates =
+      domain_tree_.domains(row.scope);
+  const cluster::DomainId victim = candidates[static_cast<std::size_t>(
+      domain_rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  const int first = static_cast<int>(domain_tree_.first_node(victim));
+  const int count = domain_tree_.domain_nodes(victim);
+  const double ttr = injector_->sample_domain_ttr(row, domain_rng_);
+
+  // Cordon the whole subtree first so nothing killed below can re-land on a
+  // dead node, then kill every resident job in this one injection.
+  sched_->cordon_nodes(first, count);
+  sched_->running_jobs_on_nodes(first, count, domain_scratch_);
+  for (const std::size_t resident : domain_scratch_) {
+    const trace::JobRecord& job = sched_->active_job(resident);
+    const double params = params_for_tag(job.model_tag_id);
+    const comm::World victim_world{job.gpus, 0, 0, 1};
+    const double reload =
+        ckpt_timing_.async_persist_seconds(params, std::max(job.gpus, 1));
+    double stall = reload;
+    if (spec_.auto_recovery) {
+      stall += 45.0;  // log collection + diagnosis-agent latency
+      // Domain outages are hardware by definition: localization probes the
+      // whole cordoned subtree, so TTR grows with the blast radius.
+      stall += 2 * fabric_->probe_round_seconds(count);
+      ++report_.localizations;
+      stall += fabric_->bringup_seconds(victim_world);
+    } else {
+      stall += ttr;
+      ++report_.manual_recoveries;
+    }
+    double rollback_cap = spec_.ckpt_interval_seconds;
+    if (spec_.async_ckpt) rollback_cap += reload;
+    const double lost_before =
+        sched_->partial_result().failure_lost_gpu_seconds;
+    sched_->kill_job(resident, rollback_cap, stall);
+    const double lost_now =
+        sched_->partial_result().failure_lost_gpu_seconds - lost_before;
+    report_.recovery_stall_seconds += stall;
+    report_.stall_gpu_seconds += stall * job.gpus;
+    ++report_.infra_failures;
+    report_.infra_lost_gpu_seconds += lost_now + stall * job.gpus;
+    if (obs::enabled()) observe_failure(stall, lost_now);
+  }
+
+  ++report_.domain_failures_injected;
+  if (domain_scratch_.empty()) ++report_.domain_failures_no_victim;
+  report_.domain_jobs_killed += static_cast<int>(domain_scratch_.size());
+  report_.domain_nodes_cordoned += count;
+  report_.domain_outage_seconds += ttr;
+  domain_down_ = victim;
+  domain_event_ = engine_.schedule_after(ttr, [this] { repair_domain(); });
+}
+
+void World::repair_domain() {
+  domain_event_ = {};
+  const int first = static_cast<int>(domain_tree_.first_node(domain_down_));
+  const int count = domain_tree_.domain_nodes(domain_down_);
+  domain_down_ = cluster::kInvalidDomain;
+  sched_->uncordon_nodes(first, count);
+  arm_next_domain_failure();
+}
+
 std::size_t World::run_until(double t) {
   prepare();
   // Pump step() directly instead of engine_.run_until(t): the engine's own
@@ -372,6 +477,23 @@ void World::save(snap::SnapshotWriter& w) const {
   w.write_i64(report_.infra_failures);
   w.write_f64(report_.infra_lost_gpu_seconds);
   w.end_section();
+  // The domain chain's state travels only when the chain exists; flat
+  // scenarios keep the exact pre-hierarchy snapshot layout.
+  if (domain_enabled_) {
+    w.begin_section("world.domain");
+    const common::RngState drng = domain_rng_.state();
+    for (int i = 0; i < 4; ++i) w.write_u64(drng.words[i]);
+    w.write_u64(drng.seed_material);
+    w.write_u64(domain_event_.raw());
+    w.write_u64(domain_down_);
+    w.write_u64(domain_reason_);
+    w.write_i64(report_.domain_failures_injected);
+    w.write_i64(report_.domain_failures_no_victim);
+    w.write_i64(report_.domain_jobs_killed);
+    w.write_i64(report_.domain_nodes_cordoned);
+    w.write_f64(report_.domain_outage_seconds);
+    w.end_section();
+  }
   engine_.save(w);
   if (sched_) sched_->save(w);
   if (fleet_) fleet_->save(w);
@@ -414,6 +536,23 @@ void World::restore(snap::SnapshotReader& r) {
   trace::Trace jobs;
   construct_subsystems(jobs, /*synthesize=*/false);
   failure_rng_.set_state(rng);
+  std::uint64_t domain_raw = 0;
+  if (domain_enabled_) {
+    r.enter_section("world.domain");
+    common::RngState drng;
+    for (int i = 0; i < 4; ++i) drng.words[i] = r.read_u64();
+    drng.seed_material = r.read_u64();
+    domain_rng_.set_state(drng);
+    domain_raw = r.read_u64();
+    domain_down_ = static_cast<cluster::DomainId>(r.read_u64());
+    domain_reason_ = static_cast<std::uint32_t>(r.read_u64());
+    report_.domain_failures_injected = static_cast<int>(r.read_i64());
+    report_.domain_failures_no_victim = static_cast<int>(r.read_i64());
+    report_.domain_jobs_killed = static_cast<int>(r.read_i64());
+    report_.domain_nodes_cordoned = static_cast<int>(r.read_i64());
+    report_.domain_outage_seconds = r.read_f64();
+    r.leave_section();
+  }
   engine_.restore(r);
   if (sched_) {
     sched_->restore_replay(r);
@@ -425,6 +564,15 @@ void World::restore(snap::SnapshotReader& r) {
   failure_event_ = sim::EventHandle::from_raw(failure_raw);
   if (failure_event_.valid())
     engine_.rebind(failure_event_, [this] { fire_failure(); });
+  domain_event_ = sim::EventHandle::from_raw(domain_raw);
+  if (domain_event_.valid()) {
+    // Phase disambiguates the callback: a down domain's pending event is its
+    // repair, otherwise it is the next outage.
+    if (domain_down_ != cluster::kInvalidDomain)
+      engine_.rebind(domain_event_, [this] { repair_domain(); });
+    else
+      engine_.rebind(domain_event_, [this] { fire_domain_failure(); });
+  }
   ACME_CHECK_MSG(engine_.unbound() == 0,
                  "restored engine holds events no subsystem rebound — "
                  "snapshot and world composition disagree");
@@ -440,6 +588,7 @@ void World::branch_future(std::string_view label) {
                  "branch_future is valid only between prepare()/restore() "
                  "and finish()");
   failure_rng_ = failure_rng_.fork(label);
+  domain_rng_ = domain_rng_.fork(label);
 }
 
 ScenarioSpec snapshot_spec(const std::string& path) {

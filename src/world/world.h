@@ -30,6 +30,7 @@
 #include <string>
 
 #include "ckpt/timing.h"
+#include "cluster/domain.h"
 #include "comm/collective.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -85,6 +86,17 @@ struct WorldReport {
   // fleet that saw zero traffic.
   bool served = false;
   serve::FleetReport serve;
+
+  // Correlated domain outages (spec.domain_failures over a non-trivial
+  // topology): switch/PDU/cooling events that cordon a whole subtree and
+  // kill every resident job in one injection. `domain_enabled` distinguishes
+  // "no domain chain armed" from a run that saw zero outages.
+  bool domain_enabled = false;
+  int domain_failures_injected = 0;  // domain events that fired
+  int domain_failures_no_victim = 0;  // subtree held no running job
+  int domain_jobs_killed = 0;         // residents killed across all events
+  int domain_nodes_cordoned = 0;      // blast radius, summed over events
+  double domain_outage_seconds = 0;   // cordon duration, summed over events
 
   // FNV-1a over every counter, a fixed-precision rendering of every derived
   // value, the full occupancy timeline and every job's queue delay: two
@@ -167,6 +179,9 @@ class World {
   void construct_subsystems(trace::Trace& pretrain_jobs, bool synthesize);
   void arm_next_failure();
   void fire_failure();
+  void arm_next_domain_failure();
+  void fire_domain_failure();
+  void repair_domain();
 
   ScenarioSpec spec_;
   ClusterInputs inputs_;
@@ -188,6 +203,17 @@ class World {
   double serve_share_ = 0.0;
   // Pending failure-chain event; cleared at fire so valid() <=> pending.
   sim::EventHandle failure_event_;
+  // Correlated domain-outage chain (armed only when domain_enabled_). One
+  // handle covers both phases: domain_down_ == kInvalidDomain means the
+  // pending event is the next outage, a valid id means it is the repair of
+  // that domain.
+  bool domain_enabled_ = false;
+  cluster::DomainTree domain_tree_;
+  common::Rng domain_rng_;
+  sim::EventHandle domain_event_;
+  cluster::DomainId domain_down_ = cluster::kInvalidDomain;
+  std::uint32_t domain_reason_ = 0;  // row index into domain_failure_table()
+  std::vector<std::size_t> domain_scratch_;  // resident-job scan, preallocated
   WorldReport report_;
 };
 

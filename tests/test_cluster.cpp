@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "cluster/domain.h"
 #include "cluster/power.h"
 #include "cluster/spec.h"
 #include "cluster/state.h"
+#include "comm/collective.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "trace/job.h"
 
 namespace acme::cluster {
 namespace {
@@ -317,6 +325,195 @@ TEST(Carbon, MatchesAppendixA3) {
   // Paper: Seren consumed ~673 MWh in May 2023 -> 321.7 tCO2e.
   EXPECT_NEAR(carbon.emissions_tco2e(673.0), 321.7, 1.0);
   EXPECT_DOUBLE_EQ(carbon.facility_energy_mwh(100.0), 125.0);
+}
+
+// --- Hierarchical domain tree (DESIGN.md §14) ---
+
+TEST(DomainTree, LevelLayoutPartitionsNodesExactly) {
+  const DomainShape shape{2, 4, 4};
+  const DomainTree tree(64, shape);
+  EXPECT_FALSE(tree.trivial());
+  EXPECT_EQ(tree.node_count(), 64);
+  EXPECT_EQ(tree.domains(DomainKind::kDatacenter).size(), 2u);
+  EXPECT_EQ(tree.domains(DomainKind::kPod).size(), 8u);
+  EXPECT_EQ(tree.domains(DomainKind::kSwitch).size(), 16u);
+  EXPECT_EQ(tree.domain_count(), 1u + 2u + 8u + 16u);
+  // Every level tiles [0, 64) contiguously, ids ascending with first_node.
+  for (DomainKind kind : {DomainKind::kDatacenter, DomainKind::kPod,
+                          DomainKind::kSwitch}) {
+    NodeId next = 0;
+    for (DomainId d : tree.domains(kind)) {
+      EXPECT_EQ(tree.kind(d), kind);
+      EXPECT_EQ(tree.first_node(d), next);
+      EXPECT_GT(tree.domain_nodes(d), 0);
+      next += static_cast<NodeId>(tree.domain_nodes(d));
+    }
+    EXPECT_EQ(next, 64u) << to_string(kind);
+  }
+  // Parents point one level up.
+  for (DomainId d : tree.domains(DomainKind::kSwitch))
+    EXPECT_EQ(tree.kind(tree.parent(d)), DomainKind::kPod);
+  for (DomainId d : tree.domains(DomainKind::kPod))
+    EXPECT_EQ(tree.kind(tree.parent(d)), DomainKind::kDatacenter);
+  for (DomainId d : tree.domains(DomainKind::kDatacenter))
+    EXPECT_EQ(tree.kind(tree.parent(d)), DomainKind::kRoot);
+}
+
+TEST(DomainTree, AncestorMatchesSpanBruteForce) {
+  // Uneven split: 67 nodes over 3 DCs x 3 pods, 4-node switch groups. The
+  // O(1) per-node ancestor arrays must agree with a brute-force scan of the
+  // per-level spans.
+  const DomainTree tree(67, DomainShape{3, 3, 4});
+  for (NodeId node = 0; node < 67; ++node) {
+    for (DomainKind kind : {DomainKind::kDatacenter, DomainKind::kPod,
+                            DomainKind::kSwitch}) {
+      DomainId expect = kInvalidDomain;
+      for (DomainId d : tree.domains(kind)) {
+        const NodeId first = tree.first_node(d);
+        if (node >= first &&
+            node < first + static_cast<NodeId>(tree.domain_nodes(d)))
+          expect = d;
+      }
+      EXPECT_EQ(tree.ancestor(node, kind), expect)
+          << "node " << node << " kind " << to_string(kind);
+    }
+    EXPECT_EQ(tree.ancestor(node, DomainKind::kRoot), 0u);
+  }
+}
+
+TEST(DomainTree, SpannedCountsMatchBruteForce) {
+  const DomainTree tree(96, DomainShape{3, 4, 2});
+  common::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Contiguous span.
+    const int first = static_cast<int>(rng.uniform_int(0, 95));
+    const int count = static_cast<int>(rng.uniform_int(1, 96 - first));
+    std::set<DomainId> pods, dcs;
+    for (int n = first; n < first + count; ++n) {
+      pods.insert(tree.pod_of(static_cast<NodeId>(n)));
+      dcs.insert(tree.datacenter_of(static_cast<NodeId>(n)));
+    }
+    EXPECT_EQ(tree.pods_spanned(static_cast<NodeId>(first), count),
+              static_cast<int>(pods.size()));
+    EXPECT_EQ(tree.datacenters_spanned(static_cast<NodeId>(first), count),
+              static_cast<int>(dcs.size()));
+    // Arbitrary node set (non-contiguous multi-pod placement).
+    std::vector<NodeId> nodes;
+    const int size = static_cast<int>(rng.uniform_int(1, 24));
+    for (int i = 0; i < size; ++i)
+      nodes.push_back(static_cast<NodeId>(rng.uniform_int(0, 95)));
+    pods.clear();
+    dcs.clear();
+    for (NodeId n : nodes) {
+      pods.insert(tree.pod_of(n));
+      dcs.insert(tree.datacenter_of(n));
+    }
+    EXPECT_EQ(tree.pods_spanned(nodes.data(), nodes.size()),
+              static_cast<int>(pods.size()));
+    EXPECT_EQ(tree.datacenters_spanned(nodes.data(), nodes.size()),
+              static_cast<int>(dcs.size()));
+  }
+}
+
+TEST(DomainTree, TrivialShapeIsFlat) {
+  const DomainTree tree(16, DomainShape{});
+  EXPECT_TRUE(tree.trivial());
+  EXPECT_EQ(tree.domains(DomainKind::kDatacenter).size(), 1u);
+  EXPECT_EQ(tree.domains(DomainKind::kPod).size(), 1u);
+  EXPECT_EQ(tree.domains(DomainKind::kSwitch).size(), 1u);
+  EXPECT_EQ(tree.pods_spanned(0, 16), 1);
+  EXPECT_EQ(tree.datacenters_spanned(0, 16), 1);
+}
+
+TEST(DomainTree, SubtreeCordonUncordonExactness) {
+  // Cordoning a domain's [first_node, first_node + span) must cordon exactly
+  // the nodes whose pod ancestor is that domain — no neighbours — and
+  // uncordoning restores the ledger exactly.
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 32;
+  spec.topology = DomainShape{2, 2, 4};
+  const DomainTree tree(spec);
+  ClusterState state(spec);
+  const int total_free = state.free_gpus();
+  for (DomainId pod : tree.domains(DomainKind::kPod)) {
+    const NodeId first = tree.first_node(pod);
+    const int count = tree.domain_nodes(pod);
+    for (int i = 0; i < count; ++i) state.cordon(first + static_cast<NodeId>(i));
+    EXPECT_EQ(state.cordoned_count(), count);
+    for (NodeId n = 0; n < 32; ++n)
+      EXPECT_EQ(state.is_cordoned(n), tree.pod_of(n) == pod) << "node " << n;
+    for (int i = 0; i < count; ++i)
+      state.uncordon(first + static_cast<NodeId>(i));
+    EXPECT_EQ(state.cordoned_count(), 0);
+    EXPECT_EQ(state.free_gpus(), total_free);
+  }
+}
+
+TEST(DomainTree, CorrelatedKillMembershipMatchesBruteForce) {
+  // The scheduler's global-span resident query (what a domain outage kills)
+  // must equal a brute-force filter of all running jobs by their translated
+  // allocation slices, for every pod subtree.
+  cluster::ClusterSpec spec = seren_spec();
+  spec.node_count = 16;
+  spec.topology = DomainShape{2, 2, 2};
+  const DomainTree tree(spec);
+  sched::SchedulerConfig config;
+  config.pretrain_reservation = 0.5;
+  config.eval_cap_fraction = 0.5;
+  sim::Engine engine;
+  sched::SchedulerReplay replay(engine, spec, config);
+  trace::Trace jobs;
+  common::Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    trace::JobRecord j;
+    j.id = static_cast<std::uint64_t>(i + 1);
+    j.type = (i % 3 == 0) ? trace::WorkloadType::kPretrain
+                          : trace::WorkloadType::kDebug;
+    j.gpus = static_cast<int>(rng.uniform_int(1, 32));
+    j.submit_time = static_cast<double>(i);
+    j.duration = 500.0 + static_cast<double>(rng.uniform_int(0, 500));
+    j.status = trace::JobStatus::kCompleted;
+    jobs.push_back(j);
+  }
+  replay.begin_replay(std::move(jobs));
+  while (engine.now() < 120.0 && engine.step(120.0)) {
+  }
+  const int offset = replay.reserved_node_count();
+  std::vector<std::size_t> all, got;
+  replay.running_jobs_on_nodes(0, replay.total_node_count(), all);
+  ASSERT_FALSE(all.empty());
+  for (DomainId pod : tree.domains(DomainKind::kPod)) {
+    const int first = static_cast<int>(tree.first_node(pod));
+    const int count = tree.domain_nodes(pod);
+    std::vector<std::size_t> expect;
+    for (std::size_t idx : all) {
+      bool hit = false;
+      for (const auto& slice : replay.allocation_of(idx).slices) {
+        const int node =
+            slice.node + (replay.allocation_on_reserved(idx) ? 0 : offset);
+        if (node >= first && node < first + count) hit = true;
+      }
+      if (hit) expect.push_back(idx);
+    }
+    replay.running_jobs_on_nodes(first, count, got);
+    EXPECT_EQ(got, expect) << "pod " << pod;
+  }
+  engine.run();
+  (void)replay.finish_replay();
+}
+
+TEST(DomainTree, LocalizationTtrGrowsWithBlastRadius) {
+  // Recovery localization probes the whole cordoned subtree, so TTR must be
+  // monotone in the blast radius: switch group < pod < datacenter spans.
+  ClusterSpec spec = seren_spec();
+  spec.node_count = 1024;
+  spec.topology = DomainShape{2, 8, 8};
+  comm::CollectiveModel model(comm::fabric_from_cluster(spec));
+  const double switch_ttr = model.probe_round_seconds(8);
+  const double pod_ttr = model.probe_round_seconds(64);
+  const double dc_ttr = model.probe_round_seconds(512);
+  EXPECT_LT(switch_ttr, pod_ttr);
+  EXPECT_LT(pod_ttr, dc_ttr);
 }
 
 }  // namespace

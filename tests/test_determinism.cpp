@@ -249,6 +249,15 @@ TEST(Determinism, SnapshotOracleServeSeren) {
   expect_snapshot_oracle(spec, 20246);
 }
 
+// Hyperscale preset: the domain-outage chain (cordons, correlated kills,
+// repair re-arm) and the tiered fabric must survive snapshot-at-midpoint and
+// any worker width exactly like the flat presets.
+TEST(Determinism, SnapshotOracleHyperscaleSmall) {
+  world::ScenarioSpec spec = world::hyperscale_small_scenario();
+  spec.fleet_samples = 500;
+  expect_snapshot_oracle(spec, 20247);
+}
+
 // --- Parallel window runtime determinism matrix (DESIGN.md §13) ---
 //
 // The tentpole invariant: a world's report digest is byte-identical at any
@@ -325,6 +334,12 @@ TEST(Determinism, WorkersMatrixServeSeren) {
   world::ScenarioSpec spec = world::serve_seren_scenario();
   spec.serve_rps = 20.0;
   spec.serve_duration_seconds = 900.0;
+  expect_workers_matrix(spec);
+}
+
+TEST(Determinism, WorkersMatrixHyperscaleSmall) {
+  world::ScenarioSpec spec = world::hyperscale_small_scenario();
+  spec.fleet_samples = 500;
   expect_workers_matrix(spec);
 }
 

@@ -208,6 +208,29 @@ const Mutator kMutators[] = {
        s.serve_burst_multiplier = b.serve_burst_multiplier;
        s.serve_burst_fraction = b.serve_burst_fraction;
      }},
+    {"topology",
+     [](world::ScenarioSpec& s, common::Rng& r) {
+       // Correlated-failure axis: a tiered fleet with domain outages armed.
+       // Fleet sizes stay >= the largest campaign demand (2048 GPUs) so the
+       // scheduler accepts the preset trace; tier shapes stay small enough
+       // that hundreds of oracle runs fit a CI stress slot.
+       const int node_choices[] = {0, 286, 512, 1024};
+       s.node_count = node_choices[r.next() % 4];
+       s.topo_datacenters = 1 + static_cast<int>(r.next() % 3);
+       s.topo_pods_per_dc = 1 + static_cast<int>(r.next() % 4);
+       const int switch_choices[] = {0, 4, 8};
+       s.topo_nodes_per_switch = switch_choices[r.next() % 3];
+       s.domain_failures = (r.next() % 2) == 0;
+       s.domain_failure_interval_scale = r.uniform(0.01, 1.0);
+     },
+     [](world::ScenarioSpec& s, const world::ScenarioSpec& b) {
+       s.node_count = b.node_count;
+       s.topo_datacenters = b.topo_datacenters;
+       s.topo_pods_per_dc = b.topo_pods_per_dc;
+       s.topo_nodes_per_switch = b.topo_nodes_per_switch;
+       s.domain_failures = b.domain_failures;
+       s.domain_failure_interval_scale = b.domain_failure_interval_scale;
+     }},
 };
 constexpr std::size_t kMutatorCount = sizeof(kMutators) / sizeof(kMutators[0]);
 
